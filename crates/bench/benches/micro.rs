@@ -1,0 +1,115 @@
+//! Criterion micro-benchmarks for the simulator's hot paths, plus one
+//! end-to-end benchmark per strategy.
+//!
+//! Run with `cargo bench -p coopckpt-bench`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use coopckpt::prelude::*;
+use coopckpt_des::{EventQueue, Time as DesTime};
+use coopckpt_failure::{FailureTrace, Xoshiro256pp};
+use coopckpt_io::{LinearShare, Pfs};
+use coopckpt_theory::{lower_bound, ClassParams};
+
+/// DES kernel: schedule + drain a large batch of events.
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("des/event_queue_10k", |b| {
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        let times: Vec<f64> = (0..10_000).map(|_| rng.next_f64() * 1e6).collect();
+        b.iter_batched(
+            || times.clone(),
+            |times| {
+                let mut q = EventQueue::new();
+                for (i, t) in times.into_iter().enumerate() {
+                    q.schedule(DesTime::from_secs(t), i);
+                }
+                let mut n = 0;
+                while q.pop().is_some() {
+                    n += 1;
+                }
+                black_box(n)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+/// Fluid PFS: 64 concurrent streams joining and draining.
+fn bench_pfs(c: &mut Criterion) {
+    c.bench_function("io/pfs_64_streams", |b| {
+        b.iter(|| {
+            let mut pfs: Pfs<usize> = Pfs::new(Bandwidth::from_gbps(100.0), LinearShare);
+            for i in 0..64 {
+                pfs.start(
+                    DesTime::from_secs(i as f64 * 0.1),
+                    Bytes::from_gb(10.0 + i as f64),
+                    1.0 + (i % 7) as f64,
+                    i,
+                );
+            }
+            pfs.advance(DesTime::from_secs(1e5));
+            black_box(pfs.take_completed().len())
+        });
+    });
+}
+
+/// The λ-solver on the APEX/Cielo operating point of Fig. 2.
+fn bench_lambda_solver(c: &mut Criterion) {
+    let platform = coopckpt_workload::cielo().with_bandwidth(Bandwidth::from_gbps(40.0));
+    let params: Vec<ClassParams> = coopckpt_workload::classes_for(&platform)
+        .iter()
+        .map(|cl| ClassParams::from_app_class(cl, &platform))
+        .collect();
+    c.bench_function("theory/lower_bound_apex", |b| {
+        b.iter(|| black_box(lower_bound(&platform, &params).waste));
+    });
+}
+
+/// Failure-trace generation for a 60-day Cielo instance.
+fn bench_failure_trace(c: &mut Criterion) {
+    c.bench_function("failure/trace_60d_cielo", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = Xoshiro256pp::seed_from_u64(seed);
+            let trace = FailureTrace::generate_exponential(
+                &mut rng,
+                17_888,
+                Duration::from_years(2.0),
+                DesTime::from_secs(Duration::from_days(60.0).as_secs()),
+            );
+            black_box(trace.len())
+        });
+    });
+}
+
+/// End-to-end: one 7-day APEX/Cielo instance per strategy at 40 GB/s.
+fn bench_end_to_end(c: &mut Criterion) {
+    let platform = coopckpt_workload::cielo().with_bandwidth(Bandwidth::from_gbps(40.0));
+    let classes = coopckpt_workload::classes_for(&platform);
+    let mut group = c.benchmark_group("sim/7day_cielo_40gbps");
+    group.sample_size(10);
+    for strategy in Strategy::all_seven() {
+        let config = SimConfig::new(platform.clone(), classes.clone(), strategy)
+            .with_span(Duration::from_days(7.0));
+        let mut seed = 0u64;
+        group.bench_function(strategy.name(), |b| {
+            b.iter(|| {
+                seed += 1;
+                black_box(run_simulation(&config, seed).waste_ratio)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_pfs,
+    bench_lambda_solver,
+    bench_failure_trace,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Ablation: the burst-buffer tier (paper Section 8, future work).
+//!
+//! The paper speculates that NVRAM burst buffers absorbing checkpoint
+//! writes would "provide relief to the shared I/O subsystem". This
+//! ablation adds a node-local buffer tier (absorb at `write_bw_per_node ×
+//! q`, background drain to the PFS, durability on drain completion,
+//! admission control on capacity) and measures the waste reduction at the
+//! scarce-bandwidth operating point of Figure 2.
+//!
+//! ```sh
+//! cargo run --release -p coopckpt-bench --bin ablation_burst_buffer
+//! ```
+
+use coopckpt::prelude::*;
+use coopckpt::sim::BurstBufferSpec;
+use coopckpt_bench::{banner, emit, BenchScale};
+use coopckpt_stats::Table;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    banner(
+        "Ablation: burst-buffer tier (Cielo, 40 GB/s, node MTBF 2 y)",
+        &scale,
+    );
+
+    let platform = coopckpt_workload::cielo().with_bandwidth(Bandwidth::from_gbps(40.0));
+    let classes = coopckpt_workload::classes_for(&platform);
+
+    // Buffer variants: none; half the platform memory at 1 GB/s per node;
+    // 2x platform memory at 4 GB/s per node (ample NVRAM).
+    let variants: [(&str, Option<BurstBufferSpec>); 3] = [
+        ("no burst buffer", None),
+        (
+            "0.5x mem, 1 GB/s/node",
+            Some(BurstBufferSpec {
+                capacity: platform.total_memory() * 0.5,
+                write_bw_per_node: Bandwidth::from_gbps(1.0),
+            }),
+        ),
+        (
+            "2x mem, 4 GB/s/node",
+            Some(BurstBufferSpec {
+                capacity: platform.total_memory() * 2.0,
+                write_bw_per_node: Bandwidth::from_gbps(4.0),
+            }),
+        ),
+    ];
+
+    let mut t = Table::new(["strategy", "no burst buffer", "0.5x mem, 1 GB/s/node", "2x mem, 4 GB/s/node"]);
+    for strategy in [
+        Strategy::oblivious(CheckpointPolicy::Daly),
+        Strategy::ordered(CheckpointPolicy::Daly),
+        Strategy::ordered_nb(CheckpointPolicy::Daly),
+        Strategy::least_waste(),
+    ] {
+        let mut cells = vec![strategy.name()];
+        for (_, bb) in &variants {
+            let mut cfg = SimConfig::new(platform.clone(), classes.clone(), strategy)
+                .with_span(scale.span);
+            if let Some(spec) = bb {
+                cfg = cfg.with_burst_buffer(*spec);
+            }
+            cells.push(format!("{:.4}", run_many(&cfg, &scale.mc()).mean()));
+        }
+        t.row(cells);
+    }
+    emit(&t);
+    println!("\n(waste ratio; the drain still contends on the PFS, so gains shrink when it saturates)");
+}

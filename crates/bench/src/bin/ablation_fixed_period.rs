@@ -1,0 +1,51 @@
+//! Ablation: the fixed checkpoint period.
+//!
+//! The paper's `Fixed` variants use the common "once per hour" heuristic.
+//! This ablation sweeps the period (0.5 h – 4 h) under both a blocking
+//! (Oblivious) and a non-blocking (Ordered-NB) discipline, bracketing them
+//! with the Daly policy, to show (a) how wrong the hourly heuristic is at
+//! scarce bandwidth, and (b) how the non-blocking discipline flattens the
+//! penalty (Figure 2's "Ordered-NB-Fixed performs comparably" observation).
+//!
+//! ```sh
+//! cargo run --release -p coopckpt-bench --bin ablation_fixed_period
+//! ```
+
+use coopckpt::prelude::*;
+use coopckpt_bench::{banner, emit, BenchScale};
+use coopckpt_stats::Table;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    banner(
+        "Ablation: fixed checkpoint period (Cielo, 40 GB/s, node MTBF 2 y)",
+        &scale,
+    );
+
+    let platform = coopckpt_workload::cielo().with_bandwidth(Bandwidth::from_gbps(40.0));
+    let classes = coopckpt_workload::classes_for(&platform);
+
+    let policies: Vec<(String, CheckpointPolicy)> = [0.5, 1.0, 2.0, 4.0]
+        .iter()
+        .map(|&h| {
+            (
+                format!("fixed {h}h"),
+                CheckpointPolicy::Fixed(Duration::from_hours(h)),
+            )
+        })
+        .chain(std::iter::once(("daly".to_string(), CheckpointPolicy::Daly)))
+        .collect();
+
+    let mut t = Table::new(["period", "Oblivious", "Ordered-NB"]);
+    for (label, policy) in &policies {
+        let mut cells = vec![label.clone()];
+        for strategy in [Strategy::oblivious(*policy), Strategy::ordered_nb(*policy)] {
+            let cfg = SimConfig::new(platform.clone(), classes.clone(), strategy)
+                .with_span(scale.span);
+            cells.push(format!("{:.4}", run_many(&cfg, &scale.mc()).mean()));
+        }
+        t.row(cells);
+    }
+    emit(&t);
+    println!("\n(waste ratio; the Daly row is the adaptive reference)");
+}

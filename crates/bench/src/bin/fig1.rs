@@ -1,0 +1,33 @@
+//! Figure 1 of the paper: waste ratio as a function of the aggregate
+//! system bandwidth (40 → 160 GB/s) for the seven strategies and the
+//! theoretical lower bound; LANL APEX workload on Cielo, 2-year node MTBF.
+//!
+//! ```sh
+//! COOPCKPT_SAMPLES=1000 cargo run --release -p coopckpt-bench --bin fig1 [-- --csv fig1.csv]
+//! ```
+
+use coopckpt::experiments::waste_vs_bandwidth;
+use coopckpt::prelude::*;
+use coopckpt_bench::{banner, emit, sweep_table, BenchScale};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    banner(
+        "Figure 1: waste ratio vs system bandwidth (Cielo, node MTBF 2 y)",
+        &scale,
+    );
+
+    let platform = coopckpt_workload::cielo(); // node MTBF = 2 years
+    let classes = coopckpt_workload::classes_for(&platform);
+    let template = SimConfig::new(platform, classes, Strategy::least_waste())
+        .with_span(scale.span);
+
+    let bandwidths = [40.0, 60.0, 80.0, 100.0, 120.0, 140.0, 160.0];
+    let points = waste_vs_bandwidth(
+        &template,
+        &bandwidths,
+        &Strategy::all_seven(),
+        &scale.mc(),
+    );
+    emit(&sweep_table("bandwidth_gbps", &points));
+}

@@ -1,0 +1,28 @@
+//! Figure 2 of the paper: waste ratio as a function of node MTBF
+//! (2 → 50 years) at a fixed, scarce 40 GB/s of aggregate bandwidth;
+//! LANL APEX workload on Cielo.
+//!
+//! ```sh
+//! COOPCKPT_SAMPLES=1000 cargo run --release -p coopckpt-bench --bin fig2 [-- --csv fig2.csv]
+//! ```
+
+use coopckpt::experiments::waste_vs_mtbf;
+use coopckpt::prelude::*;
+use coopckpt_bench::{banner, emit, sweep_table, BenchScale};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    banner(
+        "Figure 2: waste ratio vs node MTBF (Cielo, 40 GB/s)",
+        &scale,
+    );
+
+    let platform = coopckpt_workload::cielo().with_bandwidth(Bandwidth::from_gbps(40.0));
+    let classes = coopckpt_workload::classes_for(&platform);
+    let template = SimConfig::new(platform, classes, Strategy::least_waste())
+        .with_span(scale.span);
+
+    let mtbf_years = [2.0, 4.0, 7.0, 10.0, 20.0, 35.0, 50.0];
+    let points = waste_vs_mtbf(&template, &mtbf_years, &Strategy::all_seven(), &scale.mc());
+    emit(&sweep_table("node_mtbf_years", &points));
+}

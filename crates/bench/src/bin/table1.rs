@@ -1,0 +1,53 @@
+//! Table 1 of the paper: the LANL APEX workload, with the checkpoint
+//! costs and Young/Daly periods our model derives from it on Cielo.
+//!
+//! ```sh
+//! cargo run --release -p coopckpt-bench --bin table1
+//! ```
+
+use coopckpt_model::Platform;
+use coopckpt_stats::Table;
+use coopckpt_workload::{cielo, classes_for, APEX_SPECS};
+
+fn print_for(platform: &Platform) {
+    println!("\n== {} ==", platform);
+    let mut t = Table::new([
+        "workflow",
+        "workload_%",
+        "work_h",
+        "cores",
+        "nodes",
+        "input_%mem",
+        "output_%mem",
+        "ckpt_%mem",
+        "ckpt_size",
+        "C_secs",
+        "P_daly_min",
+    ]);
+    let classes = classes_for(platform);
+    for (spec, class) in APEX_SPECS.iter().zip(&classes) {
+        t.row([
+            spec.name.to_string(),
+            format!("{}", spec.workload_pct),
+            format!("{}", spec.work_hours),
+            format!("{}", spec.cores),
+            format!("{}", class.q_nodes),
+            format!("{}", spec.input_pct),
+            format!("{}", spec.output_pct),
+            format!("{}", spec.ckpt_pct),
+            format!("{}", class.ckpt_bytes),
+            format!(
+                "{:.1}",
+                class.ckpt_duration(platform.pfs_bandwidth).as_secs()
+            ),
+            format!("{:.1}", class.daly_period(platform).as_secs() / 60.0),
+        ]);
+    }
+    coopckpt_bench::emit(&t);
+}
+
+fn main() {
+    println!("# Paper Table 1: LANL workflow workload from the APEX report");
+    print_for(&cielo());
+    print_for(&coopckpt_workload::prospective());
+}

@@ -1,0 +1,136 @@
+//! Shared scaffolding for the figure-reproduction binaries.
+//!
+//! Every binary honours three environment variables so the full suite can
+//! be scaled from a quick smoke run to paper-scale statistics:
+//!
+//! | variable               | meaning                         | default |
+//! |------------------------|---------------------------------|---------|
+//! | `COOPCKPT_SAMPLES`     | Monte-Carlo instances per point | 100     |
+//! | `COOPCKPT_SPAN_DAYS`   | simulated span per instance     | 60      |
+//! | `COOPCKPT_THREADS`     | worker threads (0 = all cores)  | 0       |
+//!
+//! Results are printed as an aligned table and, when `--csv <path>` is
+//! passed, also written as CSV for plotting.
+
+use coopckpt::experiments::SweepPoint;
+use coopckpt::prelude::*;
+use coopckpt_stats::Table;
+
+/// Run-scale knobs read from the environment.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchScale {
+    /// Monte-Carlo instances per operating point.
+    pub samples: usize,
+    /// Simulated span per instance.
+    pub span: Duration,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+}
+
+impl BenchScale {
+    /// Reads `COOPCKPT_SAMPLES` / `COOPCKPT_SPAN_DAYS` / `COOPCKPT_THREADS`.
+    pub fn from_env() -> Self {
+        BenchScale {
+            samples: env_parse("COOPCKPT_SAMPLES", 100),
+            span: Duration::from_days(env_parse("COOPCKPT_SPAN_DAYS", 60.0)),
+            threads: env_parse("COOPCKPT_THREADS", 0),
+        }
+    }
+
+    /// The Monte-Carlo configuration for this scale.
+    pub fn mc(&self) -> MonteCarloConfig {
+        MonteCarloConfig::new(self.samples).with_threads(self.threads)
+    }
+}
+
+fn env_parse<T: std::str::FromStr + Copy>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Renders sweep points as the paper's figure data: one row per
+/// `(x, series)` with candlestick columns.
+pub fn sweep_table(x_label: &str, points: &[SweepPoint]) -> Table {
+    let mut t = Table::new([
+        x_label, "series", "mean", "d1", "q1", "median", "q3", "d9", "n",
+    ]);
+    for p in points {
+        t.row([
+            format!("{}", p.x),
+            p.series.clone(),
+            format!("{:.4}", p.stats.mean),
+            format!("{:.4}", p.stats.d1),
+            format!("{:.4}", p.stats.q1),
+            format!("{:.4}", p.stats.median),
+            format!("{:.4}", p.stats.q3),
+            format!("{:.4}", p.stats.d9),
+            format!("{}", p.stats.n),
+        ]);
+    }
+    t
+}
+
+/// Prints the table and honours an optional `--csv <path>` argument.
+pub fn emit(table: &Table) {
+    print!("{}", table.to_text());
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--csv" {
+            if let Some(path) = args.next() {
+                if let Err(e) = std::fs::write(&path, table.to_csv()) {
+                    eprintln!("warning: could not write {path}: {e}");
+                } else {
+                    eprintln!("# CSV written to {path}");
+                }
+            }
+        }
+    }
+}
+
+/// A one-line provenance header for every bench binary.
+pub fn banner(what: &str, scale: &BenchScale) {
+    println!(
+        "# {what} — {} samples/point, {:.0}-day span, threads={}",
+        scale.samples,
+        scale.span.as_days(),
+        if scale.threads == 0 {
+            "all".to_string()
+        } else {
+            scale.threads.to_string()
+        }
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coopckpt_stats::Candlestick;
+
+    #[test]
+    fn mc_carries_scale() {
+        let s = BenchScale {
+            samples: 7,
+            span: Duration::from_days(3.0),
+            threads: 2,
+        };
+        let mc = s.mc();
+        assert_eq!(mc.samples, 7);
+        assert_eq!(mc.threads, 2);
+    }
+
+    #[test]
+    fn sweep_table_layout() {
+        let pts = vec![SweepPoint {
+            x: 40.0,
+            series: "Least-Waste".into(),
+            stats: Candlestick::from_samples(&[0.2, 0.3, 0.4]),
+        }];
+        let t = sweep_table("bandwidth_gbps", &pts);
+        let text = t.to_text();
+        assert!(text.contains("Least-Waste"));
+        assert!(text.contains("bandwidth_gbps"));
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! A small `--flag value` argument parser (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand, positional arguments, and flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// First non-flag token (the subcommand).
+    pub command: Option<String>,
+    /// Remaining non-flag tokens.
+    pub positionals: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+/// Errors from argument parsing and typed access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// `--flag` given without a value.
+    MissingValue(String),
+    /// A flag's value failed to parse.
+    BadValue {
+        /// Flag name.
+        flag: String,
+        /// Offending raw value.
+        value: String,
+        /// Target type description.
+        expected: &'static str,
+    },
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingValue(flag) => write!(f, "flag --{flag} requires a value"),
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "flag --{flag}: cannot parse '{value}' as {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses a token stream (usually `std::env::args().skip(1)`).
+    pub fn parse<I, S>(tokens: I) -> Result<Args, ArgError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut args = Args::default();
+        let mut iter = tokens.into_iter().map(Into::into).peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                if let Some((k, v)) = name.split_once('=') {
+                    args.flags.insert(k.to_string(), v.to_string());
+                } else {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
+                    args.flags.insert(name.to_string(), value);
+                }
+            } else if args.command.is_none() {
+                args.command = Some(tok);
+            } else {
+                args.positionals.push(tok);
+            }
+        }
+        Ok(args)
+    }
+
+    /// Raw string flag.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// String flag with default.
+    pub fn get_or(&self, flag: &str, default: &str) -> String {
+        self.get(flag).unwrap_or(default).to_string()
+    }
+
+    /// Typed flag with default.
+    pub fn get_parsed_or<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_string(),
+                value: raw.to_string(),
+                expected,
+            }),
+        }
+    }
+
+    /// Comma-separated list of floats, e.g. `--values 40,80,160`.
+    pub fn get_f64_list(&self, flag: &str) -> Result<Option<Vec<f64>>, ArgError> {
+        let Some(raw) = self.get(flag) else {
+            return Ok(None);
+        };
+        raw.split(',')
+            .map(|s| {
+                s.trim().parse::<f64>().map_err(|_| ArgError::BadValue {
+                    flag: flag.to_string(),
+                    value: s.to_string(),
+                    expected: "a comma-separated list of numbers",
+                })
+            })
+            .collect::<Result<Vec<f64>, _>>()
+            .map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_flags_positionals() {
+        let a = Args::parse(["run", "--samples", "10", "extra", "--bw=40"]).unwrap();
+        assert_eq!(a.command.as_deref(), Some("run"));
+        assert_eq!(a.positionals, vec!["extra"]);
+        assert_eq!(a.get("samples"), Some("10"));
+        assert_eq!(a.get("bw"), Some("40"));
+    }
+
+    #[test]
+    fn typed_access_with_defaults() {
+        let a = Args::parse(["x", "--n", "5"]).unwrap();
+        assert_eq!(a.get_parsed_or("n", 1usize, "int").unwrap(), 5);
+        assert_eq!(a.get_parsed_or("m", 7usize, "int").unwrap(), 7);
+        assert_eq!(a.get_or("name", "dflt"), "dflt");
+    }
+
+    #[test]
+    fn bad_value_is_an_error() {
+        let a = Args::parse(["x", "--n", "abc"]).unwrap();
+        assert!(matches!(
+            a.get_parsed_or("n", 1usize, "int"),
+            Err(ArgError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(matches!(
+            Args::parse(["x", "--flag"]),
+            Err(ArgError::MissingValue(_))
+        ));
+    }
+
+    #[test]
+    fn float_lists() {
+        let a = Args::parse(["x", "--values", "40, 80,160"]).unwrap();
+        assert_eq!(a.get_f64_list("values").unwrap().unwrap(), vec![40.0, 80.0, 160.0]);
+        assert_eq!(a.get_f64_list("absent").unwrap(), None);
+        let a = Args::parse(["x", "--values", "1,two"]).unwrap();
+        assert!(a.get_f64_list("values").is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        let a = Args::parse(Vec::<String>::new()).unwrap();
+        assert!(a.command.is_none());
+        assert!(a.positionals.is_empty());
+    }
+}

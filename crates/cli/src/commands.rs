@@ -1,0 +1,411 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use coopckpt::prelude::*;
+use coopckpt::sim::{FailureModel, InterferenceKind};
+use coopckpt_stats::Table;
+use coopckpt_theory::{lower_bound, ClassParams};
+use coopckpt_workload::{classes_for, APEX_SPECS};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+coopckpt — cooperative checkpointing for shared HPC platforms
+          (reproduction of Herault et al., IPDPS 2018)
+
+USAGE:
+  coopckpt <command> [--flag value]...
+
+COMMANDS:
+  table1      Print the APEX workload (paper Table 1) with derived
+              checkpoint costs and Daly periods.
+  theory      Evaluate the Section-4 lower bound (Theorem 1).
+  run         Monte-Carlo simulate one strategy at one operating point.
+  sweep       Sweep bandwidth or MTBF across all seven strategies (CSV).
+  workload    Generate and dump one randomized job mix (CSV).
+  trace       Simulate one instance and dump its execution trace (CSV).
+  help        Show this message.
+
+COMMON FLAGS:
+  --platform cielo|prospective   target machine          [cielo]
+  --bandwidth <GB/s>             PFS bandwidth override
+  --mtbf-years <years>           node MTBF override
+  --span-days <days>             simulated span          [14]
+  --samples <n>                  Monte-Carlo instances   [10]
+  --seed <n>                     base seed               [1]
+  --strategy <name>              oblivious-fixed|oblivious-daly|
+                                 ordered-fixed|ordered-daly|
+                                 ordered-nb-fixed|ordered-nb-daly|
+                                 least-waste              [least-waste]
+  --interference linear|degraded:<a>|equal               [linear]
+  --failures exponential|weibull:<k>|none                [exponential]
+  --format text|csv                                      [text]
+
+EXAMPLES:
+  coopckpt trace --strategy least-waste --span-days 2 --bandwidth 40
+  coopckpt theory --bandwidth 40
+  coopckpt run --strategy ordered-nb-daly --bandwidth 40 --samples 20
+  coopckpt sweep --axis bandwidth --values 40,80,120,160 --samples 50
+  coopckpt sweep --axis mtbf --values 2,5,10,20,50 --bandwidth 40
+";
+
+/// Boxed error for command results.
+pub type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+fn platform_from(args: &Args) -> Result<Platform, Box<dyn std::error::Error>> {
+    let mut p = match args.get_or("platform", "cielo").as_str() {
+        "cielo" => coopckpt_workload::cielo(),
+        "prospective" => coopckpt_workload::prospective(),
+        other => return Err(format!("unknown platform '{other}'").into()),
+    };
+    if let Some(bw) = args.get("bandwidth") {
+        let gbps: f64 = bw
+            .parse()
+            .map_err(|_| format!("bad --bandwidth '{bw}'"))?;
+        p = p.with_bandwidth(Bandwidth::from_gbps(gbps));
+    }
+    if let Some(m) = args.get("mtbf-years") {
+        let years: f64 = m.parse().map_err(|_| format!("bad --mtbf-years '{m}'"))?;
+        p = p.with_node_mtbf(Duration::from_years(years));
+    }
+    Ok(p)
+}
+
+fn strategy_from(args: &Args) -> Result<Strategy, Box<dyn std::error::Error>> {
+    let name = args.get_or("strategy", "least-waste").to_lowercase();
+    let s = match name.as_str() {
+        "oblivious-fixed" => Strategy::oblivious(CheckpointPolicy::fixed_hourly()),
+        "oblivious-daly" => Strategy::oblivious(CheckpointPolicy::Daly),
+        "ordered-fixed" => Strategy::ordered(CheckpointPolicy::fixed_hourly()),
+        "ordered-daly" => Strategy::ordered(CheckpointPolicy::Daly),
+        "ordered-nb-fixed" => Strategy::ordered_nb(CheckpointPolicy::fixed_hourly()),
+        "ordered-nb-daly" => Strategy::ordered_nb(CheckpointPolicy::Daly),
+        "least-waste" => Strategy::least_waste(),
+        other => return Err(format!("unknown strategy '{other}'").into()),
+    };
+    Ok(s)
+}
+
+fn interference_from(args: &Args) -> Result<InterferenceKind, Box<dyn std::error::Error>> {
+    let raw = args.get_or("interference", "linear");
+    if raw == "linear" {
+        return Ok(InterferenceKind::Linear);
+    }
+    if raw == "equal" {
+        return Ok(InterferenceKind::Equal);
+    }
+    if let Some(alpha) = raw.strip_prefix("degraded:") {
+        let a: f64 = alpha
+            .parse()
+            .map_err(|_| format!("bad degraded exponent '{alpha}'"))?;
+        return Ok(InterferenceKind::Degraded(a));
+    }
+    Err(format!("unknown interference model '{raw}'").into())
+}
+
+fn failures_from(args: &Args) -> Result<FailureModel, Box<dyn std::error::Error>> {
+    let raw = args.get_or("failures", "exponential");
+    if raw == "exponential" {
+        return Ok(FailureModel::Exponential);
+    }
+    if raw == "none" {
+        return Ok(FailureModel::None);
+    }
+    if let Some(shape) = raw.strip_prefix("weibull:") {
+        let k: f64 = shape
+            .parse()
+            .map_err(|_| format!("bad Weibull shape '{shape}'"))?;
+        return Ok(FailureModel::Weibull(k));
+    }
+    Err(format!("unknown failure model '{raw}'").into())
+}
+
+fn config_from(args: &Args, strategy: Strategy) -> Result<SimConfig, Box<dyn std::error::Error>> {
+    let platform = platform_from(args)?;
+    let classes = classes_for(&platform);
+    let span: f64 = args.get_parsed_or("span-days", 14.0, "a number of days")?;
+    Ok(SimConfig::new(platform, classes, strategy)
+        .with_span(Duration::from_days(span))
+        .with_interference(interference_from(args)?)
+        .with_failures(failures_from(args)?))
+}
+
+fn emit(table: &Table, args: &Args) {
+    match args.get_or("format", "text").as_str() {
+        "csv" => print!("{}", table.to_csv()),
+        _ => print!("{}", table.to_text()),
+    }
+}
+
+/// `coopckpt table1`
+pub fn table1(args: &Args) -> CmdResult {
+    let platform = platform_from(args)?;
+    let mut t = Table::new([
+        "workflow",
+        "share_%",
+        "work_h",
+        "cores",
+        "nodes",
+        "input",
+        "output",
+        "ckpt",
+        "C_secs",
+        "P_daly_min",
+    ]);
+    for (spec, class) in APEX_SPECS.iter().zip(classes_for(&platform)) {
+        t.row([
+            spec.name.to_string(),
+            format!("{}", spec.workload_pct),
+            format!("{}", spec.work_hours),
+            format!("{}", spec.cores),
+            format!("{}", class.q_nodes),
+            format!("{}", class.input_bytes),
+            format!("{}", class.output_bytes),
+            format!("{}", class.ckpt_bytes),
+            format!("{:.1}", class.ckpt_duration(platform.pfs_bandwidth).as_secs()),
+            format!("{:.1}", class.daly_period(&platform).as_secs() / 60.0),
+        ]);
+    }
+    println!("{platform}");
+    emit(&t, args);
+    Ok(())
+}
+
+/// `coopckpt theory`
+pub fn theory(args: &Args) -> CmdResult {
+    let platform = platform_from(args)?;
+    let classes = classes_for(&platform);
+    let params: Vec<ClassParams> = classes
+        .iter()
+        .map(|c| ClassParams::from_app_class(c, &platform))
+        .collect();
+    let lb = lower_bound(&platform, &params);
+    println!("{platform}");
+    println!(
+        "lambda = {:.6e}   I/O fraction = {:.4}   waste = {:.4}   efficiency = {:.4}",
+        lb.lambda,
+        lb.io_fraction,
+        lb.waste,
+        lb.efficiency()
+    );
+    let mut t = Table::new(["class", "P_daly_min", "P_opt_min", "stretched"]);
+    for ((cp, period), class) in params.iter().zip(&lb.periods).zip(&classes) {
+        let daly = coopckpt_theory::period_for_lambda(&platform, cp, 0.0);
+        t.row([
+            class.name.clone(),
+            format!("{:.1}", daly.as_secs() / 60.0),
+            format!("{:.1}", period.as_secs() / 60.0),
+            format!("{:.2}x", period.as_secs() / daly.as_secs()),
+        ]);
+    }
+    emit(&t, args);
+    Ok(())
+}
+
+/// `coopckpt run`
+pub fn run(args: &Args) -> CmdResult {
+    let strategy = strategy_from(args)?;
+    let config = config_from(args, strategy)?;
+    let samples: usize = args.get_parsed_or("samples", 10, "an integer")?;
+    let seed: u64 = args.get_parsed_or("seed", 1, "an integer")?;
+    let mc = MonteCarloConfig::new(samples).with_base_seed(seed);
+    let stats = run_many(&config, &mc).candlestick();
+    let mut t = Table::new(["strategy", "mean", "d1", "q1", "median", "q3", "d9", "n"]);
+    t.row([
+        strategy.name(),
+        format!("{:.4}", stats.mean),
+        format!("{:.4}", stats.d1),
+        format!("{:.4}", stats.q1),
+        format!("{:.4}", stats.median),
+        format!("{:.4}", stats.q3),
+        format!("{:.4}", stats.d9),
+        format!("{}", stats.n),
+    ]);
+    println!("{}", config.platform);
+    emit(&t, args);
+    Ok(())
+}
+
+/// `coopckpt sweep`
+pub fn sweep(args: &Args) -> CmdResult {
+    let axis = args.get_or("axis", "bandwidth");
+    let samples: usize = args.get_parsed_or("samples", 10, "an integer")?;
+    let seed: u64 = args.get_parsed_or("seed", 1, "an integer")?;
+    let mc = MonteCarloConfig::new(samples).with_base_seed(seed);
+    let template = config_from(args, Strategy::least_waste())?;
+    let strategies = Strategy::all_seven();
+
+    let points = match axis.as_str() {
+        "bandwidth" => {
+            let values = args
+                .get_f64_list("values")?
+                .unwrap_or_else(|| vec![40.0, 60.0, 80.0, 100.0, 120.0, 140.0, 160.0]);
+            coopckpt::experiments::waste_vs_bandwidth(&template, &values, &strategies, &mc)
+        }
+        "mtbf" => {
+            let values = args
+                .get_f64_list("values")?
+                .unwrap_or_else(|| vec![2.0, 4.0, 10.0, 20.0, 50.0]);
+            coopckpt::experiments::waste_vs_mtbf(&template, &values, &strategies, &mc)
+        }
+        other => return Err(format!("unknown sweep axis '{other}' (bandwidth|mtbf)").into()),
+    };
+
+    let mut t = Table::new(["x", "series", "mean", "d1", "q1", "q3", "d9", "n"]);
+    for p in points {
+        t.row([
+            format!("{}", p.x),
+            p.series,
+            format!("{:.4}", p.stats.mean),
+            format!("{:.4}", p.stats.d1),
+            format!("{:.4}", p.stats.q1),
+            format!("{:.4}", p.stats.q3),
+            format!("{:.4}", p.stats.d9),
+            format!("{}", p.stats.n),
+        ]);
+    }
+    emit(&t, args);
+    Ok(())
+}
+
+/// `coopckpt trace`
+pub fn trace(args: &Args) -> CmdResult {
+    let strategy = strategy_from(args)?;
+    let config = config_from(args, strategy)?.with_trace();
+    let seed: u64 = args.get_parsed_or("seed", 1, "an integer")?;
+    let result = coopckpt::run_simulation(&config, seed);
+    let trace = result.trace.expect("trace was requested");
+    print!("{}", trace.to_csv());
+    eprintln!(
+        "# {} events; waste ratio {:.4}; {} checkpoints; {} failures on jobs",
+        trace.len(),
+        result.waste_ratio,
+        result.checkpoints_committed,
+        result.failures_hitting_jobs
+    );
+    Ok(())
+}
+
+/// `coopckpt workload`
+pub fn workload(args: &Args) -> CmdResult {
+    use coopckpt_failure::Xoshiro256pp;
+    use coopckpt_workload::generator::WorkloadSpec;
+    let platform = platform_from(args)?;
+    let classes = classes_for(&platform);
+    let span: f64 = args.get_parsed_or("span-days", 60.0, "a number of days")?;
+    let seed: u64 = args.get_parsed_or("seed", 1, "an integer")?;
+    let spec = WorkloadSpec::new(classes.clone()).with_min_span(Duration::from_days(span));
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let jobs = spec.generate(&platform, &mut rng);
+    let mut t = Table::new(["job", "class", "nodes", "work_h", "input", "output", "ckpt", "priority"]);
+    for j in &jobs {
+        t.row([
+            format!("{}", j.id),
+            classes[j.class.0].name.clone(),
+            format!("{}", j.q_nodes),
+            format!("{:.2}", j.work.as_hours()),
+            format!("{}", j.input_bytes),
+            format!("{}", j.output_bytes),
+            format!("{}", j.ckpt_bytes),
+            format!("{}", j.priority),
+        ]);
+    }
+    emit(&t, args);
+    let shares = spec.achieved_shares(&jobs);
+    eprintln!(
+        "# {} jobs; achieved shares: {}",
+        jobs.len(),
+        shares
+            .iter()
+            .zip(&classes)
+            .map(|(s, c)| format!("{} {:.1}%", c.name, 100.0 * s))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().copied()).expect("valid test args")
+    }
+
+    #[test]
+    fn platform_selection_and_overrides() {
+        let p = platform_from(&args(&["x"])).unwrap();
+        assert_eq!(p.name, "Cielo");
+        let p = platform_from(&args(&["x", "--platform", "prospective"])).unwrap();
+        assert_eq!(p.name, "Prospective");
+        let p = platform_from(&args(&["x", "--bandwidth", "40", "--mtbf-years", "5"])).unwrap();
+        assert_eq!(p.pfs_bandwidth, Bandwidth::from_gbps(40.0));
+        assert_eq!(p.node_mtbf, Duration::from_years(5.0));
+        assert!(platform_from(&args(&["x", "--platform", "nope"])).is_err());
+        assert!(platform_from(&args(&["x", "--bandwidth", "fast"])).is_err());
+    }
+
+    #[test]
+    fn strategy_names_round_trip() {
+        for (name, expect) in [
+            ("oblivious-fixed", "Oblivious-Fixed"),
+            ("oblivious-daly", "Oblivious-Daly"),
+            ("ordered-fixed", "Ordered-Fixed"),
+            ("ordered-daly", "Ordered-Daly"),
+            ("ordered-nb-fixed", "Ordered-NB-Fixed"),
+            ("ordered-nb-daly", "Ordered-NB-Daly"),
+            ("least-waste", "Least-Waste"),
+        ] {
+            let s = strategy_from(&args(&["x", "--strategy", name])).unwrap();
+            assert_eq!(s.name(), expect);
+        }
+        assert!(strategy_from(&args(&["x", "--strategy", "magic"])).is_err());
+    }
+
+    #[test]
+    fn interference_parsing() {
+        assert_eq!(
+            interference_from(&args(&["x"])).unwrap(),
+            InterferenceKind::Linear
+        );
+        assert_eq!(
+            interference_from(&args(&["x", "--interference", "equal"])).unwrap(),
+            InterferenceKind::Equal
+        );
+        match interference_from(&args(&["x", "--interference", "degraded:0.3"])).unwrap() {
+            InterferenceKind::Degraded(a) => assert!((a - 0.3).abs() < 1e-12),
+            other => panic!("expected degraded, got {other:?}"),
+        }
+        assert!(interference_from(&args(&["x", "--interference", "degraded:x"])).is_err());
+        assert!(interference_from(&args(&["x", "--interference", "chaotic"])).is_err());
+    }
+
+    #[test]
+    fn failure_parsing() {
+        assert_eq!(
+            failures_from(&args(&["x"])).unwrap(),
+            FailureModel::Exponential
+        );
+        assert_eq!(
+            failures_from(&args(&["x", "--failures", "none"])).unwrap(),
+            FailureModel::None
+        );
+        match failures_from(&args(&["x", "--failures", "weibull:0.7"])).unwrap() {
+            FailureModel::Weibull(k) => assert!((k - 0.7).abs() < 1e-12),
+            other => panic!("expected weibull, got {other:?}"),
+        }
+        assert!(failures_from(&args(&["x", "--failures", "weibull:k"])).is_err());
+    }
+
+    #[test]
+    fn config_assembly() {
+        let cfg = config_from(
+            &args(&["x", "--span-days", "7", "--bandwidth", "40"]),
+            Strategy::least_waste(),
+        )
+        .unwrap();
+        assert_eq!(cfg.span, Duration::from_days(7.0));
+        assert_eq!(cfg.platform.pfs_bandwidth, Bandwidth::from_gbps(40.0));
+        assert_eq!(cfg.classes.len(), 4);
+    }
+}

@@ -1,0 +1,47 @@
+//! `coopckpt` — command-line front end for the cooperative-checkpointing
+//! simulator and analysis of Hérault et al. (IPDPS 2018).
+//!
+//! ```text
+//! coopckpt table1                              # the APEX workload table
+//! coopckpt theory  [--platform cielo] [--bandwidth 40] [--mtbf-years 2]
+//! coopckpt run     [--strategy least-waste] [--samples 10] [--span-days 14] ...
+//! coopckpt sweep   --axis bandwidth --values 40,80,120,160 ...
+//! coopckpt workload [--seed 1] [--span-days 60]
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let parsed = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let outcome = match parsed.command.as_deref() {
+        Some("table1") => commands::table1(&parsed),
+        Some("theory") => commands::theory(&parsed),
+        Some("run") => commands::run(&parsed),
+        Some("sweep") => commands::sweep(&parsed),
+        Some("workload") => commands::workload(&parsed),
+        Some("trace") => commands::trace(&parsed),
+        Some("help") | None => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        Some(other) => {
+            eprintln!("error: unknown command '{other}'");
+            eprintln!("{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = outcome {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,283 @@
+//! Experiment sweeps regenerating the paper's figures.
+//!
+//! Each helper returns plain data (one [`SweepPoint`] per strategy per
+//! x-value plus the theoretical lower bound), leaving rendering to the
+//! bench binaries and the CLI:
+//!
+//! * [`waste_vs_bandwidth`] — Figure 1: waste ratio as a function of the
+//!   aggregate PFS bandwidth (Cielo, 2-year node MTBF in the paper).
+//! * [`waste_vs_mtbf`] — Figure 2: waste ratio as a function of node MTBF
+//!   (Cielo, 40 GB/s in the paper).
+//! * [`min_bandwidth_for_efficiency`] — Figure 3: the smallest bandwidth
+//!   reaching a target efficiency (80 % in the paper), per strategy, found
+//!   by bisection over the bandwidth axis.
+
+use crate::montecarlo::{run_many, MonteCarloConfig};
+use crate::sim::SimConfig;
+use crate::strategy::Strategy;
+use coopckpt_des::Duration;
+use coopckpt_model::{AppClass, Bandwidth, Platform};
+use coopckpt_stats::Candlestick;
+use coopckpt_theory::{lower_bound, ClassParams};
+
+/// One measured operating point of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The swept x-value (GB/s for Fig. 1, node-MTBF years for Fig. 2).
+    pub x: f64,
+    /// Strategy name, or `"Theoretical Model"` for the bound.
+    pub series: String,
+    /// Candlestick of the waste ratio over the Monte-Carlo instances
+    /// (degenerate — all fields equal — for the analytic bound).
+    pub stats: Candlestick,
+}
+
+fn bound_point(x: f64, platform: &Platform, classes: &[AppClass]) -> SweepPoint {
+    let params: Vec<ClassParams> = classes
+        .iter()
+        .map(|c| ClassParams::from_app_class(c, platform))
+        .collect();
+    let w = lower_bound(platform, &params).waste;
+    SweepPoint {
+        x,
+        series: "Theoretical Model".to_string(),
+        stats: Candlestick::from_samples(&[w]),
+    }
+}
+
+/// Figure 1: waste ratio vs. aggregate bandwidth, for every strategy plus
+/// the theoretical bound. `template` carries the platform (its bandwidth
+/// field is overridden per point), classes, span and models.
+pub fn waste_vs_bandwidth(
+    template: &SimConfig,
+    bandwidths_gbps: &[f64],
+    strategies: &[Strategy],
+    mc: &MonteCarloConfig,
+) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for &gbps in bandwidths_gbps {
+        let platform = template.platform.with_bandwidth(Bandwidth::from_gbps(gbps));
+        for strat in strategies {
+            let cfg = SimConfig {
+                platform: platform.clone(),
+                strategy: *strat,
+                ..template.clone()
+            };
+            let samples = run_many(&cfg, mc);
+            points.push(SweepPoint {
+                x: gbps,
+                series: strat.name(),
+                stats: samples.candlestick(),
+            });
+        }
+        points.push(bound_point(gbps, &platform, &template.classes));
+    }
+    points
+}
+
+/// Figure 2: waste ratio vs. node MTBF (years), for every strategy plus
+/// the theoretical bound, at the template's fixed bandwidth.
+pub fn waste_vs_mtbf(
+    template: &SimConfig,
+    mtbf_years: &[f64],
+    strategies: &[Strategy],
+    mc: &MonteCarloConfig,
+) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for &years in mtbf_years {
+        let platform = template.platform.with_node_mtbf(Duration::from_years(years));
+        for strat in strategies {
+            let cfg = SimConfig {
+                platform: platform.clone(),
+                strategy: *strat,
+                ..template.clone()
+            };
+            let samples = run_many(&cfg, mc);
+            points.push(SweepPoint {
+                x: years,
+                series: strat.name(),
+                stats: samples.candlestick(),
+            });
+        }
+        points.push(bound_point(years, &platform, &template.classes));
+    }
+    points
+}
+
+/// Figure 3: the minimum aggregate bandwidth (GB/s) at which `strategy`
+/// reaches `target_efficiency` (mean over the Monte-Carlo instances), found
+/// by bisection on a log-bandwidth grid within `[lo_gbps, hi_gbps]`.
+///
+/// Returns `None` when even `hi_gbps` misses the target.
+pub fn min_bandwidth_for_efficiency(
+    template: &SimConfig,
+    strategy: Strategy,
+    target_efficiency: f64,
+    lo_gbps: f64,
+    hi_gbps: f64,
+    iterations: u32,
+    mc: &MonteCarloConfig,
+) -> Option<f64> {
+    assert!(
+        (0.0..1.0).contains(&target_efficiency),
+        "target efficiency must be in (0, 1)"
+    );
+    assert!(lo_gbps > 0.0 && lo_gbps < hi_gbps, "invalid bandwidth range");
+    let mean_eff = |gbps: f64| -> f64 {
+        let cfg = SimConfig {
+            platform: template.platform.with_bandwidth(Bandwidth::from_gbps(gbps)),
+            strategy,
+            ..template.clone()
+        };
+        1.0 - run_many(&cfg, mc).mean()
+    };
+    if mean_eff(hi_gbps) < target_efficiency {
+        return None;
+    }
+    if mean_eff(lo_gbps) >= target_efficiency {
+        return Some(lo_gbps);
+    }
+    // Efficiency is monotone (noisy) in bandwidth: bisect on log scale.
+    let (mut lo, mut hi) = (lo_gbps.ln(), hi_gbps.ln());
+    for _ in 0..iterations {
+        let mid = 0.5 * (lo + hi);
+        if mean_eff(mid.exp()) >= target_efficiency {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi.exp())
+}
+
+/// The theoretical counterpart of [`min_bandwidth_for_efficiency`]: the
+/// smallest bandwidth at which the Section 4 lower bound reaches the target
+/// efficiency (no simulation, pure bisection on the analytic model).
+pub fn theory_min_bandwidth(
+    platform: &Platform,
+    classes: &[AppClass],
+    target_efficiency: f64,
+    lo_gbps: f64,
+    hi_gbps: f64,
+) -> Option<f64> {
+    let eff = |gbps: f64| {
+        let p = platform.with_bandwidth(Bandwidth::from_gbps(gbps));
+        let params: Vec<ClassParams> = classes
+            .iter()
+            .map(|c| ClassParams::from_app_class(c, &p))
+            .collect();
+        lower_bound(&p, &params).efficiency()
+    };
+    if eff(hi_gbps) < target_efficiency {
+        return None;
+    }
+    if eff(lo_gbps) >= target_efficiency {
+        return Some(lo_gbps);
+    }
+    let (mut lo, mut hi) = (lo_gbps.ln(), hi_gbps.ln());
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if eff(mid.exp()) >= target_efficiency {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi.exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coopckpt_model::Bytes;
+
+    fn template() -> SimConfig {
+        let platform = Platform::new(
+            "tiny",
+            32,
+            8,
+            Bytes::from_gb(8.0),
+            Bandwidth::from_gbps(4.0),
+            Duration::from_years(3.0),
+        )
+        .unwrap();
+        let classes = vec![AppClass {
+            name: "A".into(),
+            q_nodes: 8,
+            walltime: Duration::from_hours(12.0),
+            resource_share: 1.0,
+            input_bytes: Bytes::from_gb(10.0),
+            output_bytes: Bytes::from_gb(50.0),
+            ckpt_bytes: Bytes::from_gb(64.0),
+            regular_io_bytes: Bytes::ZERO,
+        }];
+        SimConfig::new(platform, classes, Strategy::least_waste())
+            .with_span(Duration::from_days(2.0))
+    }
+
+    #[test]
+    fn bandwidth_sweep_produces_all_series() {
+        let t = template();
+        let strategies = [Strategy::least_waste(), Strategy::oblivious(crate::strategy::CheckpointPolicy::Daly)];
+        let pts = waste_vs_bandwidth(&t, &[2.0, 8.0], &strategies, &MonteCarloConfig::new(2));
+        // Two x-values × (two strategies + bound).
+        assert_eq!(pts.len(), 6);
+        let bounds: Vec<&SweepPoint> = pts
+            .iter()
+            .filter(|p| p.series == "Theoretical Model")
+            .collect();
+        assert_eq!(bounds.len(), 2);
+        // The bound improves (or stays) with more bandwidth.
+        assert!(bounds[1].stats.mean <= bounds[0].stats.mean + 1e-12);
+    }
+
+    #[test]
+    fn mtbf_sweep_produces_all_series() {
+        let t = template();
+        let pts = waste_vs_mtbf(
+            &t,
+            &[2.0, 20.0],
+            &[Strategy::least_waste()],
+            &MonteCarloConfig::new(2),
+        );
+        assert_eq!(pts.len(), 4);
+        // Theory bound falls with reliability.
+        let bounds: Vec<f64> = pts
+            .iter()
+            .filter(|p| p.series == "Theoretical Model")
+            .map(|p| p.stats.mean)
+            .collect();
+        assert!(bounds[1] < bounds[0]);
+    }
+
+    #[test]
+    fn theory_min_bandwidth_brackets() {
+        let t = template();
+        // The analytic bound reaches 80 % efficiency somewhere in range.
+        let bw = theory_min_bandwidth(&t.platform, &t.classes, 0.8, 0.1, 1000.0)
+            .expect("bound must reach 80% by 1000 GB/s");
+        assert!((0.1..=1000.0).contains(&bw));
+        // And a stricter target needs at least as much bandwidth.
+        let bw95 = theory_min_bandwidth(&t.platform, &t.classes, 0.95, 0.1, 1000.0);
+        if let Some(b) = bw95 {
+            assert!(b >= bw * 0.99, "95% target ({b}) below 80% target ({bw})");
+        }
+    }
+
+    #[test]
+    fn min_bandwidth_search_is_consistent() {
+        let t = template();
+        let mc = MonteCarloConfig::new(1);
+        let found = min_bandwidth_for_efficiency(
+            &t,
+            Strategy::least_waste(),
+            0.5,
+            0.25,
+            64.0,
+            6,
+            &mc,
+        );
+        let bw = found.expect("50% efficiency must be reachable at 64 GB/s");
+        assert!((0.25..=64.0).contains(&bw));
+    }
+}

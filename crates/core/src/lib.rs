@@ -1,0 +1,58 @@
+//! # coopckpt — cooperative checkpointing for shared HPC platforms
+//!
+//! A reproduction of Hérault, Robert, Bouteiller, Arnold, Ferreira,
+//! Bosilca, Dongarra: *Optimal Cooperative Checkpointing for Shared
+//! High-Performance Computing Platforms* (IPDPS 2018, INRIA RR-9109).
+//!
+//! Space-shared HPC platforms time-share their parallel file system, so
+//! checkpoint/restart traffic from concurrent jobs contends for bandwidth.
+//! This crate provides:
+//!
+//! * The paper's seven **I/O-and-checkpoint scheduling strategies**
+//!   ([`Strategy`]): `Oblivious`, `Ordered`, `Ordered-NB` — each with a
+//!   `Fixed` (1 h) or `Daly` checkpoint period — plus `Least-Waste`, the
+//!   cooperative heuristic that grants the I/O token to the request
+//!   minimizing expected platform waste (Equations (1)–(2)).
+//! * A full **discrete-event platform simulator** ([`sim`]) with fluid
+//!   bandwidth sharing, a first-fit job scheduler, exponential node
+//!   failures, restart-from-checkpoint semantics, and node-second waste
+//!   accounting — Section 5 of the paper.
+//! * A parallel **Monte-Carlo runner** ([`montecarlo`]) and the
+//!   **experiment sweeps** ([`experiments`]) regenerating Figures 1–3.
+//! * The analytical **lower bound** from [`coopckpt_theory`] (Theorem 1),
+//!   used as the "Theoretical Model" reference curve.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use coopckpt::prelude::*;
+//!
+//! // The LANL APEX workload on Cielo, 40 GB/s of PFS bandwidth.
+//! let platform = coopckpt_workload::cielo()
+//!     .with_bandwidth(Bandwidth::from_gbps(40.0));
+//! let classes = coopckpt_workload::classes_for(&platform);
+//!
+//! // Simulate a short horizon with the Least-Waste strategy.
+//! let config = SimConfig::new(platform, classes, Strategy::least_waste())
+//!     .with_span(Duration::from_days(4.0));
+//! let result = run_simulation(&config, 42);
+//! assert!(result.waste_ratio >= 0.0 && result.waste_ratio <= 1.0);
+//! ```
+
+pub mod experiments;
+pub mod montecarlo;
+pub mod sim;
+pub mod strategy;
+
+pub use sim::{run_simulation, SimConfig, SimResult};
+pub use strategy::{CheckpointPolicy, IoDiscipline, Strategy};
+
+/// Convenience re-exports for downstream users.
+pub mod prelude {
+    pub use crate::montecarlo::{run_many, MonteCarloConfig};
+    pub use crate::sim::{run_simulation, SimConfig, SimResult};
+    pub use crate::strategy::{CheckpointPolicy, IoDiscipline, Strategy};
+    pub use coopckpt_des::{Duration, Time};
+    pub use coopckpt_model::{AppClass, Bandwidth, Bytes, Platform};
+    pub use coopckpt_stats::{Candlestick, Samples};
+}

@@ -1,0 +1,1230 @@
+//! The event-driven platform engine.
+//!
+//! One [`Engine`] instance executes one simulation: it owns the job
+//! runtimes, the first-fit scheduler, the fluid PFS, and the token queue,
+//! and implements [`Process`] over the DES kernel. The job lifecycle is
+//!
+//! ```text
+//!           ┌─────────────────(restart at head priority)───────────────┐
+//!           ▼                                                           │
+//! Waiting ─► input/recovery ─► Computing ⇄ {chunk I/O, checkpoint} ─► output ─► Done
+//!                                   ▲ └──────────── failure ────────────┘
+//! ```
+//!
+//! Checkpoint semantics per strategy (Section 3):
+//! * **Oblivious** — commits start immediately on the shared PFS; the job
+//!   blocks for the (possibly dilated) commit.
+//! * **Ordered** — commits and blocking I/O serialize FCFS; the job idles
+//!   from request to completion.
+//! * **Ordered-NB / Least-Waste** — blocking I/O idles in the FCFS queue,
+//!   but a job *keeps computing* while its checkpoint request waits; the
+//!   checkpoint captures progress at token-grant time. Least-Waste grants
+//!   the token to the candidate minimizing expected waste (Eqs. (1)–(2)).
+
+use super::trace::{Trace, TraceEvent, TraceIo};
+use super::{FailureModel, InterferenceKind, SimConfig, SimResult};
+use crate::strategy::{CheckpointPolicy, IoDiscipline};
+use coopckpt_des::{Duration, EventKey, Process, Simulator, StepControl, Time};
+use coopckpt_failure::{FailureTrace, Xoshiro256pp};
+use coopckpt_io::burst::{Admission, BurstBuffer};
+use coopckpt_io::{DegradedShare, EqualShare, LinearShare, Pfs, RequestId, RequestQueue, TransferId};
+use coopckpt_model::{Bytes, JobId, JobSpec, Platform};
+use coopckpt_sched::{AllocId, Scheduler};
+use coopckpt_stats::{Category, WasteLedger};
+use std::collections::HashMap;
+
+/// Work-progress comparisons tolerate this much floating-point slack.
+const EPS_WORK: f64 = 1e-6;
+/// Volumes below one byte complete instantly without touching the PFS.
+const EPS_BYTES: f64 = 1.0;
+
+type JobIdx = usize;
+
+/// What an I/O stream carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    /// Initial input read (blocking).
+    Input,
+    /// Post-failure recovery read (blocking).
+    Recovery,
+    /// One chunk of the job's regular in-run I/O (blocking).
+    Chunk,
+    /// Final output write (blocking).
+    Output,
+    /// Checkpoint commit.
+    Ckpt,
+    /// Background drain of a burst-buffered checkpoint to the PFS. The
+    /// owning job is *not* blocked; durability arrives on completion.
+    Drain,
+}
+
+impl Kind {
+    fn trace_io(self) -> TraceIo {
+        match self {
+            Kind::Input => TraceIo::Input,
+            Kind::Recovery => TraceIo::Recovery,
+            Kind::Chunk => TraceIo::Chunk,
+            Kind::Output => TraceIo::Output,
+            Kind::Ckpt => TraceIo::Checkpoint,
+            Kind::Drain => TraceIo::Drain,
+        }
+    }
+}
+
+/// Per-transfer metadata stored in the PFS.
+#[derive(Debug, Clone, Copy)]
+struct TMeta {
+    job: JobIdx,
+    kind: Kind,
+}
+
+/// Pending token-queue request.
+#[derive(Debug, Clone, Copy)]
+struct RMeta {
+    job: JobIdx,
+    kind: Kind,
+    volume: Bytes,
+}
+
+/// DES event payload.
+#[derive(Debug, Clone, Copy)]
+pub(super) enum Event {
+    /// Run a scheduler fit pass.
+    FitPass,
+    /// The earliest PFS transfer may have completed.
+    PfsWake,
+    /// A job's checkpoint period elapsed.
+    CkptDue(JobIdx),
+    /// A job reached a work milestone (chunk I/O due, or work complete).
+    Milestone(JobIdx),
+    /// A node fails.
+    Failure(usize),
+    /// A burst-buffer absorb finished; the job resumes and the drain to
+    /// the PFS is issued.
+    AbsorbDone(JobIdx),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JState {
+    /// Submitted, waiting for nodes.
+    Waiting,
+    /// Idling in the token queue for blocking I/O (kind ≠ Ckpt except under
+    /// blocking disciplines, where checkpoint waits also idle).
+    WaitIo(Kind),
+    /// Blocking transfer in flight.
+    Transfer(Kind),
+    /// Progressing work.
+    Computing,
+    /// Progressing work with a queued non-blocking checkpoint request.
+    NbWait,
+    /// Checkpoint commit in flight (job blocked).
+    Commit,
+    /// Finished.
+    Done,
+    /// Killed by a failure (a restart entry supersedes this one).
+    Dead,
+}
+
+struct Job {
+    spec: JobSpec,
+    state: JState,
+    /// When the current state was entered (start of the open interval).
+    state_since: Time,
+    alloc: Option<AllocId>,
+    /// Accumulated compute progress.
+    work_done: Duration,
+    /// Checkpoint period per the strategy's policy.
+    period: Duration,
+    /// Contention-free commit time `C_j` at full bandwidth.
+    ckpt_nominal: Duration,
+    /// Contention-free recovery time `R_j`.
+    recovery_nominal: Duration,
+    /// Progress captured by the last *successful* commit.
+    last_ckpt_content: Duration,
+    /// Progress captured by the in-flight commit (applied on completion).
+    pending_content: Duration,
+    /// Wall time of the last commit start (the paper's `d_j` reference for
+    /// checkpoint candidates); initialized to compute start.
+    last_ckpt_wall: Time,
+    /// Deferred checkpoint: the period elapsed while the job was busy with
+    /// blocking I/O; request as soon as compute resumes.
+    ckpt_asap: bool,
+    /// Chunk milestones that elapsed while waiting non-blocking.
+    deferred_chunks: u32,
+    chunks_done: u32,
+    chunks_total: u32,
+    request: Option<RequestId>,
+    transfer: Option<TransferId>,
+    ckpt_event: Option<EventKey>,
+    milestone_event: Option<EventKey>,
+    /// In-flight burst-buffer absorb: `(event, volume)`.
+    absorb: Option<(EventKey, Bytes)>,
+    /// At most one outstanding drain per job (admission control).
+    drain: Option<DrainState>,
+}
+
+/// A burst-buffered checkpoint on its way to the PFS.
+#[derive(Debug, Clone, Copy)]
+struct DrainState {
+    volume: Bytes,
+    /// Progress this checkpoint captured; applied when the drain lands.
+    content: Duration,
+    request: Option<RequestId>,
+    transfer: Option<TransferId>,
+}
+
+impl Job {
+    fn q(&self) -> usize {
+        self.spec.q_nodes
+    }
+
+    fn is_live(&self) -> bool {
+        !matches!(self.state, JState::Done | JState::Dead)
+    }
+
+    /// The next work target: the next chunk boundary, or total work.
+    /// Returns `(target, is_chunk)`.
+    fn next_work_target(&self) -> (Duration, bool) {
+        if self.chunks_done < self.chunks_total {
+            let k = (self.chunks_done + self.deferred_chunks + 1) as f64;
+            let target = self.spec.work * (k / (self.chunks_total as f64 + 1.0));
+            if target < self.spec.work {
+                return (target, true);
+            }
+        }
+        (self.spec.work, false)
+    }
+
+    fn chunk_volume(&self) -> Bytes {
+        if self.chunks_total == 0 {
+            Bytes::ZERO
+        } else {
+            self.spec.regular_io_bytes / self.chunks_total as f64
+        }
+    }
+}
+
+pub(super) struct Engine {
+    platform: Platform,
+    discipline: IoDiscipline,
+    full_bw: coopckpt_model::Bandwidth,
+    node_mtbf_secs: f64,
+    regular_io_chunks: u32,
+
+    jobs: Vec<Job>,
+    scheduler: Scheduler<JobIdx>,
+    alloc_map: HashMap<AllocId, JobIdx>,
+    pfs: Pfs<TMeta>,
+    queue: RequestQueue<RMeta>,
+    burst: Option<BurstBuffer>,
+    /// Absorb bandwidth contributed by each node of a writing job.
+    burst_bw_per_node: coopckpt_model::Bandwidth,
+    ledger: WasteLedger,
+
+    pfs_wake: Option<(EventKey, Time)>,
+    fit_scheduled: bool,
+    next_job_id: usize,
+    trace: Option<Trace>,
+
+    // Counters.
+    failures_total: u64,
+    failures_hitting_jobs: u64,
+    ckpts_committed: u64,
+    jobs_completed: u64,
+    restarts: u64,
+}
+
+impl Engine {
+    /// Builds and runs one simulation to completion.
+    pub(super) fn run(
+        config: &SimConfig,
+        specs: Vec<JobSpec>,
+        failure_rng: &mut Xoshiro256pp,
+        ledger: WasteLedger,
+    ) -> SimResult {
+        let platform = config.platform.clone();
+        let horizon = Time::ZERO + config.span;
+
+        let pfs: Pfs<TMeta> = match config.interference {
+            InterferenceKind::Linear => Pfs::new(platform.pfs_bandwidth, LinearShare),
+            InterferenceKind::Degraded(alpha) => {
+                Pfs::new(platform.pfs_bandwidth, DegradedShare::new(alpha))
+            }
+            InterferenceKind::Equal => Pfs::new(platform.pfs_bandwidth, EqualShare),
+        };
+
+        let trace = match config.failures {
+            FailureModel::Exponential => FailureTrace::generate_exponential(
+                failure_rng,
+                platform.nodes,
+                platform.node_mtbf,
+                horizon,
+            ),
+            FailureModel::Weibull(shape) => FailureTrace::generate_weibull(
+                failure_rng,
+                platform.nodes,
+                platform.node_mtbf,
+                shape,
+                horizon,
+            ),
+            FailureModel::None => FailureTrace::empty(),
+        };
+
+        let burst = config
+            .burst_buffer
+            .map(|spec| BurstBuffer::new(spec.capacity, spec.write_bw_per_node));
+        let burst_bw_per_node = config
+            .burst_buffer
+            .map(|spec| spec.write_bw_per_node)
+            .unwrap_or(coopckpt_model::Bandwidth::ZERO);
+
+        let mut engine = Engine {
+            full_bw: platform.pfs_bandwidth,
+            node_mtbf_secs: platform.node_mtbf.as_secs(),
+            regular_io_chunks: config.regular_io_chunks as u32,
+            discipline: config.strategy.discipline,
+            jobs: Vec::with_capacity(specs.len() * 2),
+            scheduler: Scheduler::new(platform.nodes),
+            alloc_map: HashMap::new(),
+            pfs,
+            queue: RequestQueue::new(),
+            burst,
+            burst_bw_per_node,
+            ledger,
+            pfs_wake: None,
+            fit_scheduled: false,
+            trace: config.record_trace.then(Trace::new),
+            next_job_id: specs.len(),
+            failures_total: trace.len() as u64,
+            failures_hitting_jobs: 0,
+            ckpts_committed: 0,
+            jobs_completed: 0,
+            restarts: 0,
+            platform,
+        };
+
+        let mut sim: Simulator<Event> = Simulator::new()
+            .with_horizon(horizon)
+            .with_event_budget(500_000_000);
+
+        for ev in trace.iter() {
+            sim.schedule_at(ev.at, Event::Failure(ev.node));
+        }
+        for spec in specs {
+            engine.admit(config, spec);
+        }
+        engine.fit_scheduled = true;
+        sim.schedule_at(Time::ZERO, Event::FitPass);
+
+        let outcome = sim.run(&mut engine);
+        assert!(
+            outcome != coopckpt_des::SimOutcome::BudgetExhausted,
+            "simulation exhausted its event budget — this indicates an \
+             event livelock in the engine, not a valid result"
+        );
+        let end = sim.now().min(horizon);
+        engine.finalize(end);
+
+        let (w0, w1) = engine.ledger.window();
+        let window_secs = w1.since(w0).as_secs();
+        let consumed = engine.ledger.useful() + engine.ledger.wasted();
+        SimResult {
+            waste_ratio: engine.ledger.waste_ratio(),
+            efficiency: engine.ledger.efficiency(),
+            breakdown: engine.ledger.breakdown(),
+            utilization: consumed / (engine.platform.nodes as f64 * window_secs),
+            failures_hitting_jobs: engine.failures_hitting_jobs,
+            failures_total: engine.failures_total,
+            checkpoints_committed: engine.ckpts_committed,
+            jobs_completed: engine.jobs_completed,
+            restarts: engine.restarts,
+            events: sim.events_processed(),
+            trace: engine.trace.take(),
+        }
+    }
+
+    /// Creates the runtime entry for a job spec and submits it for nodes.
+    fn admit(&mut self, config: &SimConfig, spec: JobSpec) {
+        let class = &config.classes[spec.class.0];
+        let c_nominal = spec.ckpt_bytes.transfer_time(self.full_bw);
+        // The commit cost the *job* observes: with a burst buffer the job
+        // blocks only for the (fast) absorb, which shortens the Daly period
+        // (paper Section 8: more bandwidth "increases the optimal
+        // checkpoint frequency").
+        let c_visible = if self.burst.is_some() {
+            let absorb_bw = self.burst_bw_per_node * spec.q_nodes as f64;
+            spec.ckpt_bytes.transfer_time(absorb_bw).min(c_nominal)
+        } else {
+            c_nominal
+        };
+        let period = match config.strategy.policy {
+            CheckpointPolicy::Fixed(p) => p,
+            CheckpointPolicy::Daly => {
+                let daly = coopckpt_model::young_daly_period(
+                    c_visible,
+                    self.platform.job_mtbf(spec.q_nodes),
+                );
+                if self.burst.is_some() {
+                    // Drain-aware pacing: a cheap absorb invites a short
+                    // period, but every checkpoint must still drain through
+                    // the PFS. Flooring the period at the job's fair-share
+                    // drain duty cycle (n_i·C_i/P_i ≤ share_i, i.e.
+                    // P ≥ N·C_pfs/q) caps the aggregate drain demand at
+                    // F = 1 — the Eq. (6) feasibility condition.
+                    let floor = Duration::from_secs(
+                        c_nominal.as_secs() * self.platform.nodes as f64
+                            / spec.q_nodes as f64,
+                    );
+                    daly.max(floor)
+                } else {
+                    daly
+                }
+            }
+        };
+        let chunks_total = if spec.regular_io_bytes.as_bytes() > EPS_BYTES {
+            self.regular_io_chunks
+        } else {
+            0
+        };
+        debug_assert_eq!(class.q_nodes, spec.q_nodes);
+        let idx = self.jobs.len();
+        let priority = spec.priority;
+        let q = spec.q_nodes;
+        self.jobs.push(Job {
+            spec,
+            state: JState::Waiting,
+            state_since: Time::ZERO,
+            alloc: None,
+            work_done: Duration::ZERO,
+            period,
+            ckpt_nominal: c_nominal,
+            recovery_nominal: c_nominal,
+            last_ckpt_content: Duration::ZERO,
+            pending_content: Duration::ZERO,
+            last_ckpt_wall: Time::ZERO,
+            ckpt_asap: false,
+            deferred_chunks: 0,
+            chunks_done: 0,
+            chunks_total,
+            request: None,
+            transfer: None,
+            ckpt_event: None,
+            milestone_event: None,
+            absorb: None,
+            drain: None,
+        });
+        self.scheduler.submit(priority, q, idx);
+    }
+
+    fn record(&mut self, ev: TraceEvent) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(ev);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accounting helpers
+    // ------------------------------------------------------------------
+
+    /// Closes the current state interval into `cat` and restarts it at
+    /// `now`; accrues work progress for progressing states.
+    fn mark(&mut self, idx: JobIdx, now: Time, cat: Category) {
+        let job = &mut self.jobs[idx];
+        let dt = now.since(job.state_since);
+        if dt.is_positive() {
+            if matches!(job.state, JState::Computing | JState::NbWait) {
+                job.work_done += dt;
+            }
+            let q = job.q();
+            self.ledger.record(cat, q, job.state_since, now);
+        }
+        self.jobs[idx].state_since = now;
+    }
+
+    /// Records a completed or interrupted blocking transfer interval,
+    /// splitting useful nominal time from contention dilation.
+    fn mark_transfer(&mut self, idx: JobIdx, now: Time, kind: Kind, volume: Bytes) {
+        let job = &self.jobs[idx];
+        let t0 = job.state_since;
+        let q = job.q();
+        match kind {
+            Kind::Recovery => self.ledger.record(Category::Recovery, q, t0, now),
+            Kind::Ckpt | Kind::Drain => self.ledger.record(Category::CkptCommit, q, t0, now),
+            Kind::Input | Kind::Output | Kind::Chunk => {
+                let nominal = volume.transfer_time(self.full_bw);
+                let split = (t0 + nominal).min(now);
+                self.ledger.record(Category::RegularIo, q, t0, split);
+                self.ledger.record(Category::Dilation, q, split, now);
+            }
+        }
+        self.jobs[idx].state_since = now;
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle
+    // ------------------------------------------------------------------
+
+    /// Starts a blocking I/O (input, recovery, chunk, or output).
+    fn start_blocking_io(
+        &mut self,
+        sim: &mut Simulator<Event>,
+        idx: JobIdx,
+        now: Time,
+        kind: Kind,
+        volume: Bytes,
+    ) {
+        debug_assert!(kind != Kind::Ckpt);
+        if volume.as_bytes() <= EPS_BYTES {
+            // Degenerate volume: completes instantly.
+            self.jobs[idx].state = JState::Transfer(kind);
+            self.jobs[idx].state_since = now;
+            self.finish_blocking_io(sim, idx, now, kind, volume);
+            return;
+        }
+        if self.discipline.is_exclusive() {
+            self.jobs[idx].state = JState::WaitIo(kind);
+            self.jobs[idx].state_since = now;
+            let id = self.queue.push(now, RMeta { job: idx, kind, volume });
+            self.jobs[idx].request = Some(id);
+            self.try_grant(sim, now);
+        } else {
+            let q = self.jobs[idx].q();
+            self.jobs[idx].state = JState::Transfer(kind);
+            self.jobs[idx].state_since = now;
+            let tid = self.pfs.start(now, volume, q as f64, TMeta { job: idx, kind });
+            self.jobs[idx].transfer = Some(tid);
+            self.record(TraceEvent::IoStarted {
+                at: now,
+                job: self.jobs[idx].spec.id,
+                kind: kind.trace_io(),
+                volume,
+            });
+            self.resync_wake(sim);
+        }
+    }
+
+    /// A blocking transfer finished: account it and move the job on.
+    fn finish_blocking_io(
+        &mut self,
+        sim: &mut Simulator<Event>,
+        idx: JobIdx,
+        now: Time,
+        kind: Kind,
+        volume: Bytes,
+    ) {
+        let transfer_duration = now.since(self.jobs[idx].state_since).max_zero();
+        self.mark_transfer(idx, now, kind, volume);
+        self.jobs[idx].transfer = None;
+        self.record(TraceEvent::IoCompleted {
+            at: now,
+            job: self.jobs[idx].spec.id,
+            kind: kind.trace_io(),
+            volume,
+            duration: transfer_duration,
+        });
+        match kind {
+            Kind::Input | Kind::Recovery => {
+                // First checkpoint P after compute starts (paper Section 2).
+                let due = now + self.jobs[idx].period;
+                let key = sim.schedule_at(due, Event::CkptDue(idx));
+                self.jobs[idx].ckpt_event = Some(key);
+                self.jobs[idx].last_ckpt_wall = now;
+                self.enter_computing(sim, idx, now);
+            }
+            Kind::Chunk => {
+                self.enter_computing(sim, idx, now);
+            }
+            Kind::Output => {
+                self.complete_job(sim, idx, now);
+            }
+            Kind::Ckpt | Kind::Drain => {
+                unreachable!("checkpoints and drains have dedicated handlers")
+            }
+        }
+    }
+
+    /// Moves a job (back) into the computing state, honouring deferred
+    /// chunk I/O and deferred checkpoint requests.
+    fn enter_computing(&mut self, sim: &mut Simulator<Event>, idx: JobIdx, now: Time) {
+        self.jobs[idx].state = JState::Computing;
+        self.jobs[idx].state_since = now;
+        if self.jobs[idx].deferred_chunks > 0 {
+            self.jobs[idx].deferred_chunks -= 1;
+            self.jobs[idx].chunks_done += 1;
+            let volume = self.jobs[idx].chunk_volume();
+            self.start_blocking_io(sim, idx, now, Kind::Chunk, volume);
+            return;
+        }
+        if self.jobs[idx].ckpt_asap {
+            self.jobs[idx].ckpt_asap = false;
+            self.issue_ckpt_request(sim, idx, now);
+            return;
+        }
+        let (target, _) = self.jobs[idx].next_work_target();
+        let remaining = (target - self.jobs[idx].work_done).max_zero();
+        let key = sim.schedule_in(remaining, Event::Milestone(idx));
+        self.jobs[idx].milestone_event = Some(key);
+    }
+
+    /// The job's checkpoint period elapsed: request the I/O token (or the
+    /// PFS directly under Oblivious).
+    fn issue_ckpt_request(&mut self, sim: &mut Simulator<Event>, idx: JobIdx, now: Time) {
+        debug_assert_eq!(self.jobs[idx].state, JState::Computing);
+        let volume = self.jobs[idx].spec.ckpt_bytes;
+        // Pause or continue? Blocking disciplines stop the job now.
+        if self.discipline.checkpoint_is_non_blocking() {
+            self.mark(idx, now, Category::Work);
+            self.jobs[idx].state = JState::NbWait;
+            let id = self.queue.push(
+                now,
+                RMeta {
+                    job: idx,
+                    kind: Kind::Ckpt,
+                    volume,
+                },
+            );
+            self.jobs[idx].request = Some(id);
+            // Work continues; the milestone event stays armed.
+            self.try_grant(sim, now);
+        } else {
+            self.mark(idx, now, Category::Work);
+            if let Some(key) = self.jobs[idx].milestone_event.take() {
+                sim.cancel(key);
+            }
+            match self.discipline {
+                IoDiscipline::Oblivious => self.begin_commit(sim, idx, now),
+                IoDiscipline::Ordered => {
+                    self.jobs[idx].state = JState::WaitIo(Kind::Ckpt);
+                    let id = self.queue.push(
+                        now,
+                        RMeta {
+                            job: idx,
+                            kind: Kind::Ckpt,
+                            volume,
+                        },
+                    );
+                    self.jobs[idx].request = Some(id);
+                    self.try_grant(sim, now);
+                }
+                _ => unreachable!("non-blocking disciplines handled above"),
+            }
+        }
+    }
+
+    /// Starts the checkpoint transfer (token granted, or Oblivious).
+    fn begin_commit(&mut self, sim: &mut Simulator<Event>, idx: JobIdx, now: Time) {
+        // Close the current interval: NbWait progressed work, WaitIo idled.
+        match self.jobs[idx].state {
+            JState::NbWait => self.mark(idx, now, Category::Work),
+            JState::WaitIo(Kind::Ckpt) => self.mark(idx, now, Category::IoWait),
+            JState::Computing => self.mark(idx, now, Category::Work), // Oblivious
+            other => unreachable!("begin_commit from state {other:?}"),
+        }
+        if let Some(key) = self.jobs[idx].milestone_event.take() {
+            sim.cancel(key);
+        }
+        let volume = self.jobs[idx].spec.ckpt_bytes;
+        self.jobs[idx].pending_content = self.jobs[idx].work_done;
+        self.jobs[idx].last_ckpt_wall = now;
+        self.jobs[idx].state = JState::Commit;
+        self.jobs[idx].state_since = now;
+        if volume.as_bytes() <= EPS_BYTES {
+            self.finish_commit(sim, idx, now);
+            return;
+        }
+        // Burst-buffer fast path: absorb locally, drain in the background.
+        // Falls back to the direct PFS commit when the buffer is full or
+        // the job's previous drain is still in flight.
+        if self.jobs[idx].drain.is_none() {
+            if let Some(bb) = &mut self.burst {
+                if let Admission::Accepted { .. } = bb.try_absorb(now, volume) {
+                    let q = self.jobs[idx].q();
+                    let absorb_bw = self.burst_bw_per_node * q as f64;
+                    let absorb_time = volume.transfer_time(absorb_bw);
+                    let key = sim.schedule_in(absorb_time, Event::AbsorbDone(idx));
+                    self.jobs[idx].absorb = Some((key, volume));
+                    return;
+                }
+            }
+        }
+        let q = self.jobs[idx].q();
+        let tid = self.pfs.start(
+            now,
+            volume,
+            q as f64,
+            TMeta {
+                job: idx,
+                kind: Kind::Ckpt,
+            },
+        );
+        self.jobs[idx].transfer = Some(tid);
+        self.record(TraceEvent::IoStarted {
+            at: now,
+            job: self.jobs[idx].spec.id,
+            kind: TraceIo::Checkpoint,
+            volume,
+        });
+        self.resync_wake(sim);
+    }
+
+    /// A burst-buffer absorb finished: the job's blocked interval ends, the
+    /// checkpoint waits in the buffer, and a background drain heads for the
+    /// PFS. Durability arrives only when the drain lands (a failure before
+    /// then rolls back to the previous PFS-resident checkpoint).
+    fn on_absorb_done(&mut self, sim: &mut Simulator<Event>, idx: JobIdx, now: Time) {
+        if !self.jobs[idx].is_live() {
+            return;
+        }
+        let Some((_, volume)) = self.jobs[idx].absorb.take() else {
+            return;
+        };
+        debug_assert_eq!(self.jobs[idx].state, JState::Commit);
+        self.mark(idx, now, Category::CkptCommit);
+        let content = self.jobs[idx].pending_content;
+        let mut drain = DrainState {
+            volume,
+            content,
+            request: None,
+            transfer: None,
+        };
+        // Issue the drain through the configured I/O discipline.
+        if self.discipline.is_exclusive() {
+            let id = self.queue.push(
+                now,
+                RMeta {
+                    job: idx,
+                    kind: Kind::Drain,
+                    volume,
+                },
+            );
+            drain.request = Some(id);
+            self.jobs[idx].drain = Some(drain);
+        } else {
+            let q = self.jobs[idx].q();
+            let tid = self.pfs.start(
+                now,
+                volume,
+                q as f64,
+                TMeta {
+                    job: idx,
+                    kind: Kind::Drain,
+                },
+            );
+            drain.transfer = Some(tid);
+            self.jobs[idx].drain = Some(drain);
+        }
+        // Schedule the next checkpoint relative to the job-visible commit
+        // cost and resume computing.
+        let delay = (self.jobs[idx].period - self.jobs[idx].ckpt_nominal).max_zero();
+        let key = sim.schedule_in(delay, Event::CkptDue(idx));
+        self.jobs[idx].ckpt_event = Some(key);
+        self.enter_computing(sim, idx, now);
+        self.try_grant(sim, now);
+        self.resync_wake(sim);
+    }
+
+    /// A drain landed on the PFS: the buffered checkpoint becomes the
+    /// durable restart point and the buffer space is freed. Runs even for
+    /// jobs that finished meanwhile (the data is still theirs to free).
+    fn on_drain_complete(&mut self, sim: &mut Simulator<Event>, idx: JobIdx, now: Time) {
+        let Some(drain) = self.jobs[idx].drain.take() else {
+            return;
+        };
+        if let Some(bb) = &mut self.burst {
+            bb.drain_complete(drain.volume);
+        }
+        if self.jobs[idx].is_live() {
+            self.jobs[idx].last_ckpt_content = drain.content;
+            self.ckpts_committed += 1;
+            self.record(TraceEvent::CheckpointDurable {
+                at: now,
+                job: self.jobs[idx].spec.id,
+                content: drain.content,
+            });
+        }
+        let _ = sim;
+    }
+
+    /// A checkpoint commit completed: it becomes the durable restart point
+    /// and the next request is scheduled `P − C` later (paper Section 2).
+    fn finish_commit(&mut self, sim: &mut Simulator<Event>, idx: JobIdx, now: Time) {
+        self.mark(idx, now, Category::CkptCommit);
+        self.jobs[idx].transfer = None;
+        self.jobs[idx].last_ckpt_content = self.jobs[idx].pending_content;
+        self.ckpts_committed += 1;
+        self.record(TraceEvent::CheckpointDurable {
+            at: now,
+            job: self.jobs[idx].spec.id,
+            content: self.jobs[idx].last_ckpt_content,
+        });
+        let delay = (self.jobs[idx].period - self.jobs[idx].ckpt_nominal).max_zero();
+        let key = sim.schedule_in(delay, Event::CkptDue(idx));
+        self.jobs[idx].ckpt_event = Some(key);
+        self.enter_computing(sim, idx, now);
+    }
+
+    /// Job finished its output: release nodes.
+    fn complete_job(&mut self, sim: &mut Simulator<Event>, idx: JobIdx, now: Time) {
+        self.jobs[idx].state = JState::Done;
+        self.jobs[idx].state_since = now;
+        if let Some(key) = self.jobs[idx].ckpt_event.take() {
+            sim.cancel(key);
+        }
+        if let Some(alloc) = self.jobs[idx].alloc.take() {
+            self.alloc_map.remove(&alloc);
+            self.scheduler.release(alloc);
+        }
+        self.jobs_completed += 1;
+        self.record(TraceEvent::JobCompleted {
+            at: now,
+            job: self.jobs[idx].spec.id,
+        });
+        self.schedule_fit_pass(sim, now);
+    }
+
+    // ------------------------------------------------------------------
+    // Token queue / PFS interplay
+    // ------------------------------------------------------------------
+
+    /// Under exclusive disciplines, grants the token when the PFS is idle:
+    /// FCFS for Ordered(-NB), waste-minimizing for Least-Waste.
+    fn try_grant(&mut self, sim: &mut Simulator<Event>, now: Time) {
+        if !self.discipline.is_exclusive() {
+            return;
+        }
+        if !self.pfs.is_idle() || self.queue.is_empty() {
+            return;
+        }
+        let granted = match self.discipline {
+            IoDiscipline::Ordered | IoDiscipline::OrderedNb => {
+                self.queue.pop_fcfs().expect("queue checked non-empty")
+            }
+            IoDiscipline::LeastWaste => self.select_least_waste(now),
+            IoDiscipline::Oblivious => unreachable!(),
+        };
+        let idx = granted.meta.job;
+        if granted.meta.kind == Kind::Drain {
+            // Background stream: the job keeps whatever it is doing.
+            let q = self.jobs[idx].q();
+            let tid = self.pfs.start(
+                now,
+                granted.meta.volume,
+                q as f64,
+                TMeta {
+                    job: idx,
+                    kind: Kind::Drain,
+                },
+            );
+            if let Some(drain) = self.jobs[idx].drain.as_mut() {
+                drain.request = None;
+                drain.transfer = Some(tid);
+            }
+            self.resync_wake(sim);
+            return;
+        }
+        self.jobs[idx].request = None;
+        match granted.meta.kind {
+            Kind::Ckpt => self.begin_commit(sim, idx, now),
+            Kind::Drain => unreachable!("drains handled above"),
+            kind => {
+                // Close the waiting interval; start the transfer alone at
+                // full bandwidth.
+                self.mark(idx, now, Category::IoWait);
+                self.jobs[idx].state = JState::Transfer(kind);
+                let q = self.jobs[idx].q();
+                let tid = self
+                    .pfs
+                    .start(now, granted.meta.volume, q as f64, TMeta { job: idx, kind });
+                self.jobs[idx].transfer = Some(tid);
+                self.record(TraceEvent::IoStarted {
+                    at: now,
+                    job: self.jobs[idx].spec.id,
+                    kind: kind.trace_io(),
+                    volume: granted.meta.volume,
+                });
+                self.resync_wake(sim);
+            }
+        }
+    }
+
+    /// Implements Equations (1) and (2): picks the candidate whose grant
+    /// minimizes the expected waste inflicted on every *other* candidate.
+    fn select_least_waste(
+        &mut self,
+        now: Time,
+    ) -> coopckpt_io::PendingRequest<RMeta> {
+        // Precompute the candidate sums so each cost evaluation is O(1).
+        let mut s_io_qd = 0.0; // Σ_IO q_j d_j
+        let mut s_io_q = 0.0; // Σ_IO q_j
+        let mut s_ck_qqrd = 0.0; // Σ_Ckpt q_j² (R_j + d_j)
+        let mut s_ck_qq = 0.0; // Σ_Ckpt q_j²
+        for req in self.queue.iter() {
+            let job = &self.jobs[req.meta.job];
+            let q = job.q() as f64;
+            if req.meta.kind == Kind::Ckpt {
+                let d = now.since(job.last_ckpt_wall).as_secs().max(0.0);
+                s_ck_qqrd += q * q * (job.recovery_nominal.as_secs() + d);
+                s_ck_qq += q * q;
+            } else {
+                let d = now.since(req.arrived).as_secs().max(0.0);
+                s_io_qd += q * d;
+                s_io_q += q;
+            }
+        }
+        let mu = self.node_mtbf_secs;
+        let full_bw = self.full_bw;
+        let jobs = &self.jobs;
+        self.queue
+            .pop_min_by(|req| {
+                let job = &jobs[req.meta.job];
+                let q = job.q() as f64;
+                // Time the grant would occupy the PFS (full bandwidth).
+                let u = req.meta.volume.transfer_time(full_bw).as_secs();
+                let (io_qd, io_q, ck_qqrd, ck_qq);
+                if req.meta.kind == Kind::Ckpt {
+                    let d = now.since(job.last_ckpt_wall).as_secs().max(0.0);
+                    io_qd = s_io_qd;
+                    io_q = s_io_q;
+                    ck_qqrd = s_ck_qqrd - q * q * (job.recovery_nominal.as_secs() + d);
+                    ck_qq = s_ck_qq - q * q;
+                } else {
+                    let d = now.since(req.arrived).as_secs().max(0.0);
+                    io_qd = s_io_qd - q * d;
+                    io_q = s_io_q - q;
+                    ck_qqrd = s_ck_qqrd;
+                    ck_qq = s_ck_qq;
+                }
+                let io_term = io_qd + u * io_q;
+                let ck_term = (ck_qqrd + u / 2.0 * ck_qq) / mu;
+                u * (io_term + ck_term)
+            })
+            .expect("queue checked non-empty")
+    }
+
+    /// Keeps exactly one `PfsWake` event armed at the PFS's next completion.
+    fn resync_wake(&mut self, sim: &mut Simulator<Event>) {
+        let target = self.pfs.next_completion();
+        if let Some((key, at)) = self.pfs_wake.take() {
+            if target == Some(at) {
+                self.pfs_wake = Some((key, at));
+                return;
+            }
+            sim.cancel(key);
+        }
+        if let Some(at) = target {
+            let at = at.max(sim.now());
+            let key = sim.schedule_at(at, Event::PfsWake);
+            self.pfs_wake = Some((key, at));
+        }
+    }
+
+    fn schedule_fit_pass(&mut self, sim: &mut Simulator<Event>, now: Time) {
+        if !self.fit_scheduled {
+            self.fit_scheduled = true;
+            sim.schedule_at(now, Event::FitPass);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers
+    // ------------------------------------------------------------------
+
+    fn on_fit_pass(&mut self, sim: &mut Simulator<Event>, now: Time) {
+        self.fit_scheduled = false;
+        let started = self.scheduler.run_fit_pass();
+        for s in started {
+            let idx = s.payload;
+            debug_assert_eq!(self.jobs[idx].state, JState::Waiting);
+            self.jobs[idx].alloc = Some(s.alloc);
+            self.alloc_map.insert(s.alloc, idx);
+            self.jobs[idx].state_since = now;
+            let kind = if self.jobs[idx].spec.is_restart {
+                Kind::Recovery
+            } else {
+                Kind::Input
+            };
+            self.record(TraceEvent::JobStarted {
+                at: now,
+                job: self.jobs[idx].spec.id,
+                nodes: self.jobs[idx].q(),
+                is_restart: self.jobs[idx].spec.is_restart,
+            });
+            let volume = self.jobs[idx].spec.input_bytes;
+            self.start_blocking_io(sim, idx, now, kind, volume);
+        }
+    }
+
+    fn on_pfs_wake(&mut self, sim: &mut Simulator<Event>, now: Time) {
+        self.pfs_wake = None;
+        self.pfs.advance(now);
+        for done in self.pfs.take_completed() {
+            let TMeta { job: idx, kind } = done.meta;
+            if kind == Kind::Drain {
+                // Drains free buffer space even for completed jobs.
+                self.on_drain_complete(sim, idx, now);
+                continue;
+            }
+            if !self.jobs[idx].is_live() {
+                continue; // killed in the same instant
+            }
+            match kind {
+                Kind::Ckpt => self.finish_commit(sim, idx, now),
+                k => self.finish_blocking_io(sim, idx, now, k, done.volume),
+            }
+        }
+        self.try_grant(sim, now);
+        self.resync_wake(sim);
+    }
+
+    fn on_ckpt_due(&mut self, sim: &mut Simulator<Event>, idx: JobIdx, now: Time) {
+        self.jobs[idx].ckpt_event = None;
+        match self.jobs[idx].state {
+            JState::Computing => self.issue_ckpt_request(sim, idx, now),
+            JState::WaitIo(_) | JState::Transfer(_) => {
+                // Busy with blocking I/O: checkpoint as soon as compute
+                // resumes (the effective period dilates, Section 2).
+                self.jobs[idx].ckpt_asap = true;
+            }
+            // Already checkpointing, done, or dead: nothing to do.
+            _ => {}
+        }
+    }
+
+    fn on_milestone(&mut self, sim: &mut Simulator<Event>, idx: JobIdx, now: Time) {
+        self.jobs[idx].milestone_event = None;
+        if !matches!(self.jobs[idx].state, JState::Computing | JState::NbWait) {
+            return; // stale (kept as defense; normally cancelled)
+        }
+        self.mark(idx, now, Category::Work);
+        let (target, is_chunk) = self.jobs[idx].next_work_target();
+        if self.jobs[idx].work_done.as_secs() + EPS_WORK < target.as_secs() {
+            // Floating-point slack: re-arm for the remainder.
+            let remaining = target - self.jobs[idx].work_done;
+            let key = sim.schedule_in(remaining, Event::Milestone(idx));
+            self.jobs[idx].milestone_event = Some(key);
+            return;
+        }
+        if is_chunk {
+            if self.jobs[idx].state == JState::NbWait {
+                // Cannot block while a checkpoint request is queued: defer
+                // the chunk until after the commit.
+                self.jobs[idx].deferred_chunks += 1;
+                let (next, _) = self.jobs[idx].next_work_target();
+                let remaining = (next - self.jobs[idx].work_done).max_zero();
+                let key = sim.schedule_in(remaining, Event::Milestone(idx));
+                self.jobs[idx].milestone_event = Some(key);
+            } else {
+                self.jobs[idx].chunks_done += 1;
+                let volume = self.jobs[idx].chunk_volume();
+                self.start_blocking_io(sim, idx, now, Kind::Chunk, volume);
+            }
+            return;
+        }
+        // Work complete: withdraw any pending checkpoint request and write
+        // the final output.
+        if let Some(req) = self.jobs[idx].request.take() {
+            self.queue.remove(req);
+        }
+        if let Some(key) = self.jobs[idx].ckpt_event.take() {
+            sim.cancel(key);
+        }
+        let volume = self.jobs[idx].spec.output_bytes;
+        self.start_blocking_io(sim, idx, now, Kind::Output, volume);
+    }
+
+    fn on_failure(&mut self, sim: &mut Simulator<Event>, node: usize, now: Time) {
+        // Failed nodes are replaced from hot spares instantly (paper model),
+        // so the pool size is unchanged; only the victim job suffers.
+        let Some(alloc) = self.scheduler.occupant(node) else {
+            self.record(TraceEvent::Failure {
+                at: now,
+                node,
+                victim: None,
+                lost_work: Duration::ZERO,
+            });
+            return; // idle node
+        };
+        let idx = *self
+            .alloc_map
+            .get(&alloc)
+            .expect("every allocation maps to a job");
+        self.failures_hitting_jobs += 1;
+        // Include the open computing interval in the lost-work figure (the
+        // ledger reclassification in `kill_and_restart` does the same after
+        // closing the interval).
+        let mut lost = (self.jobs[idx].work_done - self.jobs[idx].last_ckpt_content).max_zero();
+        if matches!(self.jobs[idx].state, JState::Computing | JState::NbWait) {
+            lost += now.since(self.jobs[idx].state_since).max_zero();
+        }
+        self.record(TraceEvent::Failure {
+            at: now,
+            node,
+            victim: Some(self.jobs[idx].spec.id),
+            lost_work: lost,
+        });
+        self.kill_and_restart(sim, idx, now);
+        self.try_grant(sim, now);
+        self.resync_wake(sim);
+    }
+
+    /// Kills a running job and resubmits its remainder at head priority.
+    fn kill_and_restart(&mut self, sim: &mut Simulator<Event>, idx: JobIdx, now: Time) {
+        // Close the open interval under the appropriate category.
+        match self.jobs[idx].state {
+            JState::Computing | JState::NbWait => self.mark(idx, now, Category::Work),
+            JState::WaitIo(_) => self.mark(idx, now, Category::IoWait),
+            JState::Commit => self.mark(idx, now, Category::CkptCommit),
+            JState::Transfer(kind) => {
+                let cat = match kind {
+                    Kind::Recovery => Category::Recovery,
+                    _ => Category::IoWait,
+                };
+                self.mark(idx, now, cat);
+            }
+            JState::Waiting | JState::Done | JState::Dead => {
+                unreachable!("failure can only strike an allocated, live job")
+            }
+        }
+        // Work since the last durable checkpoint is void: it will be
+        // re-executed after the restart.
+        let lost = (self.jobs[idx].work_done - self.jobs[idx].last_ckpt_content).max_zero();
+        if lost.is_positive() {
+            self.ledger.reclassify(
+                Category::Work,
+                Category::LostWork,
+                self.jobs[idx].q() as f64 * lost.as_secs(),
+                now,
+            );
+        }
+        // Tear down in-flight activity.
+        if let Some(tid) = self.jobs[idx].transfer.take() {
+            self.pfs.cancel(now, tid);
+        }
+        if let Some(req) = self.jobs[idx].request.take() {
+            self.queue.remove(req);
+        }
+        if let Some((key, volume)) = self.jobs[idx].absorb.take() {
+            // Failure mid-absorb: the buffered bytes are useless.
+            sim.cancel(key);
+            if let Some(bb) = &mut self.burst {
+                bb.discard(volume);
+            }
+        }
+        if let Some(drain) = self.jobs[idx].drain.take() {
+            // The undrained checkpoint dies with the job.
+            if let Some(req) = drain.request {
+                self.queue.remove(req);
+            }
+            if let Some(tid) = drain.transfer {
+                self.pfs.cancel(now, tid);
+            }
+            if let Some(bb) = &mut self.burst {
+                bb.discard(drain.volume);
+            }
+        }
+        if let Some(key) = self.jobs[idx].ckpt_event.take() {
+            sim.cancel(key);
+        }
+        if let Some(key) = self.jobs[idx].milestone_event.take() {
+            sim.cancel(key);
+        }
+        if let Some(alloc) = self.jobs[idx].alloc.take() {
+            self.alloc_map.remove(&alloc);
+            self.scheduler.release(alloc);
+        }
+        self.jobs[idx].state = JState::Dead;
+
+        // Resubmit with the remaining work from the last commit *start*
+        // (paper: "a new wall-time equal to the fraction that remained when
+        // the last checkpoint commit started").
+        let remaining = (self.jobs[idx].spec.work - self.jobs[idx].last_ckpt_content).max_zero();
+        let new_id = JobId(self.next_job_id);
+        self.next_job_id += 1;
+        let priority = self.scheduler.head_priority();
+        let restart_spec = self.jobs[idx].spec.restart(new_id, remaining, priority);
+        self.restarts += 1;
+
+        // Admit the restart (inherits the class-derived checkpoint params).
+        let ridx = self.jobs.len();
+        let (period, ckpt_nominal, recovery_nominal) = {
+            let old = &self.jobs[idx];
+            (old.period, old.ckpt_nominal, old.recovery_nominal)
+        };
+        let chunks_total = if restart_spec.regular_io_bytes.as_bytes() > EPS_BYTES {
+            self.regular_io_chunks
+        } else {
+            0
+        };
+        let q = restart_spec.q_nodes;
+        self.jobs.push(Job {
+            spec: restart_spec,
+            state: JState::Waiting,
+            state_since: now,
+            alloc: None,
+            work_done: Duration::ZERO,
+            period,
+            ckpt_nominal,
+            recovery_nominal,
+            last_ckpt_content: Duration::ZERO,
+            pending_content: Duration::ZERO,
+            last_ckpt_wall: now,
+            ckpt_asap: false,
+            deferred_chunks: 0,
+            chunks_done: 0,
+            chunks_total,
+            request: None,
+            transfer: None,
+            ckpt_event: None,
+            milestone_event: None,
+            absorb: None,
+            drain: None,
+        });
+        self.scheduler.submit(priority, q, ridx);
+        self.schedule_fit_pass(sim, now);
+    }
+
+    /// Closes every open interval at the end of the simulated horizon.
+    fn finalize(&mut self, end: Time) {
+        for idx in 0..self.jobs.len() {
+            if !self.jobs[idx].is_live() || self.jobs[idx].alloc.is_none() {
+                continue;
+            }
+            match self.jobs[idx].state {
+                JState::Computing | JState::NbWait => self.mark(idx, end, Category::Work),
+                JState::WaitIo(_) => self.mark(idx, end, Category::IoWait),
+                JState::Commit => self.mark(idx, end, Category::CkptCommit),
+                JState::Transfer(kind) => {
+                    let volume = match kind {
+                        Kind::Input | Kind::Recovery => self.jobs[idx].spec.input_bytes,
+                        Kind::Output => self.jobs[idx].spec.output_bytes,
+                        Kind::Chunk => self.jobs[idx].chunk_volume(),
+                        Kind::Ckpt | Kind::Drain => self.jobs[idx].spec.ckpt_bytes,
+                    };
+                    self.mark_transfer(idx, end, kind, volume);
+                }
+                JState::Waiting | JState::Done | JState::Dead => {}
+            }
+        }
+    }
+}
+
+impl Process for Engine {
+    type Event = Event;
+
+    fn handle(
+        &mut self,
+        sim: &mut Simulator<Event>,
+        now: Time,
+        event: Event,
+    ) -> StepControl {
+        match event {
+            Event::FitPass => self.on_fit_pass(sim, now),
+            Event::PfsWake => self.on_pfs_wake(sim, now),
+            Event::CkptDue(idx) => self.on_ckpt_due(sim, idx, now),
+            Event::Milestone(idx) => self.on_milestone(sim, idx, now),
+            Event::Failure(node) => self.on_failure(sim, node, now),
+            Event::AbsorbDone(idx) => self.on_absorb_done(sim, idx, now),
+        }
+        StepControl::Continue
+    }
+}

@@ -1,0 +1,369 @@
+//! The discrete-event platform simulator (paper Section 5).
+//!
+//! One simulation instance is defined by a [`SimConfig`] (platform, class
+//! mix, strategy, interference and failure models) plus a seed. The run:
+//!
+//! 1. generates a job list matching the class shares for the configured
+//!    span and a node-failure trace (both functions of the seed),
+//! 2. schedules jobs with a greedy first-fit scheduler, re-queueing failed
+//!    jobs at the head with their remaining work,
+//! 3. drives every job through the `input → (compute ⇄ checkpoint) →
+//!    output` lifecycle against the shared, fluid-flow PFS under the
+//!    selected [`Strategy`], and
+//! 4. accounts every node-second to a [`Category`](coopckpt_stats::Category)
+//!    inside the measurement window (first/last day excluded).
+//!
+//! The headline output is [`SimResult::waste_ratio`], the paper's y-axis.
+
+mod engine;
+pub mod trace;
+
+use crate::strategy::Strategy;
+use coopckpt_des::Duration;
+use coopckpt_failure::Xoshiro256pp;
+use coopckpt_model::{AppClass, Bandwidth, Bytes, Platform};
+use coopckpt_stats::WasteLedger;
+use coopckpt_workload::generator::WorkloadSpec;
+
+/// Interference model selection (mirrors `coopckpt_io`'s models as plain
+/// data so configs stay `Clone + Send`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InterferenceKind {
+    /// Constant global throughput, shares proportional to job size — the
+    /// paper's model.
+    Linear,
+    /// Global throughput degrades as `k^(−alpha)` with `k` concurrent
+    /// streams (footnote 2's "more adversarial" variant).
+    Degraded(f64),
+    /// Equal split regardless of stream size.
+    Equal,
+}
+
+/// Burst-buffer tier configuration (the paper's Section 8 extension).
+///
+/// Checkpoints are absorbed by node-local burst buffers at
+/// `write_bw_per_node × q` and drained to the PFS in the background; the
+/// job blocks only for the absorb. A checkpoint becomes durable (usable
+/// for restart) when its drain completes. Admission control: when the
+/// aggregate buffer lacks space, or the job's previous drain is still in
+/// flight, the commit falls back to the direct PFS path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstBufferSpec {
+    /// Aggregate burst-buffer capacity across the platform.
+    pub capacity: Bytes,
+    /// Absorb bandwidth contributed by each node of the writing job.
+    pub write_bw_per_node: Bandwidth,
+}
+
+/// Failure-injection model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FailureModel {
+    /// Exponential inter-arrival at system rate `N/µ_ind` (the paper).
+    Exponential,
+    /// Weibull inter-arrival with the given shape, mean-matched to the
+    /// exponential system MTBF (ablation; `shape < 1` = infant mortality).
+    Weibull(f64),
+    /// No failures (baseline / debugging).
+    None,
+}
+
+/// Full description of one simulation experiment.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The machine.
+    pub platform: Platform,
+    /// Application classes with target shares summing to 1.
+    pub classes: Vec<AppClass>,
+    /// The I/O + checkpoint scheduling strategy under test.
+    pub strategy: Strategy,
+    /// Simulated span (also the workload-sizing target). Default 60 days.
+    pub span: Duration,
+    /// Margin excluded from measurement at each end. Default 1 day.
+    pub measure_margin: Duration,
+    /// How concurrent streams share the PFS.
+    pub interference: InterferenceKind,
+    /// Failure injection model.
+    pub failures: FailureModel,
+    /// Number of chunks a job's regular (non-CR) I/O volume splits into.
+    pub regular_io_chunks: usize,
+    /// Workload oversubscription: the job list carries `span ×
+    /// workload_slack` of work so the platform stays enrolled through the
+    /// whole measurement window even under efficient strategies (the paper
+    /// enforces ≥ 98 % enrollment over the segment).
+    pub workload_slack: f64,
+    /// Optional burst-buffer tier (None = the paper's base platform).
+    pub burst_buffer: Option<BurstBufferSpec>,
+    /// Record a structured execution trace (see [`trace`]); off by default
+    /// because traces of 60-day instances hold hundreds of thousands of
+    /// events.
+    pub record_trace: bool,
+}
+
+impl SimConfig {
+    /// Creates a config with the paper's defaults: 60-day span, 1-day
+    /// measurement margins, linear interference, exponential failures.
+    pub fn new(platform: Platform, classes: Vec<AppClass>, strategy: Strategy) -> Self {
+        SimConfig {
+            platform,
+            classes,
+            strategy,
+            span: Duration::from_days(60.0),
+            measure_margin: Duration::DAY,
+            interference: InterferenceKind::Linear,
+            failures: FailureModel::Exponential,
+            regular_io_chunks: 16,
+            workload_slack: 1.5,
+            burst_buffer: None,
+            record_trace: false,
+        }
+    }
+
+    /// Overrides the simulated span (margins shrink for short spans so the
+    /// window stays non-empty).
+    pub fn with_span(mut self, span: Duration) -> Self {
+        assert!(span.is_positive(), "span must be positive");
+        self.span = span;
+        if self.measure_margin * 2.5 > span {
+            self.measure_margin = span / 10.0;
+        }
+        self
+    }
+
+    /// Overrides the strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Overrides the interference model.
+    pub fn with_interference(mut self, kind: InterferenceKind) -> Self {
+        self.interference = kind;
+        self
+    }
+
+    /// Overrides the failure model.
+    pub fn with_failures(mut self, failures: FailureModel) -> Self {
+        self.failures = failures;
+        self
+    }
+
+    /// Adds a burst-buffer tier (paper Section 8 extension).
+    pub fn with_burst_buffer(mut self, spec: BurstBufferSpec) -> Self {
+        self.burst_buffer = Some(spec);
+        self
+    }
+
+    /// Enables execution-trace recording.
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
+    /// The measurement window `[margin, span − margin]`.
+    pub fn window(&self) -> (Duration, Duration) {
+        (self.measure_margin, self.span - self.measure_margin)
+    }
+}
+
+/// Aggregate outcome of one simulation instance.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Wasted fraction of consumed node-time in the window — the paper's
+    /// waste ratio.
+    pub waste_ratio: f64,
+    /// `1 − waste_ratio`.
+    pub efficiency: f64,
+    /// Node-seconds per category (label, amount), reporting order.
+    pub breakdown: Vec<(&'static str, f64)>,
+    /// Consumed node-time over the window divided by `N × window` —
+    /// the enrollment level (paper targets ≥ 98 %).
+    pub utilization: f64,
+    /// Failures that struck a running job.
+    pub failures_hitting_jobs: u64,
+    /// Total failures injected over the span.
+    pub failures_total: u64,
+    /// Checkpoints successfully committed.
+    pub checkpoints_committed: u64,
+    /// Jobs that ran to completion.
+    pub jobs_completed: u64,
+    /// Restart jobs created.
+    pub restarts: u64,
+    /// DES events processed.
+    pub events: u64,
+    /// The execution trace, when [`SimConfig::record_trace`] was set.
+    pub trace: Option<trace::Trace>,
+}
+
+/// Runs one simulation instance. Deterministic per `(config, seed)`.
+pub fn run_simulation(config: &SimConfig, seed: u64) -> SimResult {
+    let mut master = Xoshiro256pp::seed_from_u64(seed);
+    let mut workload_rng = master.split();
+    let mut failure_rng = master.split();
+
+    let spec = WorkloadSpec::new(config.classes.clone())
+        .with_min_span(config.span * config.workload_slack.max(1.0));
+    let jobs = spec.generate(&config.platform, &mut workload_rng);
+
+    let (w0, w1) = config.window();
+    let ledger = WasteLedger::new(
+        coopckpt_des::Time::ZERO + w0,
+        coopckpt_des::Time::ZERO + w1,
+    );
+
+    engine::Engine::run(config, jobs, &mut failure_rng, ledger)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::CheckpointPolicy;
+    use coopckpt_model::{Bandwidth, Bytes};
+
+    fn tiny_platform() -> Platform {
+        Platform::new(
+            "tiny",
+            64,
+            8,
+            Bytes::from_gb(16.0),
+            Bandwidth::from_gbps(10.0),
+            Duration::from_years(5.0),
+        )
+        .unwrap()
+    }
+
+    fn tiny_classes(p: &Platform) -> Vec<AppClass> {
+        vec![
+            AppClass {
+                name: "A".into(),
+                q_nodes: 16,
+                walltime: Duration::from_hours(20.0),
+                resource_share: 0.6,
+                input_bytes: Bytes::from_gb(50.0),
+                output_bytes: Bytes::from_gb(200.0),
+                ckpt_bytes: p.mem_per_node * 16.0,
+                regular_io_bytes: Bytes::ZERO,
+            },
+            AppClass {
+                name: "B".into(),
+                q_nodes: 8,
+                walltime: Duration::from_hours(10.0),
+                resource_share: 0.4,
+                input_bytes: Bytes::from_gb(20.0),
+                output_bytes: Bytes::from_gb(100.0),
+                ckpt_bytes: p.mem_per_node * 8.0,
+                regular_io_bytes: Bytes::ZERO,
+            },
+        ]
+    }
+
+    #[test]
+    fn config_window_respects_margins() {
+        let p = tiny_platform();
+        let cfg = SimConfig::new(p.clone(), tiny_classes(&p), Strategy::least_waste());
+        let (a, b) = cfg.window();
+        assert_eq!(a.as_days(), 1.0);
+        assert_eq!(b.as_days(), 59.0);
+        let cfg = cfg.with_span(Duration::from_days(2.0));
+        let (a, b) = cfg.window();
+        assert!(a.as_secs() > 0.0 && b < Duration::from_days(2.0) && a < b);
+    }
+
+    #[test]
+    fn simulation_runs_and_is_deterministic() {
+        let p = tiny_platform();
+        let cfg = SimConfig::new(p.clone(), tiny_classes(&p), Strategy::least_waste())
+            .with_span(Duration::from_days(5.0));
+        let a = run_simulation(&cfg, 7);
+        let b = run_simulation(&cfg, 7);
+        assert_eq!(a.waste_ratio, b.waste_ratio);
+        assert_eq!(a.checkpoints_committed, b.checkpoints_committed);
+        assert_eq!(a.events, b.events);
+        assert!(a.waste_ratio >= 0.0 && a.waste_ratio <= 1.0);
+        assert!(a.checkpoints_committed > 0, "jobs must checkpoint");
+    }
+
+    #[test]
+    fn no_failures_means_no_restarts() {
+        let p = tiny_platform();
+        let cfg = SimConfig::new(p.clone(), tiny_classes(&p), Strategy::ordered(CheckpointPolicy::Daly))
+            .with_span(Duration::from_days(4.0))
+            .with_failures(FailureModel::None);
+        let r = run_simulation(&cfg, 3);
+        assert_eq!(r.failures_total, 0);
+        assert_eq!(r.restarts, 0);
+        assert_eq!(r.breakdown.iter().find(|(l, _)| *l == "lost_work").unwrap().1, 0.0);
+        assert_eq!(r.breakdown.iter().find(|(l, _)| *l == "recovery").unwrap().1, 0.0);
+    }
+
+    #[test]
+    fn burst_buffer_reduces_blocked_commit_time() {
+        // With a generous buffer and fast absorb, the job-visible commit
+        // shrinks and waste falls under scarce PFS bandwidth.
+        let p = tiny_platform();
+        let base = SimConfig::new(p.clone(), tiny_classes(&p), Strategy::ordered(CheckpointPolicy::Daly))
+            .with_span(Duration::from_days(4.0));
+        let with_bb = base.clone().with_burst_buffer(BurstBufferSpec {
+            capacity: Bytes::from_tb(50.0),
+            write_bw_per_node: Bandwidth::from_gbps(4.0),
+        });
+        let plain = run_simulation(&base, 5);
+        let burst = run_simulation(&with_bb, 5);
+        assert!(
+            burst.waste_ratio < plain.waste_ratio,
+            "burst buffer should reduce waste: {} vs {}",
+            burst.waste_ratio,
+            plain.waste_ratio
+        );
+        assert!(burst.checkpoints_committed > 0);
+    }
+
+    #[test]
+    fn tiny_burst_buffer_falls_back_to_pfs() {
+        // A buffer smaller than one checkpoint rejects every absorb; the
+        // simulation must still run correctly through the fallback path.
+        let p = tiny_platform();
+        let cfg = SimConfig::new(p.clone(), tiny_classes(&p), Strategy::least_waste())
+            .with_span(Duration::from_days(3.0))
+            .with_burst_buffer(BurstBufferSpec {
+                capacity: Bytes::from_gb(1.0),
+                write_bw_per_node: Bandwidth::from_gbps(4.0),
+            });
+        let r = run_simulation(&cfg, 8);
+        assert!(r.checkpoints_committed > 0);
+        assert!(r.waste_ratio > 0.0 && r.waste_ratio <= 1.0);
+    }
+
+    #[test]
+    fn burst_buffer_runs_deterministically_under_all_strategies() {
+        let p = tiny_platform();
+        for strat in Strategy::all_seven() {
+            let cfg = SimConfig::new(p.clone(), tiny_classes(&p), strat)
+                .with_span(Duration::from_days(2.0))
+                .with_burst_buffer(BurstBufferSpec {
+                    capacity: Bytes::from_tb(10.0),
+                    write_bw_per_node: Bandwidth::from_gbps(2.0),
+                });
+            let a = run_simulation(&cfg, 3);
+            let b = run_simulation(&cfg, 3);
+            assert_eq!(a.waste_ratio, b.waste_ratio, "{}", strat.name());
+            assert_eq!(a.events, b.events, "{}", strat.name());
+        }
+    }
+
+    #[test]
+    fn all_seven_strategies_complete() {
+        let p = tiny_platform();
+        for strat in Strategy::all_seven() {
+            let cfg = SimConfig::new(p.clone(), tiny_classes(&p), strat)
+                .with_span(Duration::from_days(3.0));
+            let r = run_simulation(&cfg, 11);
+            assert!(
+                r.waste_ratio >= 0.0 && r.waste_ratio <= 1.0,
+                "{}: waste {}",
+                strat.name(),
+                r.waste_ratio
+            );
+            assert!(r.jobs_completed > 0, "{}: no jobs completed", strat.name());
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! Structured execution traces.
+//!
+//! When [`SimConfig::record_trace`](super::SimConfig) is set, the engine
+//! appends one [`TraceEvent`] per lifecycle transition. Traces make the
+//! simulator introspectable: tests assert on scheduling order and
+//! checkpoint semantics, the CLI dumps them as CSV, and the
+//! `timeline` example renders a per-job Gantt view.
+
+use coopckpt_des::{Duration, Time};
+use coopckpt_model::{Bytes, JobId};
+
+/// What kind of I/O a trace record refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceIo {
+    /// Initial input read.
+    Input,
+    /// Post-failure recovery read.
+    Recovery,
+    /// A chunk of in-run (non-CR) I/O.
+    Chunk,
+    /// Final output write.
+    Output,
+    /// Checkpoint commit on the PFS.
+    Checkpoint,
+    /// Burst-buffer drain.
+    Drain,
+}
+
+impl TraceIo {
+    /// Short label for CSV output.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceIo::Input => "input",
+            TraceIo::Recovery => "recovery",
+            TraceIo::Chunk => "chunk",
+            TraceIo::Output => "output",
+            TraceIo::Checkpoint => "checkpoint",
+            TraceIo::Drain => "drain",
+        }
+    }
+}
+
+/// One recorded lifecycle event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A job received nodes and began execution.
+    JobStarted {
+        /// When.
+        at: Time,
+        /// Which job.
+        job: JobId,
+        /// Nodes allocated.
+        nodes: usize,
+        /// True when this is a post-failure restart.
+        is_restart: bool,
+    },
+    /// An I/O transfer began moving bytes on the PFS.
+    IoStarted {
+        /// When.
+        at: Time,
+        /// Which job.
+        job: JobId,
+        /// What kind of I/O.
+        kind: TraceIo,
+        /// Volume.
+        volume: Bytes,
+    },
+    /// An I/O transfer completed.
+    IoCompleted {
+        /// When.
+        at: Time,
+        /// Which job.
+        job: JobId,
+        /// What kind of I/O.
+        kind: TraceIo,
+        /// Volume moved.
+        volume: Bytes,
+        /// Wall-clock transfer duration (excludes queueing).
+        duration: Duration,
+    },
+    /// A checkpoint became durable (commit or drain landed); `content` is
+    /// the work progress it captured.
+    CheckpointDurable {
+        /// When.
+        at: Time,
+        /// Which job.
+        job: JobId,
+        /// Captured progress.
+        content: Duration,
+    },
+    /// A failure struck a node.
+    Failure {
+        /// When.
+        at: Time,
+        /// The failed node index.
+        node: usize,
+        /// The victim job, if the node was allocated.
+        victim: Option<JobId>,
+        /// Work lost since the last durable checkpoint (victims only).
+        lost_work: Duration,
+    },
+    /// A job finished (output written, nodes released).
+    JobCompleted {
+        /// When.
+        at: Time,
+        /// Which job.
+        job: JobId,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    pub fn at(&self) -> Time {
+        match self {
+            TraceEvent::JobStarted { at, .. }
+            | TraceEvent::IoStarted { at, .. }
+            | TraceEvent::IoCompleted { at, .. }
+            | TraceEvent::CheckpointDurable { at, .. }
+            | TraceEvent::Failure { at, .. }
+            | TraceEvent::JobCompleted { at, .. } => *at,
+        }
+    }
+
+    /// The job this event concerns (failures on idle nodes have none).
+    pub fn job(&self) -> Option<JobId> {
+        match self {
+            TraceEvent::JobStarted { job, .. }
+            | TraceEvent::IoStarted { job, .. }
+            | TraceEvent::IoCompleted { job, .. }
+            | TraceEvent::CheckpointDurable { job, .. }
+            | TraceEvent::JobCompleted { job, .. } => Some(*job),
+            TraceEvent::Failure { victim, .. } => *victim,
+        }
+    }
+
+    /// Renders one CSV row: `t_secs,event,job,detail`.
+    pub fn to_csv_row(&self) -> String {
+        match self {
+            TraceEvent::JobStarted {
+                at,
+                job,
+                nodes,
+                is_restart,
+            } => format!(
+                "{:.3},job_started,{job},nodes={nodes};restart={is_restart}",
+                at.as_secs()
+            ),
+            TraceEvent::IoStarted {
+                at,
+                job,
+                kind,
+                volume,
+            } => format!(
+                "{:.3},io_started,{job},kind={};volume={volume}",
+                at.as_secs(),
+                kind.label()
+            ),
+            TraceEvent::IoCompleted {
+                at,
+                job,
+                kind,
+                volume,
+                duration,
+            } => format!(
+                "{:.3},io_completed,{job},kind={};volume={volume};secs={:.3}",
+                at.as_secs(),
+                kind.label(),
+                duration.as_secs()
+            ),
+            TraceEvent::CheckpointDurable { at, job, content } => format!(
+                "{:.3},checkpoint_durable,{job},content_hours={:.4}",
+                at.as_secs(),
+                content.as_hours()
+            ),
+            TraceEvent::Failure {
+                at,
+                node,
+                victim,
+                lost_work,
+            } => format!(
+                "{:.3},failure,{},node={node};lost_hours={:.4}",
+                at.as_secs(),
+                victim.map_or("-".to_string(), |j| j.to_string()),
+                lost_work.as_hours()
+            ),
+            TraceEvent::JobCompleted { at, job } => {
+                format!("{:.3},job_completed,{job},", at.as_secs())
+            }
+        }
+    }
+}
+
+/// A full execution trace with query helpers.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    pub(crate) fn new() -> Self {
+        Trace { events: Vec::new() }
+    }
+
+    pub(crate) fn push(&mut self, ev: TraceEvent) {
+        debug_assert!(
+            self.events.last().is_none_or(|last| last.at() <= ev.at()),
+            "trace events must be appended in time order"
+        );
+        self.events.push(ev);
+    }
+
+    /// All events, time-ordered.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events concerning one job.
+    pub fn for_job(&self, job: JobId) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.job() == Some(job))
+    }
+
+    /// The durable-checkpoint events, in time order.
+    pub fn checkpoints(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::CheckpointDurable { .. }))
+    }
+
+    /// The failures that struck jobs.
+    pub fn job_failures(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(
+            |e| matches!(e, TraceEvent::Failure { victim: Some(_), .. }),
+        )
+    }
+
+    /// Renders the whole trace as CSV (`t_secs,event,job,detail` rows with
+    /// a header).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t_secs,event,job,detail\n");
+        for ev in &self.events {
+            out.push_str(&ev.to_csv_row());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        t.push(TraceEvent::JobStarted {
+            at: Time::from_secs(0.0),
+            job: JobId(1),
+            nodes: 64,
+            is_restart: false,
+        });
+        t.push(TraceEvent::IoStarted {
+            at: Time::from_secs(0.0),
+            job: JobId(1),
+            kind: TraceIo::Input,
+            volume: Bytes::from_gb(10.0),
+        });
+        t.push(TraceEvent::IoCompleted {
+            at: Time::from_secs(5.0),
+            job: JobId(1),
+            kind: TraceIo::Input,
+            volume: Bytes::from_gb(10.0),
+            duration: Duration::from_secs(5.0),
+        });
+        t.push(TraceEvent::CheckpointDurable {
+            at: Time::from_secs(3600.0),
+            job: JobId(1),
+            content: Duration::from_secs(3000.0),
+        });
+        t.push(TraceEvent::Failure {
+            at: Time::from_secs(4000.0),
+            node: 3,
+            victim: Some(JobId(1)),
+            lost_work: Duration::from_secs(400.0),
+        });
+        t.push(TraceEvent::JobCompleted {
+            at: Time::from_secs(9000.0),
+            job: JobId(2),
+        });
+        t
+    }
+
+    #[test]
+    fn query_helpers() {
+        let t = sample_trace();
+        assert_eq!(t.len(), 6);
+        assert!(!t.is_empty());
+        assert_eq!(t.for_job(JobId(1)).count(), 5);
+        assert_eq!(t.for_job(JobId(2)).count(), 1);
+        assert_eq!(t.checkpoints().count(), 1);
+        assert_eq!(t.job_failures().count(), 1);
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let csv = sample_trace().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 7);
+        assert_eq!(lines[0], "t_secs,event,job,detail");
+        assert!(lines[1].contains("job_started"));
+        assert!(lines[1].contains("nodes=64"));
+        assert!(lines[4].contains("checkpoint_durable"));
+        assert!(lines[5].contains("failure"));
+        assert!(lines[5].contains("node=3"));
+    }
+
+    #[test]
+    fn timestamps_and_jobs() {
+        let t = sample_trace();
+        assert_eq!(t.events()[0].at(), Time::from_secs(0.0));
+        assert_eq!(t.events()[0].job(), Some(JobId(1)));
+        // An idle-node failure has no job.
+        let ev = TraceEvent::Failure {
+            at: Time::from_secs(1.0),
+            node: 9,
+            victim: None,
+            lost_work: Duration::ZERO,
+        };
+        assert_eq!(ev.job(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    #[cfg(debug_assertions)]
+    fn out_of_order_push_asserts_in_debug() {
+        let mut t = sample_trace();
+        t.push(TraceEvent::JobCompleted {
+            at: Time::from_secs(1.0),
+            job: JobId(3),
+        });
+    }
+}

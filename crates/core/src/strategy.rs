@@ -1,0 +1,207 @@
+//! The seven I/O-and-checkpoint scheduling strategies of Section 3.
+
+use coopckpt_des::Duration;
+
+/// How a job decides its checkpoint period.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CheckpointPolicy {
+    /// Application-defined fixed period (the paper's default heuristic:
+    /// one hour, capping worst-case lost work at an hour).
+    Fixed(Duration),
+    /// The Young/Daly optimum `P = √(2 µ_j C_j)`, with `C_j` the
+    /// interference-free commit time at full PFS bandwidth.
+    Daly,
+}
+
+impl CheckpointPolicy {
+    /// The paper's fixed variant: one hour.
+    pub fn fixed_hourly() -> Self {
+        CheckpointPolicy::Fixed(Duration::HOUR)
+    }
+
+    /// Short label used in strategy names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CheckpointPolicy::Fixed(_) => "Fixed",
+            CheckpointPolicy::Daly => "Daly",
+        }
+    }
+}
+
+/// How I/O requests (checkpoints included) access the shared file system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoDiscipline {
+    /// Status quo: every request starts immediately; concurrent streams
+    /// split the bandwidth per the interference model; jobs block during
+    /// their own I/O (Section 3.1).
+    Oblivious,
+    /// Blocking FCFS token: one transfer at a time at full bandwidth;
+    /// requesting jobs idle from request to completion (Section 3.2).
+    Ordered,
+    /// Non-blocking FCFS token: same serialization, but jobs keep
+    /// computing while waiting for the *checkpoint* token; blocking I/O
+    /// (input/output/recovery) still idles (Section 3.3).
+    OrderedNb,
+    /// Ordered-NB with cooperative selection: the token goes to the
+    /// candidate minimizing expected waste, Equations (1)–(2)
+    /// (Section 3.5). Checkpoint requests follow the Daly period.
+    LeastWaste,
+}
+
+impl IoDiscipline {
+    /// True when jobs keep computing while their checkpoint request waits.
+    pub fn checkpoint_is_non_blocking(self) -> bool {
+        matches!(self, IoDiscipline::OrderedNb | IoDiscipline::LeastWaste)
+    }
+
+    /// True when the PFS is used exclusively (token-based serialization).
+    pub fn is_exclusive(self) -> bool {
+        !matches!(self, IoDiscipline::Oblivious)
+    }
+
+    /// Short label used in strategy names.
+    pub fn label(self) -> &'static str {
+        match self {
+            IoDiscipline::Oblivious => "Oblivious",
+            IoDiscipline::Ordered => "Ordered",
+            IoDiscipline::OrderedNb => "Ordered-NB",
+            IoDiscipline::LeastWaste => "Least-Waste",
+        }
+    }
+}
+
+/// A complete strategy: an I/O discipline plus a checkpoint policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Strategy {
+    /// The I/O scheduling discipline.
+    pub discipline: IoDiscipline,
+    /// The checkpoint-period policy. `Least-Waste` always uses Daly periods
+    /// (paper footnote 4: fixed periods make little sense for a strategy
+    /// designed to optimize checkpoint frequencies).
+    pub policy: CheckpointPolicy,
+}
+
+impl Strategy {
+    /// `Oblivious` with the given policy.
+    pub fn oblivious(policy: CheckpointPolicy) -> Self {
+        Strategy {
+            discipline: IoDiscipline::Oblivious,
+            policy,
+        }
+    }
+
+    /// `Ordered` (blocking FCFS) with the given policy.
+    pub fn ordered(policy: CheckpointPolicy) -> Self {
+        Strategy {
+            discipline: IoDiscipline::Ordered,
+            policy,
+        }
+    }
+
+    /// `Ordered-NB` (non-blocking FCFS) with the given policy.
+    pub fn ordered_nb(policy: CheckpointPolicy) -> Self {
+        Strategy {
+            discipline: IoDiscipline::OrderedNb,
+            policy,
+        }
+    }
+
+    /// `Least-Waste` (always Daly-period requests).
+    pub fn least_waste() -> Self {
+        Strategy {
+            discipline: IoDiscipline::LeastWaste,
+            policy: CheckpointPolicy::Daly,
+        }
+    }
+
+    /// The seven strategies evaluated in the paper, in its plotting order:
+    /// Oblivious-Fixed, Oblivious-Daly, Ordered-Fixed, Ordered-Daly,
+    /// Ordered-NB-Fixed, Ordered-NB-Daly, Least-Waste.
+    pub fn all_seven() -> [Strategy; 7] {
+        [
+            Strategy::oblivious(CheckpointPolicy::fixed_hourly()),
+            Strategy::oblivious(CheckpointPolicy::Daly),
+            Strategy::ordered(CheckpointPolicy::fixed_hourly()),
+            Strategy::ordered(CheckpointPolicy::Daly),
+            Strategy::ordered_nb(CheckpointPolicy::fixed_hourly()),
+            Strategy::ordered_nb(CheckpointPolicy::Daly),
+            Strategy::least_waste(),
+        ]
+    }
+
+    /// Human-readable name, e.g. `"Ordered-NB-Daly"` or `"Least-Waste"`.
+    pub fn name(&self) -> String {
+        match self.discipline {
+            IoDiscipline::LeastWaste => "Least-Waste".to_string(),
+            d => format!("{}-{}", d.label(), self.policy.label()),
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_distinct_strategies() {
+        let all = Strategy::all_seven();
+        assert_eq!(all.len(), 7);
+        let names: std::collections::HashSet<String> =
+            all.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 7, "names must be unique: {names:?}");
+    }
+
+    #[test]
+    fn names_match_the_paper() {
+        let names: Vec<String> = Strategy::all_seven().iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Oblivious-Fixed",
+                "Oblivious-Daly",
+                "Ordered-Fixed",
+                "Ordered-Daly",
+                "Ordered-NB-Fixed",
+                "Ordered-NB-Daly",
+                "Least-Waste",
+            ]
+        );
+    }
+
+    #[test]
+    fn discipline_properties() {
+        assert!(!IoDiscipline::Oblivious.is_exclusive());
+        assert!(IoDiscipline::Ordered.is_exclusive());
+        assert!(IoDiscipline::OrderedNb.is_exclusive());
+        assert!(IoDiscipline::LeastWaste.is_exclusive());
+        assert!(!IoDiscipline::Oblivious.checkpoint_is_non_blocking());
+        assert!(!IoDiscipline::Ordered.checkpoint_is_non_blocking());
+        assert!(IoDiscipline::OrderedNb.checkpoint_is_non_blocking());
+        assert!(IoDiscipline::LeastWaste.checkpoint_is_non_blocking());
+    }
+
+    #[test]
+    fn least_waste_uses_daly() {
+        assert_eq!(Strategy::least_waste().policy, CheckpointPolicy::Daly);
+    }
+
+    #[test]
+    fn fixed_hourly_is_an_hour() {
+        match CheckpointPolicy::fixed_hourly() {
+            CheckpointPolicy::Fixed(d) => assert_eq!(d.as_secs(), 3600.0),
+            _ => panic!("expected fixed policy"),
+        }
+    }
+
+    #[test]
+    fn display_matches_name() {
+        let s = Strategy::ordered_nb(CheckpointPolicy::Daly);
+        assert_eq!(format!("{s}"), s.name());
+    }
+}

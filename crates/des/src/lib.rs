@@ -1,0 +1,42 @@
+//! Discrete-event simulation (DES) kernel.
+//!
+//! This crate provides the event-driven substrate on which the coopckpt
+//! platform simulator is built. It is deliberately generic: it knows nothing
+//! about jobs, checkpoints, or file systems — only about *time*, *events*,
+//! and the discipline of executing them in order.
+//!
+//! # Design
+//!
+//! * [`Time`] is a newtype over `f64` seconds with a **total order**
+//!   (`f64::total_cmp`), so it can live inside ordered collections. The
+//!   kernel rejects NaN times at insertion.
+//! * [`EventQueue`] is a binary-heap priority queue with deterministic
+//!   FIFO tie-breaking: two events scheduled for the same instant pop in
+//!   insertion order, making simulations reproducible for a fixed seed.
+//! * Scheduled events can be *cancelled* cheaply through [`EventKey`]s:
+//!   cancellation marks a slot and the event is skipped on pop (lazy
+//!   deletion), which is the standard technique for fluid-flow models where
+//!   completion times are recomputed whenever bandwidth shares change.
+//! * [`Simulator`] drives a user-provided [`Process`] until the queue runs
+//!   dry or a horizon is reached.
+//!
+//! # Example
+//!
+//! ```
+//! use coopckpt_des::{EventQueue, Time};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(Time::from_secs(2.0), "second");
+//! q.schedule(Time::from_secs(1.0), "first");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(ev, "first");
+//! assert_eq!(t, Time::from_secs(1.0));
+//! ```
+
+mod queue;
+mod sim;
+mod time;
+
+pub use queue::{EventKey, EventQueue, ScheduleError};
+pub use sim::{Process, SimOutcome, Simulator, StepControl};
+pub use time::{Duration, Time};

@@ -1,0 +1,455 @@
+//! The event queue: a priority queue keyed by [`Time`] with deterministic
+//! FIFO tie-breaking and O(1) lazy cancellation.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+/// Handle to a scheduled event, used to cancel it before it fires.
+///
+/// Keys are unique across the lifetime of one [`EventQueue`]: a key is never
+/// reused, so a stale key held after its event fired (or was cancelled) is
+/// harmless — cancelling it is a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventKey(u64);
+
+impl EventKey {
+    /// The raw sequence number backing this key (monotone in schedule order).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Error returned when scheduling at a non-finite time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleError;
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "event time must be finite (got NaN or infinity)")
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+struct Entry<E> {
+    seq: u64,
+    payload: Option<E>,
+    cancelled: bool,
+}
+
+/// Min-heap wrapper: `BinaryHeap` is a max-heap, so comparisons are reversed.
+struct HeapItem {
+    time: Time,
+    seq: u64,
+    /// Index into the entry slab.
+    slot: usize,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for HeapItem {}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: earliest time first; among equal times, lowest seq first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A future-event list with deterministic ordering and lazy cancellation.
+///
+/// Events of type `E` are scheduled at absolute [`Time`]s. [`pop`] returns
+/// them in non-decreasing time order; events with identical timestamps pop
+/// in the order they were scheduled (FIFO), which makes simulations
+/// reproducible.
+///
+/// Cancellation via [`EventKey`] is O(1): the slot is tombstoned and skipped
+/// when it surfaces. The slab of live entries is compacted opportunistically
+/// so memory stays proportional to the number of *live* events.
+///
+/// [`pop`]: EventQueue::pop
+pub struct EventQueue<E> {
+    heap: BinaryHeap<HeapItem>,
+    entries: Vec<Entry<E>>,
+    /// Free slots in `entries` available for reuse.
+    free: Vec<usize>,
+    /// Next sequence number (also the next `EventKey`).
+    next_seq: u64,
+    /// Map from seq to slot for cancellation. Since seqs are dense and
+    /// monotone we keep (seq, slot) inside the entry itself; cancellation
+    /// looks up by key through a secondary index.
+    live: std::collections::HashMap<u64, usize>,
+    /// Number of scheduled-but-not-yet-popped, non-cancelled events.
+    len: usize,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            entries: Vec::new(),
+            free: Vec::new(),
+            next_seq: 0,
+            live: std::collections::HashMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Creates an empty queue with room for `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            entries: Vec::with_capacity(cap),
+            free: Vec::new(),
+            next_seq: 0,
+            live: std::collections::HashMap::with_capacity(cap),
+            len: 0,
+        }
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedules `payload` to fire at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN or infinite. Use [`try_schedule`] for a
+    /// non-panicking variant.
+    ///
+    /// [`try_schedule`]: EventQueue::try_schedule
+    pub fn schedule(&mut self, time: Time, payload: E) -> EventKey {
+        self.try_schedule(time, payload)
+            .expect("event time must be finite")
+    }
+
+    /// Schedules `payload` at `time`, returning an error for non-finite times.
+    pub fn try_schedule(&mut self, time: Time, payload: E) -> Result<EventKey, ScheduleError> {
+        if !time.is_finite() {
+            return Err(ScheduleError);
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+
+        let entry = Entry {
+            seq,
+            payload: Some(payload),
+            cancelled: false,
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.entries[slot] = entry;
+                slot
+            }
+            None => {
+                self.entries.push(entry);
+                self.entries.len() - 1
+            }
+        };
+        self.heap.push(HeapItem { time, seq, slot });
+        self.live.insert(seq, slot);
+        self.len += 1;
+        Ok(EventKey(seq))
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns the payload if the event was still pending; `None` if it had
+    /// already fired or been cancelled (stale keys are harmless).
+    pub fn cancel(&mut self, key: EventKey) -> Option<E> {
+        let slot = self.live.remove(&key.0)?;
+        let entry = &mut self.entries[slot];
+        debug_assert_eq!(entry.seq, key.0);
+        entry.cancelled = true;
+        self.len -= 1;
+        entry.payload.take()
+    }
+
+    /// The time of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        self.skip_cancelled();
+        self.heap.peek().map(|item| item.time)
+    }
+
+    /// Removes and returns the next pending event as `(time, payload)`.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        loop {
+            let item = self.heap.pop()?;
+            let entry = &mut self.entries[item.slot];
+            // A slot may have been recycled for a newer event; the seq check
+            // distinguishes "this heap item points at a tombstone" from
+            // "this slot now holds someone else".
+            if entry.seq != item.seq || entry.cancelled {
+                if entry.seq == item.seq {
+                    // Tombstone for exactly this event: recycle the slot.
+                    self.free.push(item.slot);
+                }
+                continue;
+            }
+            let payload = entry
+                .payload
+                .take()
+                .expect("live entry must hold a payload");
+            self.live.remove(&item.seq);
+            self.free.push(item.slot);
+            self.len -= 1;
+            return Some((item.time, payload));
+        }
+    }
+
+    /// Discards every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.entries.clear();
+        self.free.clear();
+        self.live.clear();
+        self.len = 0;
+    }
+
+    /// Drops cancelled items sitting at the top of the heap so `peek_time`
+    /// reports the next *live* event.
+    fn skip_cancelled(&mut self) {
+        while let Some(item) = self.heap.peek() {
+            let entry = &self.entries[item.slot];
+            if entry.seq == item.seq && !entry.cancelled {
+                return;
+            }
+            let item = self.heap.pop().expect("peeked item must pop");
+            if self.entries[item.slot].seq == item.seq {
+                self.free.push(item.slot);
+            }
+        }
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.len)
+            .field("heap_size", &self.heap.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_secs(3.0), 'c');
+        q.schedule(Time::from_secs(1.0), 'a');
+        q.schedule(Time::from_secs(2.0), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = Time::from_secs(5.0);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let k1 = q.schedule(Time::from_secs(1.0), "one");
+        q.schedule(Time::from_secs(2.0), "two");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.cancel(k1), Some("one"));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("two"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_is_idempotent_and_stale_keys_are_safe() {
+        let mut q = EventQueue::new();
+        let k = q.schedule(Time::from_secs(1.0), 7u32);
+        assert_eq!(q.cancel(k), Some(7));
+        assert_eq!(q.cancel(k), None);
+        // Key of an already-popped event.
+        let k2 = q.schedule(Time::from_secs(1.0), 8u32);
+        assert!(q.pop().is_some());
+        assert_eq!(q.cancel(k2), None);
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let k = q.schedule(Time::from_secs(1.0), 1);
+        q.schedule(Time::from_secs(2.0), 2);
+        q.cancel(k);
+        assert_eq!(q.peek_time(), Some(Time::from_secs(2.0)));
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut q = EventQueue::new();
+        for round in 0..10 {
+            for i in 0..100 {
+                q.schedule(Time::from_secs((round * 100 + i) as f64), i);
+            }
+            while q.pop().is_some() {}
+        }
+        // After draining, the slab should not have grown past one round's worth
+        // (plus the heap's lazily recycled tombstones).
+        assert!(q.entries.len() <= 200, "slab grew to {}", q.entries.len());
+    }
+
+    #[test]
+    fn rejects_non_finite_times() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.try_schedule(Time::from_secs(f64::NAN), ()).is_err());
+        assert!(q.try_schedule(Time::INFINITY, ()).is_err());
+        assert!(q.try_schedule(Time::from_secs(0.0), ()).is_ok());
+    }
+
+    #[test]
+    fn len_tracks_cancellations() {
+        let mut q = EventQueue::new();
+        let keys: Vec<_> = (0..10)
+            .map(|i| q.schedule(Time::from_secs(i as f64), i))
+            .collect();
+        assert_eq!(q.len(), 10);
+        for k in &keys[..5] {
+            q.cancel(*k);
+        }
+        assert_eq!(q.len(), 5);
+        assert!(!q.is_empty());
+        let mut n = 0;
+        while q.pop().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 5);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_secs(1.0), 1);
+        q.schedule(Time::from_secs(2.0), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_preserves_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_secs(10.0), 10);
+        q.schedule(Time::from_secs(1.0), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(1));
+        q.schedule(Time::from_secs(5.0), 5);
+        q.schedule(Time::from_secs(2.0), 2);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(2));
+        assert_eq!(q.pop().map(|(_, e)| e), Some(5));
+        assert_eq!(q.pop().map(|(_, e)| e), Some(10));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Events always pop in non-decreasing time order, with FIFO ties,
+        /// regardless of insertion order.
+        #[test]
+        fn pop_order_is_sorted_stable(times in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(Time::from_secs(t), i);
+            }
+            let mut last_time = f64::NEG_INFINITY;
+            let mut last_seq_at_time: Option<usize> = None;
+            while let Some((t, idx)) = q.pop() {
+                prop_assert!(t.as_secs() >= last_time);
+                if t.as_secs() == last_time {
+                    if let Some(prev) = last_seq_at_time {
+                        prop_assert!(idx > prev, "FIFO violated at t={}", t);
+                    }
+                } else {
+                    last_time = t.as_secs();
+                }
+                last_seq_at_time = Some(idx);
+            }
+        }
+
+        /// Cancelling an arbitrary subset leaves exactly the complement, in order.
+        #[test]
+        fn cancel_subset(
+            times in proptest::collection::vec(0.0f64..1e4, 1..100),
+            mask in proptest::collection::vec(proptest::bool::ANY, 100),
+        ) {
+            let mut q = EventQueue::new();
+            let keys: Vec<(EventKey, usize)> = times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| (q.schedule(Time::from_secs(t), i), i))
+                .collect();
+            let mut expect: Vec<(f64, usize)> = Vec::new();
+            for (i, (key, idx)) in keys.iter().enumerate() {
+                if mask[i % mask.len()] {
+                    q.cancel(*key);
+                } else {
+                    expect.push((times[*idx], *idx));
+                }
+            }
+            expect.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            let got: Vec<(f64, usize)> =
+                std::iter::from_fn(|| q.pop().map(|(t, i)| (t.as_secs(), i))).collect();
+            prop_assert_eq!(got, expect);
+        }
+
+        /// len() is always consistent with the number of pops remaining.
+        #[test]
+        fn len_matches_drain(times in proptest::collection::vec(0.0f64..100.0, 0..50)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(Time::from_secs(t), i);
+            }
+            let mut remaining = q.len();
+            prop_assert_eq!(remaining, times.len());
+            while q.pop().is_some() {
+                remaining -= 1;
+                prop_assert_eq!(q.len(), remaining);
+            }
+            prop_assert_eq!(q.len(), 0);
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! A minimal simulation driver on top of [`EventQueue`].
+//!
+//! The driver owns the clock and the queue; the domain logic lives in a
+//! [`Process`] implementation, which handles one event at a time and may
+//! schedule or cancel further events through the [`Simulator`] handle it is
+//! given. This inversion keeps the kernel free of domain types while still
+//! letting handlers mutate the future-event list re-entrantly.
+
+use crate::queue::{EventKey, EventQueue};
+use crate::time::Time;
+
+/// Verdict returned by a [`Process`] after handling an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepControl {
+    /// Keep processing events.
+    Continue,
+    /// Stop the run immediately (e.g. a terminal condition was reached).
+    Halt,
+}
+
+/// Why a simulation run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimOutcome {
+    /// The event queue ran dry.
+    Drained,
+    /// The configured horizon was reached before the queue drained.
+    HorizonReached,
+    /// The process requested a halt.
+    Halted,
+    /// The configured event budget was exhausted (guard against livelock).
+    BudgetExhausted,
+}
+
+/// Domain logic plugged into the [`Simulator`].
+pub trait Process {
+    /// The event payload type.
+    type Event;
+
+    /// Handles one event at simulation time `now`. New events are scheduled
+    /// through `sim`.
+    fn handle(&mut self, sim: &mut Simulator<Self::Event>, now: Time, event: Self::Event)
+        -> StepControl;
+}
+
+/// The simulation clock plus future-event list handed to [`Process::handle`].
+pub struct Simulator<E> {
+    queue: EventQueue<E>,
+    now: Time,
+    horizon: Time,
+    /// Remaining event budget; `u64::MAX` means unlimited.
+    budget: u64,
+    events_processed: u64,
+}
+
+impl<E> Default for Simulator<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Simulator<E> {
+    /// Creates a simulator with an unlimited horizon and event budget.
+    pub fn new() -> Self {
+        Simulator {
+            queue: EventQueue::new(),
+            now: Time::ZERO,
+            horizon: Time::INFINITY,
+            budget: u64::MAX,
+            events_processed: 0,
+        }
+    }
+
+    /// Sets the time horizon: events strictly after it are not processed.
+    pub fn with_horizon(mut self, horizon: Time) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Caps the total number of events processed (a livelock guard).
+    pub fn with_event_budget(mut self, budget: u64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The configured horizon.
+    pub fn horizon(&self) -> Time {
+        self.horizon
+    }
+
+    /// Number of events handled so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is non-finite or in the past (before the current
+    /// simulation time). Scheduling *at* the current time is allowed and the
+    /// event fires after all earlier-scheduled events for this instant.
+    pub fn schedule_at(&mut self, at: Time, event: E) -> EventKey {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={}, at={}",
+            self.now,
+            at
+        );
+        self.queue.schedule(at, event)
+    }
+
+    /// Schedules `event` after a delay relative to the current time.
+    pub fn schedule_in(&mut self, delay: crate::time::Duration, event: E) -> EventKey {
+        let delay = delay.max_zero();
+        self.schedule_at(self.now.advanced_by(delay), event)
+    }
+
+    /// Cancels a pending event; returns its payload if it was still pending.
+    pub fn cancel(&mut self, key: EventKey) -> Option<E> {
+        self.queue.cancel(key)
+    }
+
+    /// Time of the next pending event.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        self.queue.peek_time()
+    }
+
+    /// Runs `process` until the queue drains, the horizon is crossed, the
+    /// budget is exhausted, or the process halts.
+    pub fn run<P: Process<Event = E>>(&mut self, process: &mut P) -> SimOutcome {
+        loop {
+            if self.events_processed >= self.budget {
+                return SimOutcome::BudgetExhausted;
+            }
+            let Some((time, event)) = self.queue.pop() else {
+                return SimOutcome::Drained;
+            };
+            if time > self.horizon {
+                // Leave the clock at the horizon; the popped event is dropped
+                // (it is beyond the observation window by construction).
+                self.now = self.horizon;
+                return SimOutcome::HorizonReached;
+            }
+            debug_assert!(time >= self.now, "event queue returned past event");
+            self.now = time;
+            self.events_processed += 1;
+            if let StepControl::Halt = process.handle(self, time, event) {
+                return SimOutcome::Halted;
+            }
+        }
+    }
+}
+
+impl<E> std::fmt::Debug for Simulator<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    /// A process that counts down: each event schedules the next one until
+    /// a limit is reached.
+    struct Countdown {
+        remaining: u32,
+        fired_at: Vec<f64>,
+    }
+
+    impl Process for Countdown {
+        type Event = ();
+
+        fn handle(&mut self, sim: &mut Simulator<()>, now: Time, _: ()) -> StepControl {
+            self.fired_at.push(now.as_secs());
+            if self.remaining == 0 {
+                return StepControl::Halt;
+            }
+            self.remaining -= 1;
+            sim.schedule_in(Duration::from_secs(1.0), ());
+            StepControl::Continue
+        }
+    }
+
+    #[test]
+    fn chain_of_events_advances_clock() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(Time::ZERO, ());
+        let mut p = Countdown {
+            remaining: 5,
+            fired_at: vec![],
+        };
+        let outcome = sim.run(&mut p);
+        assert_eq!(outcome, SimOutcome::Halted);
+        assert_eq!(p.fired_at, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(sim.now(), Time::from_secs(5.0));
+        assert_eq!(sim.events_processed(), 6);
+    }
+
+    #[test]
+    fn horizon_stops_run() {
+        let mut sim = Simulator::new().with_horizon(Time::from_secs(2.5));
+        sim.schedule_at(Time::ZERO, ());
+        let mut p = Countdown {
+            remaining: 100,
+            fired_at: vec![],
+        };
+        let outcome = sim.run(&mut p);
+        assert_eq!(outcome, SimOutcome::HorizonReached);
+        assert_eq!(p.fired_at, vec![0.0, 1.0, 2.0]);
+        assert_eq!(sim.now(), Time::from_secs(2.5));
+    }
+
+    #[test]
+    fn budget_stops_run() {
+        let mut sim = Simulator::new().with_event_budget(3);
+        sim.schedule_at(Time::ZERO, ());
+        let mut p = Countdown {
+            remaining: 100,
+            fired_at: vec![],
+        };
+        assert_eq!(sim.run(&mut p), SimOutcome::BudgetExhausted);
+        assert_eq!(p.fired_at.len(), 3);
+    }
+
+    #[test]
+    fn drained_when_no_more_events() {
+        struct Once;
+        impl Process for Once {
+            type Event = u8;
+            fn handle(&mut self, _: &mut Simulator<u8>, _: Time, _: u8) -> StepControl {
+                StepControl::Continue
+            }
+        }
+        let mut sim = Simulator::new();
+        sim.schedule_at(Time::from_secs(1.0), 1);
+        assert_eq!(sim.run(&mut Once), SimOutcome::Drained);
+        assert_eq!(sim.now(), Time::from_secs(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        struct BadProcess;
+        impl Process for BadProcess {
+            type Event = ();
+            fn handle(&mut self, sim: &mut Simulator<()>, _: Time, _: ()) -> StepControl {
+                sim.schedule_at(Time::ZERO, ());
+                StepControl::Continue
+            }
+        }
+        let mut sim = Simulator::new();
+        sim.schedule_at(Time::from_secs(1.0), ());
+        sim.run(&mut BadProcess);
+    }
+
+    #[test]
+    fn cancel_through_simulator() {
+        struct Cancelling {
+            key: Option<EventKey>,
+            fired: Vec<&'static str>,
+        }
+        impl Process for Cancelling {
+            type Event = &'static str;
+            fn handle(
+                &mut self,
+                sim: &mut Simulator<&'static str>,
+                _: Time,
+                ev: &'static str,
+            ) -> StepControl {
+                self.fired.push(ev);
+                if ev == "first" {
+                    if let Some(k) = self.key.take() {
+                        sim.cancel(k);
+                    }
+                }
+                StepControl::Continue
+            }
+        }
+        let mut sim = Simulator::new();
+        sim.schedule_at(Time::from_secs(1.0), "first");
+        let key = sim.schedule_at(Time::from_secs(2.0), "doomed");
+        sim.schedule_at(Time::from_secs(3.0), "last");
+        let mut p = Cancelling {
+            key: Some(key),
+            fired: vec![],
+        };
+        assert_eq!(sim.run(&mut p), SimOutcome::Drained);
+        assert_eq!(p.fired, vec!["first", "last"]);
+    }
+
+    #[test]
+    fn schedule_in_clamps_negative_delay() {
+        let mut sim: Simulator<()> = Simulator::new();
+        // Negative delays clamp to "now" rather than panicking; this happens
+        // in fluid models when a recomputed completion lands epsilon in the
+        // past due to floating-point rounding.
+        sim.schedule_in(Duration::from_secs(-1.0), ());
+        assert_eq!(sim.peek_time(), Some(Time::ZERO));
+    }
+}

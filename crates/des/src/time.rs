@@ -1,0 +1,381 @@
+//! Simulation time and durations.
+//!
+//! Time is represented as `f64` seconds. Floating point is the natural
+//! choice for fluid-flow models (bandwidth shares produce non-integral
+//! completion instants); determinism is preserved because every simulation
+//! performs the same arithmetic in the same order for a fixed seed.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A span of simulated time, in seconds.
+///
+/// `Duration` is a thin wrapper over `f64` that keeps the unit explicit in
+/// signatures. Negative durations are representable (they arise naturally in
+/// intermediate arithmetic) but [`Time::advanced_by`] and the event queue
+/// only accept finite values.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Duration(f64);
+
+impl Duration {
+    /// Zero-length duration.
+    pub const ZERO: Duration = Duration(0.0);
+
+    /// One hour, a convenient unit for checkpoint intervals.
+    pub const HOUR: Duration = Duration(3600.0);
+
+    /// One day.
+    pub const DAY: Duration = Duration(86_400.0);
+
+    /// Creates a duration from seconds.
+    #[inline]
+    pub const fn from_secs(secs: f64) -> Self {
+        Duration(secs)
+    }
+
+    /// Creates a duration from hours.
+    #[inline]
+    pub fn from_hours(hours: f64) -> Self {
+        Duration(hours * 3600.0)
+    }
+
+    /// Creates a duration from days.
+    #[inline]
+    pub fn from_days(days: f64) -> Self {
+        Duration(days * 86_400.0)
+    }
+
+    /// Creates a duration from years (365 days, the convention used by the
+    /// paper when quoting node MTBFs such as "2 years").
+    #[inline]
+    pub fn from_years(years: f64) -> Self {
+        Duration(years * 365.0 * 86_400.0)
+    }
+
+    /// The duration in seconds.
+    #[inline]
+    pub const fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// The duration in hours.
+    #[inline]
+    pub fn as_hours(self) -> f64 {
+        self.0 / 3600.0
+    }
+
+    /// The duration in days.
+    #[inline]
+    pub fn as_days(self) -> f64 {
+        self.0 / 86_400.0
+    }
+
+    /// True when the value is finite (not NaN or infinite).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// True for durations strictly greater than zero.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 > 0.0
+    }
+
+    /// Clamps the duration to be non-negative.
+    #[inline]
+    pub fn max_zero(self) -> Self {
+        Duration(self.0.max(0.0))
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, other: Self) -> Self {
+        Duration(self.0.min(other.0))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        Duration(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.abs() >= 86_400.0 {
+            write!(f, "{:.3}d", self.as_days())
+        } else if self.0.abs() >= 3600.0 {
+            write!(f, "{:.3}h", self.as_hours())
+        } else {
+            write!(f, "{:.3}s", self.0)
+        }
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl SubAssign for Duration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, rhs: f64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn div(self, rhs: f64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl Div<Duration> for Duration {
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: Duration) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Neg for Duration {
+    type Output = Duration;
+    #[inline]
+    fn neg(self) -> Duration {
+        Duration(-self.0)
+    }
+}
+
+/// An absolute instant on the simulation clock, in seconds since the start
+/// of the simulation.
+///
+/// `Time` is totally ordered via [`f64::total_cmp`], which makes it usable
+/// as a key in ordered collections. The event queue additionally guarantees
+/// FIFO ordering among equal instants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Time(f64);
+
+impl Time {
+    /// The simulation origin, `t = 0`.
+    pub const ZERO: Time = Time(0.0);
+
+    /// A time later than every finite time; useful as an "unset horizon".
+    pub const INFINITY: Time = Time(f64::INFINITY);
+
+    /// Creates a time from seconds since the origin.
+    #[inline]
+    pub const fn from_secs(secs: f64) -> Self {
+        Time(secs)
+    }
+
+    /// Seconds since the origin.
+    #[inline]
+    pub const fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Hours since the origin.
+    #[inline]
+    pub fn as_hours(self) -> f64 {
+        self.0 / 3600.0
+    }
+
+    /// Days since the origin.
+    #[inline]
+    pub fn as_days(self) -> f64 {
+        self.0 / 86_400.0
+    }
+
+    /// True when the value is finite (not NaN or infinite).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// The instant `self + d`.
+    #[inline]
+    pub fn advanced_by(self, d: Duration) -> Time {
+        Time(self.0 + d.as_secs())
+    }
+
+    /// The signed duration from `earlier` to `self`.
+    #[inline]
+    pub fn since(self, earlier: Time) -> Duration {
+        Duration::from_secs(self.0 - earlier.0)
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, other: Self) -> Self {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for Time {}
+
+impl Ord for Time {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for Time {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}s", self.0)
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Duration) -> Time {
+        self.advanced_by(rhs)
+    }
+}
+
+impl Sub<Duration> for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Time {
+        Time(self.0 - rhs.as_secs())
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Time) -> Duration {
+        self.since(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_constructors_roundtrip() {
+        assert_eq!(Duration::from_hours(1.0).as_secs(), 3600.0);
+        assert_eq!(Duration::from_days(2.0).as_hours(), 48.0);
+        assert_eq!(Duration::from_years(1.0).as_days(), 365.0);
+        assert_eq!(Duration::HOUR.as_secs(), 3600.0);
+        assert_eq!(Duration::DAY.as_secs(), 86_400.0);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = Duration::from_secs(10.0);
+        let b = Duration::from_secs(4.0);
+        assert_eq!((a + b).as_secs(), 14.0);
+        assert_eq!((a - b).as_secs(), 6.0);
+        assert_eq!((a * 2.0).as_secs(), 20.0);
+        assert_eq!((a / 2.0).as_secs(), 5.0);
+        assert_eq!(a / b, 2.5);
+        assert_eq!((-a).as_secs(), -10.0);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_secs(), 14.0);
+        c -= b;
+        assert_eq!(c.as_secs(), 10.0);
+    }
+
+    #[test]
+    fn duration_clamping_and_minmax() {
+        assert_eq!(Duration::from_secs(-3.0).max_zero(), Duration::ZERO);
+        assert_eq!(Duration::from_secs(3.0).max_zero().as_secs(), 3.0);
+        let a = Duration::from_secs(1.0);
+        let b = Duration::from_secs(2.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn time_ordering_is_total() {
+        let a = Time::from_secs(1.0);
+        let b = Time::from_secs(2.0);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert!(Time::INFINITY > b);
+    }
+
+    #[test]
+    fn time_duration_interplay() {
+        let t = Time::from_secs(5.0);
+        let d = Duration::from_secs(2.5);
+        assert_eq!((t + d).as_secs(), 7.5);
+        assert_eq!((t - d).as_secs(), 2.5);
+        assert_eq!(((t + d) - t).as_secs(), 2.5);
+        assert_eq!(t.since(Time::ZERO).as_secs(), 5.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Duration::from_secs(5.0)), "5.000s");
+        assert_eq!(format!("{}", Duration::from_hours(2.0)), "2.000h");
+        assert_eq!(format!("{}", Duration::from_days(3.0)), "3.000d");
+        assert_eq!(format!("{}", Time::from_secs(1.5)), "t=1.500s");
+    }
+
+    #[test]
+    fn nan_sorts_consistently_via_total_cmp() {
+        // total_cmp places NaN above +inf; we never schedule NaN, but the
+        // order must still be total for heap safety.
+        let nan = Time::from_secs(f64::NAN);
+        let inf = Time::INFINITY;
+        assert!(nan > inf);
+        assert!(!nan.is_finite());
+    }
+}

@@ -1,0 +1,281 @@
+//! Node-failure traces.
+//!
+//! Following Section 5 of the paper, a simulation instance pre-computes its
+//! failure schedule: inter-arrival times are drawn from an exponential (or,
+//! for ablations, Weibull) distribution with the *system* MTBF
+//! `µ_sys = µ_ind / N`, and each failure strikes a uniformly random node.
+
+use crate::dist::{Exponential, Sample, Weibull};
+use crate::rng::Xoshiro256pp;
+use coopckpt_des::{Duration, Time};
+
+/// One node failure: which node dies and when.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureEvent {
+    /// The instant of the failure.
+    pub at: Time,
+    /// Index of the struck node in `[0, nodes)`.
+    pub node: usize,
+}
+
+/// A precomputed, time-ordered schedule of node failures.
+#[derive(Debug, Clone, Default)]
+pub struct FailureTrace {
+    events: Vec<FailureEvent>,
+}
+
+impl FailureTrace {
+    /// An empty (failure-free) trace.
+    pub fn empty() -> Self {
+        FailureTrace { events: Vec::new() }
+    }
+
+    /// Builds a trace from explicit events (must be time-ordered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if events are not sorted by time.
+    pub fn from_events(events: Vec<FailureEvent>) -> Self {
+        assert!(
+            events.windows(2).all(|w| w[0].at <= w[1].at),
+            "failure events must be time-ordered"
+        );
+        FailureTrace { events }
+    }
+
+    /// Generates a trace with exponential inter-arrival times at system rate
+    /// `nodes / node_mtbf`, up to `horizon`. This is the paper's model.
+    pub fn generate_exponential(
+        rng: &mut Xoshiro256pp,
+        nodes: usize,
+        node_mtbf: Duration,
+        horizon: Time,
+    ) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        let system_mean = node_mtbf.as_secs() / nodes as f64;
+        let dist = Exponential::from_mean(system_mean);
+        Self::generate_with(rng, nodes, &dist, horizon)
+    }
+
+    /// Generates a trace with Weibull inter-arrival times whose mean matches
+    /// the exponential system MTBF (`shape < 1` = infant mortality). Used by
+    /// the failure-distribution ablation.
+    pub fn generate_weibull(
+        rng: &mut Xoshiro256pp,
+        nodes: usize,
+        node_mtbf: Duration,
+        shape: f64,
+        horizon: Time,
+    ) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        let system_mean = node_mtbf.as_secs() / nodes as f64;
+        let dist = Weibull::from_mean(shape, system_mean);
+        Self::generate_with(rng, nodes, &dist, horizon)
+    }
+
+    /// Generates a trace from an arbitrary inter-arrival distribution.
+    pub fn generate_with(
+        rng: &mut Xoshiro256pp,
+        nodes: usize,
+        inter_arrival: &impl Sample,
+        horizon: Time,
+    ) -> Self {
+        assert!(horizon.is_finite(), "horizon must be finite");
+        let mut events = Vec::new();
+        let mut t = 0.0;
+        loop {
+            t += inter_arrival.sample(rng);
+            if t > horizon.as_secs() {
+                break;
+            }
+            let node = rng.next_bounded(nodes as u64) as usize;
+            events.push(FailureEvent {
+                at: Time::from_secs(t),
+                node,
+            });
+        }
+        FailureTrace { events }
+    }
+
+    /// Number of failures in the trace.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the trace has no failures.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The failures, in time order.
+    pub fn events(&self) -> &[FailureEvent] {
+        &self.events
+    }
+
+    /// Iterates over the failures in time order.
+    pub fn iter(&self) -> impl Iterator<Item = &FailureEvent> {
+        self.events.iter()
+    }
+
+    /// Empirical mean time between failures of the trace (over the window
+    /// `[0, horizon]` it was generated for, approximated by the last event).
+    pub fn empirical_mtbf(&self) -> Option<Duration> {
+        if self.events.len() < 2 {
+            return None;
+        }
+        let span = self.events.last().unwrap().at.as_secs() - self.events[0].at.as_secs();
+        Some(Duration::from_secs(span / (self.events.len() - 1) as f64))
+    }
+
+    /// Counts failures striking each node (histogram of length `nodes`).
+    pub fn per_node_counts(&self, nodes: usize) -> Vec<u32> {
+        let mut counts = vec![0u32; nodes];
+        for ev in &self.events {
+            counts[ev.node] += 1;
+        }
+        counts
+    }
+}
+
+impl<'a> IntoIterator for &'a FailureTrace {
+    type Item = &'a FailureEvent;
+    type IntoIter = std::slice::Iter<'a, FailureEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_trace_matches_system_mtbf() {
+        let mut rng = Xoshiro256pp::seed_from_u64(42);
+        // 1000 nodes, 2-year node MTBF → system MTBF ≈ 17.52 h.
+        let horizon = Time::from_secs(Duration::from_days(3650.0).as_secs());
+        let trace = FailureTrace::generate_exponential(
+            &mut rng,
+            1000,
+            Duration::from_years(2.0),
+            horizon,
+        );
+        let expected = Duration::from_years(2.0).as_secs() / 1000.0;
+        let got = trace.empirical_mtbf().unwrap().as_secs();
+        assert!(
+            (got - expected).abs() / expected < 0.05,
+            "empirical MTBF {got} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn trace_is_time_ordered() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let trace = FailureTrace::generate_exponential(
+            &mut rng,
+            100,
+            Duration::from_years(1.0),
+            Time::from_secs(Duration::from_days(365.0).as_secs()),
+        );
+        assert!(trace
+            .events()
+            .windows(2)
+            .all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn nodes_struck_roughly_uniformly() {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let nodes = 50;
+        let trace = FailureTrace::generate_exponential(
+            &mut rng,
+            nodes,
+            Duration::from_days(10.0), // very unreliable → many failures
+            Time::from_secs(Duration::from_days(1000.0).as_secs()),
+        );
+        let counts = trace.per_node_counts(nodes);
+        let total: u32 = counts.iter().sum();
+        assert_eq!(total as usize, trace.len());
+        let expected = total as f64 / nodes as f64;
+        assert!(expected > 50.0, "need enough samples, got {expected}");
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.5,
+                "node {i} count {c} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn weibull_trace_mean_matches() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let trace = FailureTrace::generate_weibull(
+            &mut rng,
+            1000,
+            Duration::from_years(2.0),
+            0.7,
+            Time::from_secs(Duration::from_days(3650.0).as_secs()),
+        );
+        let expected = Duration::from_years(2.0).as_secs() / 1000.0;
+        let got = trace.empirical_mtbf().unwrap().as_secs();
+        assert!(
+            (got - expected).abs() / expected < 0.08,
+            "Weibull empirical MTBF {got} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn empty_and_tiny_traces() {
+        assert!(FailureTrace::empty().is_empty());
+        assert!(FailureTrace::empty().empirical_mtbf().is_none());
+        let one = FailureTrace::from_events(vec![FailureEvent {
+            at: Time::from_secs(5.0),
+            node: 0,
+        }]);
+        assert_eq!(one.len(), 1);
+        assert!(one.empirical_mtbf().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn from_events_rejects_unsorted() {
+        FailureTrace::from_events(vec![
+            FailureEvent {
+                at: Time::from_secs(5.0),
+                node: 0,
+            },
+            FailureEvent {
+                at: Time::from_secs(1.0),
+                node: 1,
+            },
+        ]);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let horizon = Time::from_secs(Duration::from_days(100.0).as_secs());
+        let t1 = {
+            let mut rng = Xoshiro256pp::seed_from_u64(9);
+            FailureTrace::generate_exponential(&mut rng, 64, Duration::from_years(1.0), horizon)
+        };
+        let t2 = {
+            let mut rng = Xoshiro256pp::seed_from_u64(9);
+            FailureTrace::generate_exponential(&mut rng, 64, Duration::from_years(1.0), horizon)
+        };
+        assert_eq!(t1.events(), t2.events());
+    }
+
+    #[test]
+    fn iterator_visits_all() {
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let trace = FailureTrace::generate_exponential(
+            &mut rng,
+            16,
+            Duration::from_days(30.0),
+            Time::from_secs(Duration::from_days(90.0).as_secs()),
+        );
+        assert_eq!(trace.iter().count(), trace.len());
+        assert_eq!((&trace).into_iter().count(), trace.len());
+    }
+}

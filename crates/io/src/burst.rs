@@ -1,0 +1,245 @@
+//! Burst-buffer tier: the paper's Section 8 future-work extension.
+//!
+//! A burst buffer (BB) absorbs checkpoint writes at high dedicated
+//! bandwidth and drains them to the PFS in the background. The job is
+//! blocked only for the (short) absorb; durability on the PFS arrives when
+//! the drain completes. If the buffer lacks free space, the write must go
+//! to the PFS directly (admission control, no silent queueing).
+//!
+//! Like [`Pfs`](crate::Pfs), this is a passive, timestamp-driven state
+//! machine: the simulator starts drain transfers on the PFS itself and
+//! notifies the buffer when they complete, so the BB composes with any
+//! interference model and I/O discipline.
+
+use coopckpt_des::{Duration, Time};
+use coopckpt_model::{Bandwidth, Bytes};
+
+/// Outcome of asking the burst buffer to absorb a write.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Admission {
+    /// The buffer accepted the write; the job blocks for `absorb_time`,
+    /// after which a drain of `volume` must be issued to the PFS.
+    Accepted {
+        /// How long the writer is blocked (volume / write bandwidth).
+        absorb_time: Duration,
+    },
+    /// Not enough free space; the caller must write to the PFS directly.
+    Rejected {
+        /// Free space at the time of the request.
+        free: Bytes,
+    },
+}
+
+/// Aggregate burst-buffer statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BurstStats {
+    /// Writes absorbed by the buffer.
+    pub accepted: u64,
+    /// Writes rejected for lack of space.
+    pub rejected: u64,
+    /// Total bytes absorbed.
+    pub bytes_absorbed: Bytes,
+    /// Total bytes drained to the PFS.
+    pub bytes_drained: Bytes,
+    /// Peak occupancy observed.
+    pub peak_occupancy: Bytes,
+}
+
+/// A fixed-capacity burst buffer with dedicated absorb bandwidth.
+#[derive(Debug, Clone)]
+pub struct BurstBuffer {
+    capacity: Bytes,
+    write_bw: Bandwidth,
+    occupancy: Bytes,
+    stats: BurstStats,
+}
+
+impl BurstBuffer {
+    /// Creates a burst buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless capacity and write bandwidth are positive and finite.
+    pub fn new(capacity: Bytes, write_bw: Bandwidth) -> Self {
+        assert!(
+            capacity.is_valid() && !capacity.is_zero(),
+            "burst buffer capacity must be positive, got {capacity}"
+        );
+        assert!(
+            write_bw.is_valid() && !write_bw.is_zero(),
+            "burst buffer write bandwidth must be positive, got {write_bw}"
+        );
+        BurstBuffer {
+            capacity,
+            write_bw,
+            occupancy: Bytes::ZERO,
+            stats: BurstStats::default(),
+        }
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> Bytes {
+        self.capacity
+    }
+
+    /// Bytes currently held (absorbed but not yet fully drained).
+    pub fn occupancy(&self) -> Bytes {
+        self.occupancy
+    }
+
+    /// Free space.
+    pub fn free(&self) -> Bytes {
+        (self.capacity - self.occupancy).max_zero()
+    }
+
+    /// Dedicated absorb bandwidth.
+    pub fn write_bandwidth(&self) -> Bandwidth {
+        self.write_bw
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> BurstStats {
+        self.stats
+    }
+
+    /// The time to absorb `volume` at the dedicated write bandwidth.
+    pub fn absorb_time(&self, volume: Bytes) -> Duration {
+        volume.transfer_time(self.write_bw)
+    }
+
+    /// Requests admission of a `volume`-byte write at `now`.
+    ///
+    /// On acceptance the bytes occupy the buffer immediately (the absorb is
+    /// reserved space) and the caller is responsible for issuing the drain
+    /// to the PFS once the absorb completes, then calling
+    /// [`drain_complete`](BurstBuffer::drain_complete).
+    pub fn try_absorb(&mut self, _now: Time, volume: Bytes) -> Admission {
+        assert!(volume.is_valid(), "invalid write volume {volume}");
+        if volume > self.free() {
+            self.stats.rejected += 1;
+            return Admission::Rejected { free: self.free() };
+        }
+        self.occupancy += volume;
+        self.stats.accepted += 1;
+        self.stats.bytes_absorbed += volume;
+        self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.occupancy);
+        Admission::Accepted {
+            absorb_time: self.absorb_time(volume),
+        }
+    }
+
+    /// Notifies the buffer that a drain of `volume` bytes finished on the
+    /// PFS, freeing the space.
+    ///
+    /// # Panics
+    ///
+    /// Panics when more bytes are drained than are held (a protocol bug in
+    /// the caller).
+    pub fn drain_complete(&mut self, volume: Bytes) {
+        assert!(
+            volume.as_bytes() <= self.occupancy.as_bytes() + 1.0,
+            "drain of {volume} exceeds occupancy {}",
+            self.occupancy
+        );
+        self.occupancy = (self.occupancy - volume).max_zero();
+        self.stats.bytes_drained += volume;
+    }
+
+    /// Discards held bytes without draining (e.g. the owning job failed and
+    /// its buffered checkpoint is useless).
+    pub fn discard(&mut self, volume: Bytes) {
+        self.occupancy = (self.occupancy - volume).max_zero();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bb() -> BurstBuffer {
+        // 10 TB buffer absorbing at 500 GB/s.
+        BurstBuffer::new(Bytes::from_tb(10.0), Bandwidth::from_gbps(500.0))
+    }
+
+    #[test]
+    fn absorb_is_fast_and_occupies_space() {
+        let mut b = bb();
+        let v = Bytes::from_tb(2.0);
+        match b.try_absorb(Time::ZERO, v) {
+            Admission::Accepted { absorb_time } => {
+                // 2 TB at 500 GB/s = 4 s.
+                assert!((absorb_time.as_secs() - 4.0).abs() < 1e-9);
+            }
+            other => panic!("expected acceptance, got {other:?}"),
+        }
+        assert_eq!(b.occupancy(), v);
+        assert!((b.free().as_tb() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejection_when_full() {
+        let mut b = bb();
+        assert!(matches!(
+            b.try_absorb(Time::ZERO, Bytes::from_tb(9.0)),
+            Admission::Accepted { .. }
+        ));
+        match b.try_absorb(Time::from_secs(1.0), Bytes::from_tb(2.0)) {
+            Admission::Rejected { free } => {
+                assert!((free.as_tb() - 1.0).abs() < 1e-9);
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        assert_eq!(b.stats().rejected, 1);
+    }
+
+    #[test]
+    fn drain_frees_space() {
+        let mut b = bb();
+        b.try_absorb(Time::ZERO, Bytes::from_tb(6.0));
+        b.drain_complete(Bytes::from_tb(6.0));
+        assert!(b.occupancy().is_zero());
+        // Space is available again.
+        assert!(matches!(
+            b.try_absorb(Time::from_secs(10.0), Bytes::from_tb(10.0)),
+            Admission::Accepted { .. }
+        ));
+        let s = b.stats();
+        assert_eq!(s.accepted, 2);
+        assert!((s.bytes_absorbed.as_tb() - 16.0).abs() < 1e-9);
+        assert!((s.bytes_drained.as_tb() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_occupancy_tracked() {
+        let mut b = bb();
+        b.try_absorb(Time::ZERO, Bytes::from_tb(4.0));
+        b.try_absorb(Time::ZERO, Bytes::from_tb(5.0));
+        b.drain_complete(Bytes::from_tb(4.0));
+        b.try_absorb(Time::ZERO, Bytes::from_tb(1.0));
+        assert!((b.stats().peak_occupancy.as_tb() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn discard_on_failure() {
+        let mut b = bb();
+        b.try_absorb(Time::ZERO, Bytes::from_tb(3.0));
+        b.discard(Bytes::from_tb(3.0));
+        assert!(b.occupancy().is_zero());
+        // Discarded bytes never count as drained.
+        assert!(b.stats().bytes_drained.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds occupancy")]
+    fn overdrain_panics() {
+        let mut b = bb();
+        b.try_absorb(Time::ZERO, Bytes::from_tb(1.0));
+        b.drain_complete(Bytes::from_tb(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        BurstBuffer::new(Bytes::ZERO, Bandwidth::from_gbps(1.0));
+    }
+}

@@ -1,0 +1,205 @@
+//! Interference models: how concurrent streams divide PFS bandwidth.
+
+use coopckpt_model::Bandwidth;
+
+/// Splits the aggregate bandwidth among concurrent streams.
+///
+/// Implementations receive the positive weights of all active streams and
+/// write each stream's allocated rate into `rates` (same order). The kernel
+/// guarantees `weights.len() == rates.len()` and every weight is positive.
+pub trait InterferenceModel: Send + Sync + 'static {
+    /// Computes per-stream rates for the given weights.
+    fn split(&self, total: Bandwidth, weights: &[f64], rates: &mut [Bandwidth]);
+
+    /// Short model name for reports.
+    fn name(&self) -> &'static str;
+
+    /// The aggregate throughput achieved with `k` streams, as a fraction of
+    /// `total` (1.0 for work-conserving models). Used by reports and tests.
+    fn efficiency(&self, k: usize) -> f64 {
+        if k == 0 {
+            0.0
+        } else {
+            1.0
+        }
+    }
+}
+
+/// The paper's model: global throughput stays constant and is shared
+/// proportionally to stream weight (the number of nodes performing the I/O).
+///
+/// With two equal-size jobs writing simultaneously, each observes half the
+/// bandwidth and commits take twice as long — the CR–CR contention example
+/// of Section 1.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinearShare;
+
+impl InterferenceModel for LinearShare {
+    fn split(&self, total: Bandwidth, weights: &[f64], rates: &mut [Bandwidth]) {
+        let sum: f64 = weights.iter().sum();
+        if sum <= 0.0 {
+            rates.fill(Bandwidth::ZERO);
+            return;
+        }
+        for (rate, &w) in rates.iter_mut().zip(weights) {
+            *rate = total * (w / sum);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+}
+
+/// Adversarial variant (paper footnote 2): contention carries a cost, so
+/// the *global* throughput degrades as `k^(−alpha)` with `k` concurrent
+/// streams; what remains is shared proportionally to weight.
+///
+/// `alpha = 0` reduces to [`LinearShare`]; `alpha = 0.2` loses ~13 % of
+/// throughput at 2 streams and ~37 % at 10.
+#[derive(Debug, Clone, Copy)]
+pub struct DegradedShare {
+    /// Degradation exponent (≥ 0).
+    pub alpha: f64,
+}
+
+impl DegradedShare {
+    /// Creates a degraded-share model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is negative or non-finite.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha.is_finite() && alpha >= 0.0,
+            "alpha must be non-negative, got {alpha}"
+        );
+        DegradedShare { alpha }
+    }
+}
+
+impl InterferenceModel for DegradedShare {
+    fn split(&self, total: Bandwidth, weights: &[f64], rates: &mut [Bandwidth]) {
+        let k = weights.len();
+        let sum: f64 = weights.iter().sum();
+        if sum <= 0.0 || k == 0 {
+            rates.fill(Bandwidth::ZERO);
+            return;
+        }
+        let effective = total * self.efficiency(k);
+        for (rate, &w) in rates.iter_mut().zip(weights) {
+            *rate = effective * (w / sum);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "degraded"
+    }
+
+    fn efficiency(&self, k: usize) -> f64 {
+        if k == 0 {
+            0.0
+        } else {
+            (k as f64).powf(-self.alpha)
+        }
+    }
+}
+
+/// Equal split regardless of stream size: every stream gets `total / k`.
+///
+/// Models file systems whose fair-share QoS ignores client size; a stress
+/// variant for the ablation benches.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EqualShare;
+
+impl InterferenceModel for EqualShare {
+    fn split(&self, total: Bandwidth, weights: &[f64], rates: &mut [Bandwidth]) {
+        let k = weights.len();
+        if k == 0 {
+            return;
+        }
+        let each = total / k as f64;
+        rates.fill(each);
+    }
+
+    fn name(&self) -> &'static str {
+        "equal"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn split(model: &dyn InterferenceModel, total_gbps: f64, weights: &[f64]) -> Vec<f64> {
+        let mut rates = vec![Bandwidth::ZERO; weights.len()];
+        model.split(Bandwidth::from_gbps(total_gbps), weights, &mut rates);
+        rates.iter().map(|r| r.as_gbps()).collect()
+    }
+
+    #[test]
+    fn linear_share_is_proportional() {
+        let rates = split(&LinearShare, 100.0, &[1.0, 3.0]);
+        assert!((rates[0] - 25.0).abs() < 1e-9);
+        assert!((rates[1] - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_share_is_work_conserving() {
+        for n in 1..10 {
+            let weights: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+            let rates = split(&LinearShare, 160.0, &weights);
+            let total: f64 = rates.iter().sum();
+            assert!((total - 160.0).abs() < 1e-9, "n={n} total={total}");
+        }
+    }
+
+    #[test]
+    fn single_stream_gets_everything() {
+        assert!((split(&LinearShare, 40.0, &[7.0])[0] - 40.0).abs() < 1e-12);
+        assert!((split(&DegradedShare::new(0.3), 40.0, &[7.0])[0] - 40.0).abs() < 1e-12);
+        assert!((split(&EqualShare, 40.0, &[7.0])[0] - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degraded_share_loses_throughput() {
+        let m = DegradedShare::new(0.5);
+        let rates = split(&m, 100.0, &[1.0, 1.0]);
+        let total: f64 = rates.iter().sum();
+        // 2 streams at alpha=0.5 → total = 100 / sqrt(2).
+        assert!((total - 100.0 / 2f64.sqrt()).abs() < 1e-9);
+        assert!((m.efficiency(4) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degraded_alpha_zero_matches_linear() {
+        let a = split(&DegradedShare::new(0.0), 100.0, &[2.0, 5.0, 3.0]);
+        let b = split(&LinearShare, 100.0, &[2.0, 5.0, 3.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn equal_share_ignores_weights() {
+        let rates = split(&EqualShare, 90.0, &[1.0, 100.0, 5.0]);
+        for r in rates {
+            assert!((r - 30.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn degraded_rejects_negative_alpha() {
+        DegradedShare::new(-0.1);
+    }
+
+    #[test]
+    fn names_and_efficiencies() {
+        assert_eq!(LinearShare.name(), "linear");
+        assert_eq!(DegradedShare::new(0.1).name(), "degraded");
+        assert_eq!(EqualShare.name(), "equal");
+        assert_eq!(LinearShare.efficiency(5), 1.0);
+        assert_eq!(LinearShare.efficiency(0), 0.0);
+    }
+}

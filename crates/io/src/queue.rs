@@ -1,0 +1,222 @@
+//! Pending-request pool for token-based I/O disciplines.
+//!
+//! *Ordered* and *Ordered-NB* grant the I/O token First-Come-First-Served;
+//! *Least-Waste* grants it to the candidate minimizing expected platform
+//! waste. [`RequestQueue`] supports both: FCFS pop, and argmin selection
+//! under a caller-provided cost function that can inspect each request's
+//! metadata and age.
+
+use coopckpt_des::Time;
+use std::collections::VecDeque;
+
+/// Identifier of a queued request within one [`RequestQueue`]. Never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(u64);
+
+/// A queued I/O request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingRequest<M> {
+    /// The request's id.
+    pub id: RequestId,
+    /// When the request was issued (`d_j` in the paper is `now − arrived`).
+    pub arrived: Time,
+    /// Caller metadata (job id, transfer kind, volume, ...).
+    pub meta: M,
+}
+
+/// FIFO request pool with O(1) FCFS pop and linear-scan argmin selection.
+///
+/// Request counts here are small (one per concurrently waiting job), so a
+/// `VecDeque` with linear scans beats fancier structures and keeps
+/// iteration order — which *is* the FCFS order — obvious.
+#[derive(Debug, Clone, Default)]
+pub struct RequestQueue<M> {
+    queue: VecDeque<PendingRequest<M>>,
+    next_id: u64,
+}
+
+impl<M> RequestQueue<M> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        RequestQueue {
+            queue: VecDeque::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Number of pending requests.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Enqueues a request issued at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the arrival time of the most recent request
+    /// (arrivals must be non-decreasing so FCFS order equals queue order).
+    pub fn push(&mut self, now: Time, meta: M) -> RequestId {
+        if let Some(last) = self.queue.back() {
+            assert!(
+                now >= last.arrived,
+                "request arrivals must be non-decreasing"
+            );
+        }
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        self.queue.push_back(PendingRequest {
+            id,
+            arrived: now,
+            meta,
+        });
+        id
+    }
+
+    /// Removes and returns the oldest request (FCFS).
+    pub fn pop_fcfs(&mut self) -> Option<PendingRequest<M>> {
+        self.queue.pop_front()
+    }
+
+    /// Returns a reference to the oldest request without removing it.
+    pub fn peek_fcfs(&self) -> Option<&PendingRequest<M>> {
+        self.queue.front()
+    }
+
+    /// Removes and returns the request minimizing `cost`. Ties break in
+    /// FCFS order (the earliest arrival among minima), keeping selection
+    /// deterministic.
+    pub fn pop_min_by(
+        &mut self,
+        mut cost: impl FnMut(&PendingRequest<M>) -> f64,
+    ) -> Option<PendingRequest<M>> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        let mut best_idx = 0;
+        let mut best_cost = f64::INFINITY;
+        for (i, req) in self.queue.iter().enumerate() {
+            let c = cost(req);
+            debug_assert!(!c.is_nan(), "cost function returned NaN");
+            if c < best_cost {
+                best_cost = c;
+                best_idx = i;
+            }
+        }
+        self.queue.remove(best_idx)
+    }
+
+    /// Removes a specific request (e.g. its job failed while waiting).
+    pub fn remove(&mut self, id: RequestId) -> Option<PendingRequest<M>> {
+        let idx = self.queue.iter().position(|r| r.id == id)?;
+        self.queue.remove(idx)
+    }
+
+    /// Removes every request matching the predicate, returning them in FCFS
+    /// order (e.g. flush all requests of a failed job).
+    pub fn remove_where(&mut self, mut pred: impl FnMut(&PendingRequest<M>) -> bool) -> Vec<PendingRequest<M>> {
+        let mut removed = Vec::new();
+        let mut kept = VecDeque::with_capacity(self.queue.len());
+        for req in self.queue.drain(..) {
+            if pred(&req) {
+                removed.push(req);
+            } else {
+                kept.push_back(req);
+            }
+        }
+        self.queue = kept;
+        removed
+    }
+
+    /// Iterates pending requests in FCFS order.
+    pub fn iter(&self) -> impl Iterator<Item = &PendingRequest<M>> {
+        self.queue.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fcfs_order() {
+        let mut q = RequestQueue::new();
+        q.push(Time::from_secs(1.0), "a");
+        q.push(Time::from_secs(2.0), "b");
+        q.push(Time::from_secs(2.0), "c");
+        assert_eq!(q.pop_fcfs().unwrap().meta, "a");
+        assert_eq!(q.pop_fcfs().unwrap().meta, "b");
+        assert_eq!(q.pop_fcfs().unwrap().meta, "c");
+        assert!(q.pop_fcfs().is_none());
+    }
+
+    #[test]
+    fn pop_min_selects_cheapest() {
+        let mut q = RequestQueue::new();
+        q.push(Time::from_secs(0.0), 30.0f64);
+        q.push(Time::from_secs(1.0), 10.0);
+        q.push(Time::from_secs(2.0), 20.0);
+        let got = q.pop_min_by(|r| r.meta).unwrap();
+        assert_eq!(got.meta, 10.0);
+        assert_eq!(q.len(), 2);
+        // Remaining requests keep FCFS order.
+        let metas: Vec<f64> = q.iter().map(|r| r.meta).collect();
+        assert_eq!(metas, vec![30.0, 20.0]);
+    }
+
+    #[test]
+    fn pop_min_ties_break_fcfs() {
+        let mut q = RequestQueue::new();
+        q.push(Time::from_secs(0.0), "first");
+        q.push(Time::from_secs(1.0), "second");
+        let got = q.pop_min_by(|_| 1.0).unwrap();
+        assert_eq!(got.meta, "first");
+    }
+
+    #[test]
+    fn remove_by_id_and_predicate() {
+        let mut q = RequestQueue::new();
+        let a = q.push(Time::from_secs(0.0), ("job1", 1));
+        q.push(Time::from_secs(1.0), ("job2", 2));
+        q.push(Time::from_secs(2.0), ("job1", 3));
+        assert_eq!(q.remove(a).unwrap().meta, ("job1", 1));
+        assert!(q.remove(a).is_none());
+        let gone = q.remove_where(|r| r.meta.0 == "job1");
+        assert_eq!(gone.len(), 1);
+        assert_eq!(gone[0].meta, ("job1", 3));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_fcfs().unwrap().meta, ("job2", 2));
+    }
+
+    #[test]
+    fn ages_are_observable() {
+        let mut q = RequestQueue::new();
+        q.push(Time::from_secs(5.0), ());
+        let now = Time::from_secs(12.0);
+        let age = now.since(q.peek_fcfs().unwrap().arrived);
+        assert_eq!(age.as_secs(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn arrivals_must_be_monotone() {
+        let mut q = RequestQueue::new();
+        q.push(Time::from_secs(5.0), ());
+        q.push(Time::from_secs(4.0), ());
+    }
+
+    #[test]
+    fn ids_are_unique_and_ordered() {
+        let mut q = RequestQueue::new();
+        let a = q.push(Time::ZERO, ());
+        let b = q.push(Time::ZERO, ());
+        assert!(a < b);
+        q.pop_fcfs();
+        let c = q.push(Time::ZERO, ());
+        assert!(b < c);
+    }
+}

@@ -1,0 +1,278 @@
+//! Application classes and job instances.
+//!
+//! The paper models a small number of *application classes* (Section 2);
+//! each running *job* is an instance of a class. I/O volumes are stored as
+//! absolute bytes; the workload crate converts the APEX "% of memory"
+//! figures into bytes for a concrete platform.
+
+use crate::platform::Platform;
+use crate::units::{Bandwidth, Bytes};
+use coopckpt_des::Duration;
+use std::fmt;
+
+/// Identifier of an application class within a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ClassId(pub usize);
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+/// Identifier of a job instance within a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct JobId(pub usize);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "J{}", self.0)
+    }
+}
+
+/// An application class `A_i`: a set of jobs with similar size, duration,
+/// footprint, and I/O needs (paper Section 2, instantiated from Table 1).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AppClass {
+    /// Class name (e.g. `"EAP"`).
+    pub name: String,
+    /// Nodes used by each job of this class, `q_i`.
+    pub q_nodes: usize,
+    /// Typical work (pure compute) duration `w`; instances jitter around it.
+    pub walltime: Duration,
+    /// Share of platform resources this class should occupy (0..=1), from
+    /// the APEX "workload percentage".
+    pub resource_share: f64,
+    /// Initial input read at job start.
+    pub input_bytes: Bytes,
+    /// Final output written at job completion.
+    pub output_bytes: Bytes,
+    /// Size of one checkpoint file, `size_i`.
+    pub ckpt_bytes: Bytes,
+    /// Regular (non-CR) I/O performed during the run, spread evenly over the
+    /// makespan. The paper's Table 1 does not list this column, so APEX
+    /// presets use zero, but the model supports it as a first-class input.
+    pub regular_io_bytes: Bytes,
+}
+
+impl AppClass {
+    /// Interference-free checkpoint commit time `C_i = size_i / β_avail`.
+    pub fn ckpt_duration(&self, bw: Bandwidth) -> Duration {
+        self.ckpt_bytes.transfer_time(bw)
+    }
+
+    /// Interference-free recovery read time `R_i`. The paper assumes
+    /// symmetric read/write bandwidth, so `R_i = C_i`.
+    pub fn recovery_duration(&self, bw: Bandwidth) -> Duration {
+        self.ckpt_bytes.transfer_time(bw)
+    }
+
+    /// The MTBF of jobs in this class on `platform`: `µ_i = µ_ind / q_i`.
+    pub fn mtbf(&self, platform: &Platform) -> Duration {
+        platform.job_mtbf(self.q_nodes)
+    }
+
+    /// The Young/Daly period `P_Daly = √(2 µ_i C_i)` for this class when the
+    /// full PFS bandwidth is available for its checkpoint.
+    pub fn daly_period(&self, platform: &Platform) -> Duration {
+        crate::ckpt::young_daly_period(self.ckpt_duration(platform.pfs_bandwidth), self.mtbf(platform))
+    }
+
+    /// Memory footprint of one job of this class on `platform`
+    /// (`q_i` nodes worth of memory).
+    pub fn memory_footprint(&self, platform: &Platform) -> Bytes {
+        platform.mem_per_node * self.q_nodes as f64
+    }
+
+    /// Average rate of regular (non-CR) I/O over the makespan.
+    pub fn regular_io_rate(&self) -> Bandwidth {
+        if self.walltime.is_positive() {
+            self.regular_io_bytes / self.walltime
+        } else {
+            Bandwidth::ZERO
+        }
+    }
+
+    /// Scales every I/O volume by `factor` (used when projecting APEX onto
+    /// a machine with more memory, paper Section 6.2).
+    pub fn scale_volumes(&self, factor: f64) -> AppClass {
+        AppClass {
+            input_bytes: self.input_bytes * factor,
+            output_bytes: self.output_bytes * factor,
+            ckpt_bytes: self.ckpt_bytes * factor,
+            regular_io_bytes: self.regular_io_bytes * factor,
+            ..self.clone()
+        }
+    }
+}
+
+/// One job instance: a class plus its own (jittered) work duration and
+/// priority. Restarted jobs are new `JobSpec`s with reduced `work` and an
+/// input equal to the recovery size.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct JobSpec {
+    /// Unique id within the simulation.
+    pub id: JobId,
+    /// The class this job instantiates.
+    pub class: ClassId,
+    /// Nodes required, `q_j` (inherited from the class).
+    pub q_nodes: usize,
+    /// Pure compute time this job must accumulate to finish.
+    pub work: Duration,
+    /// Bytes read at startup (initial input, or recovery volume after a
+    /// failure).
+    pub input_bytes: Bytes,
+    /// Bytes written at completion.
+    pub output_bytes: Bytes,
+    /// Checkpoint file size.
+    pub ckpt_bytes: Bytes,
+    /// Regular (non-CR) I/O volume spread over the job's execution.
+    pub regular_io_bytes: Bytes,
+    /// Scheduling priority: smaller = earlier. Fresh jobs get their arrival
+    /// rank; restarted jobs get the minimum seen so far minus one, placing
+    /// them at the head of the queue (paper Section 2).
+    pub priority: i64,
+    /// True when this spec is the restart of a failed job.
+    pub is_restart: bool,
+}
+
+impl JobSpec {
+    /// Instantiates a fresh (non-restart) job from a class.
+    pub fn from_class(id: JobId, class_id: ClassId, class: &AppClass, work: Duration, priority: i64) -> Self {
+        JobSpec {
+            id,
+            class: class_id,
+            q_nodes: class.q_nodes,
+            work,
+            input_bytes: class.input_bytes,
+            output_bytes: class.output_bytes,
+            ckpt_bytes: class.ckpt_bytes,
+            regular_io_bytes: class.regular_io_bytes,
+            priority,
+            is_restart: false,
+        }
+    }
+
+    /// Builds the restart of this job after a failure: `remaining_work` is
+    /// the work left from the last successful checkpoint, the input becomes
+    /// the recovery read (checkpoint size), and the priority is boosted.
+    pub fn restart(&self, new_id: JobId, remaining_work: Duration, priority: i64) -> JobSpec {
+        JobSpec {
+            id: new_id,
+            class: self.class,
+            q_nodes: self.q_nodes,
+            work: remaining_work,
+            // Recovery I/O replaces the initial input; final output is
+            // unmodified (paper Section 2, "Job Scheduling Model").
+            input_bytes: self.ckpt_bytes,
+            output_bytes: self.output_bytes,
+            ckpt_bytes: self.ckpt_bytes,
+            regular_io_bytes: self.regular_io_bytes * (remaining_work / self.work.max(Duration::from_secs(1e-9))).clamp(0.0, 1.0),
+            priority,
+            is_restart: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn platform() -> Platform {
+        Platform::new(
+            "t",
+            1000,
+            8,
+            Bytes::from_gb(16.0),
+            Bandwidth::from_gbps(100.0),
+            Duration::from_years(2.0),
+        )
+        .unwrap()
+    }
+
+    fn class() -> AppClass {
+        AppClass {
+            name: "EAPlike".into(),
+            q_nodes: 100,
+            walltime: Duration::from_hours(100.0),
+            resource_share: 0.5,
+            input_bytes: Bytes::from_gb(50.0),
+            output_bytes: Bytes::from_tb(1.0),
+            ckpt_bytes: Bytes::from_tb(2.0),
+            regular_io_bytes: Bytes::from_tb(0.36),
+        }
+    }
+
+    #[test]
+    fn ckpt_and_recovery_durations() {
+        let c = class();
+        let bw = Bandwidth::from_gbps(100.0);
+        // 2 TB at 100 GB/s = 20 s.
+        assert!((c.ckpt_duration(bw).as_secs() - 20.0).abs() < 1e-9);
+        assert_eq!(c.ckpt_duration(bw), c.recovery_duration(bw));
+    }
+
+    #[test]
+    fn daly_period_formula() {
+        let c = class();
+        let p = platform();
+        let mu = p.job_mtbf(100).as_secs();
+        let ck = c.ckpt_duration(p.pfs_bandwidth).as_secs();
+        let expected = (2.0 * mu * ck).sqrt();
+        assert!((c.daly_period(&p).as_secs() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn memory_footprint_and_io_rate() {
+        let c = class();
+        let p = platform();
+        assert!((c.memory_footprint(&p).as_tb() - 1.6).abs() < 1e-9);
+        // 0.36 TB over 100 h = 1 GB / 1000 s.
+        let rate = c.regular_io_rate();
+        assert!((rate.as_bytes_per_sec() - 0.36e12 / 360_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scaling_volumes() {
+        let c = class().scale_volumes(2.0);
+        assert_eq!(c.ckpt_bytes, Bytes::from_tb(4.0));
+        assert_eq!(c.input_bytes, Bytes::from_gb(100.0));
+        assert_eq!(c.output_bytes, Bytes::from_tb(2.0));
+        assert_eq!(c.q_nodes, 100);
+    }
+
+    #[test]
+    fn job_from_class_inherits_fields() {
+        let c = class();
+        let j = JobSpec::from_class(JobId(7), ClassId(0), &c, Duration::from_hours(90.0), 7);
+        assert_eq!(j.q_nodes, c.q_nodes);
+        assert_eq!(j.ckpt_bytes, c.ckpt_bytes);
+        assert_eq!(j.input_bytes, c.input_bytes);
+        assert!(!j.is_restart);
+        assert_eq!(j.priority, 7);
+    }
+
+    #[test]
+    fn restart_swaps_input_for_recovery() {
+        let c = class();
+        let j = JobSpec::from_class(JobId(1), ClassId(0), &c, Duration::from_hours(100.0), 3);
+        let r = j.restart(JobId(2), Duration::from_hours(40.0), -1);
+        assert!(r.is_restart);
+        assert_eq!(r.input_bytes, j.ckpt_bytes);
+        assert_eq!(r.output_bytes, j.output_bytes);
+        assert_eq!(r.work, Duration::from_hours(40.0));
+        assert_eq!(r.priority, -1);
+        // Remaining regular I/O scales with remaining work fraction.
+        assert!((r.regular_io_bytes.as_bytes() - j.regular_io_bytes.as_bytes() * 0.4).abs() < 1.0);
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(format!("{}", ClassId(3)), "A3");
+        assert_eq!(format!("{}", JobId(12)), "J12");
+    }
+}

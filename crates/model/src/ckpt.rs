@@ -1,0 +1,186 @@
+//! Checkpoint-interval mathematics.
+//!
+//! * [`young_daly_period`] — the first-order optimum `P = √(2 µ C)` used
+//!   throughout the paper (their `P_Daly`).
+//! * [`daly_period_high_order`] — Daly's 2006 higher-order refinement,
+//!   provided as an extension for ablation studies.
+//! * [`steady_state_waste`] — Eq. (3): the fraction of a job's node-time
+//!   lost to resilience when checkpointing with period `P`.
+
+use coopckpt_des::Duration;
+
+/// First-order optimal checkpoint period `P = √(2 µ C)` (Young 1974 /
+/// Daly 2006, as used in the paper).
+///
+/// `c` is the interference-free checkpoint commit time, `mtbf` the MTBF of
+/// the *job* (`µ_j = µ_ind / q_j`).
+///
+/// # Panics
+///
+/// Panics if either argument is non-positive or non-finite.
+pub fn young_daly_period(c: Duration, mtbf: Duration) -> Duration {
+    assert!(
+        c.is_finite() && c.is_positive(),
+        "checkpoint cost must be positive, got {c}"
+    );
+    assert!(
+        mtbf.is_finite() && mtbf.is_positive(),
+        "MTBF must be positive, got {mtbf}"
+    );
+    Duration::from_secs((2.0 * mtbf.as_secs() * c.as_secs()).sqrt())
+}
+
+/// Daly's higher-order estimate of the optimum checkpoint interval
+/// (J. T. Daly, FGCS 22(3), 2006).
+///
+/// For `C < 2µ`:
+/// `P = √(2Cµ) · [1 + ⅓·√(C/(2µ)) + (1/9)·(C/(2µ))] − C`,
+/// otherwise `P = µ`. The returned value is the *compute* segment between
+/// checkpoints; the paper's simulator uses the first-order form, this one is
+/// exposed for the ablation benches.
+pub fn daly_period_high_order(c: Duration, mtbf: Duration) -> Duration {
+    assert!(
+        c.is_finite() && c.is_positive(),
+        "checkpoint cost must be positive, got {c}"
+    );
+    assert!(
+        mtbf.is_finite() && mtbf.is_positive(),
+        "MTBF must be positive, got {mtbf}"
+    );
+    let c = c.as_secs();
+    let mu = mtbf.as_secs();
+    if c >= 2.0 * mu {
+        return Duration::from_secs(mu);
+    }
+    let x = c / (2.0 * mu);
+    let base = (2.0 * c * mu).sqrt();
+    Duration::from_secs(base * (1.0 + x.sqrt() / 3.0 + x / 9.0) - c)
+}
+
+/// Steady-state waste of a job checkpointing with period `p` (paper Eq. (3)):
+///
+/// `W = C/P + (1/µ)(P/2 + R)`
+///
+/// where `µ` is the job MTBF. The first term is time spent writing
+/// checkpoints; the second is expected rollback-and-recover time per unit
+/// time. Valid in the first-order regime `P ≪ µ`.
+pub fn steady_state_waste(c: Duration, r: Duration, p: Duration, mtbf: Duration) -> f64 {
+    assert!(p.is_positive(), "period must be positive, got {p}");
+    assert!(mtbf.is_positive(), "MTBF must be positive, got {mtbf}");
+    c.as_secs() / p.as_secs() + (p.as_secs() / 2.0 + r.as_secs()) / mtbf.as_secs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn young_daly_matches_closed_form() {
+        // C = 200 s, µ = 10000 s → P = sqrt(2*200*10000) = 2000 s.
+        let p = young_daly_period(Duration::from_secs(200.0), Duration::from_secs(10_000.0));
+        assert!((p.as_secs() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn young_daly_scales_as_sqrt() {
+        let p1 = young_daly_period(Duration::from_secs(100.0), Duration::from_secs(10_000.0));
+        let p2 = young_daly_period(Duration::from_secs(400.0), Duration::from_secs(10_000.0));
+        assert!((p2.as_secs() / p1.as_secs() - 2.0).abs() < 1e-12);
+        let p3 = young_daly_period(Duration::from_secs(100.0), Duration::from_secs(40_000.0));
+        assert!((p3.as_secs() / p1.as_secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint cost must be positive")]
+    fn young_daly_rejects_zero_cost() {
+        young_daly_period(Duration::ZERO, Duration::from_secs(100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "MTBF must be positive")]
+    fn young_daly_rejects_zero_mtbf() {
+        young_daly_period(Duration::from_secs(10.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn high_order_close_to_first_order_when_c_small() {
+        let c = Duration::from_secs(10.0);
+        let mu = Duration::from_secs(1_000_000.0);
+        let p1 = young_daly_period(c, mu);
+        let p2 = daly_period_high_order(c, mu);
+        // Correction terms are O(sqrt(C/2µ)) ≈ 0.2 %; difference from the
+        // first-order period stays within 1 %.
+        assert!((p2.as_secs() - p1.as_secs()).abs() / p1.as_secs() < 0.01);
+    }
+
+    #[test]
+    fn high_order_saturates_at_mtbf() {
+        let p = daly_period_high_order(Duration::from_secs(500.0), Duration::from_secs(100.0));
+        assert_eq!(p.as_secs(), 100.0);
+    }
+
+    #[test]
+    fn waste_minimized_at_daly_period() {
+        let c = Duration::from_secs(300.0);
+        let r = Duration::from_secs(300.0);
+        let mu = Duration::from_secs(30_000.0);
+        let p_star = young_daly_period(c, mu);
+        let w_star = steady_state_waste(c, r, p_star, mu);
+        for factor in [0.5, 0.8, 1.25, 2.0] {
+            let w = steady_state_waste(c, r, p_star * factor, mu);
+            assert!(
+                w > w_star,
+                "waste at {factor}x period ({w}) should exceed optimum ({w_star})"
+            );
+        }
+    }
+
+    #[test]
+    fn waste_components_add_up() {
+        // With no failures contribution removed (µ → ∞) waste ≈ C/P.
+        let w = steady_state_waste(
+            Duration::from_secs(60.0),
+            Duration::from_secs(60.0),
+            Duration::from_secs(3600.0),
+            Duration::from_secs(1e15),
+        );
+        assert!((w - 60.0 / 3600.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The Young/Daly period minimizes Eq. (3) over a dense grid of
+        /// alternative periods, for arbitrary parameter combinations.
+        #[test]
+        fn daly_is_argmin_of_waste(
+            c_secs in 1.0f64..5_000.0,
+            mu_secs in 10_000.0f64..1e9,
+            r_factor in 0.0f64..4.0,
+        ) {
+            let c = Duration::from_secs(c_secs);
+            let r = Duration::from_secs(c_secs * r_factor);
+            let mu = Duration::from_secs(mu_secs);
+            let p_star = young_daly_period(c, mu);
+            let w_star = steady_state_waste(c, r, p_star, mu);
+            for k in [0.25, 0.5, 0.9, 1.1, 2.0, 4.0] {
+                let w = steady_state_waste(c, r, p_star * k, mu);
+                prop_assert!(w >= w_star - 1e-12);
+            }
+        }
+
+        /// P scales as sqrt(µ) and sqrt(C).
+        #[test]
+        fn daly_scaling_laws(c in 1.0f64..1000.0, mu in 1000.0f64..1e8) {
+            let p = young_daly_period(Duration::from_secs(c), Duration::from_secs(mu));
+            let p4c = young_daly_period(Duration::from_secs(4.0 * c), Duration::from_secs(mu));
+            let p4mu = young_daly_period(Duration::from_secs(c), Duration::from_secs(4.0 * mu));
+            prop_assert!((p4c.as_secs() / p.as_secs() - 2.0).abs() < 1e-9);
+            prop_assert!((p4mu.as_secs() / p.as_secs() - 2.0).abs() < 1e-9);
+        }
+    }
+}

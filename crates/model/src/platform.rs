@@ -1,0 +1,251 @@
+//! Platform description: nodes, memory, PFS bandwidth, reliability.
+
+use crate::units::{Bandwidth, Bytes};
+use coopckpt_des::Duration;
+use std::fmt;
+
+/// Errors raised by [`Platform::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// The platform must have at least one node.
+    NoNodes,
+    /// Per-node memory must be positive and finite.
+    BadMemory(Bytes),
+    /// PFS bandwidth must be positive and finite.
+    BadBandwidth(Bandwidth),
+    /// Node MTBF must be positive and finite.
+    BadMtbf(Duration),
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::NoNodes => write!(f, "platform must have at least one node"),
+            PlatformError::BadMemory(m) => write!(f, "invalid per-node memory: {m}"),
+            PlatformError::BadBandwidth(b) => write!(f, "invalid PFS bandwidth: {b}"),
+            PlatformError::BadMtbf(d) => write!(f, "invalid node MTBF: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+/// A shared HPC platform as modeled in Section 2 of the paper.
+///
+/// Compute nodes are space-shared (dedicated to one job at a time); the
+/// parallel file system is time-shared. Failures strike individual nodes
+/// with mean time between failures [`node_mtbf`](Platform::node_mtbf);
+/// failed nodes are replaced immediately from hot spares, so the node count
+/// is constant.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Platform {
+    /// Human-readable platform name (e.g. `"Cielo"`).
+    pub name: String,
+    /// Number of compute nodes `N` — the unit of allocation and failure.
+    pub nodes: usize,
+    /// Cores per node (informational; job sizes are expressed in nodes).
+    pub cores_per_node: usize,
+    /// Memory per node.
+    pub mem_per_node: Bytes,
+    /// Aggregate parallel-file-system bandwidth `β_tot`, shared by all jobs.
+    pub pfs_bandwidth: Bandwidth,
+    /// Mean time between failures of an individual node, `µ_ind`.
+    pub node_mtbf: Duration,
+}
+
+impl Platform {
+    /// Creates a platform, validating every field.
+    pub fn new(
+        name: impl Into<String>,
+        nodes: usize,
+        cores_per_node: usize,
+        mem_per_node: Bytes,
+        pfs_bandwidth: Bandwidth,
+        node_mtbf: Duration,
+    ) -> Result<Self, PlatformError> {
+        let p = Platform {
+            name: name.into(),
+            nodes,
+            cores_per_node,
+            mem_per_node,
+            pfs_bandwidth,
+            node_mtbf,
+        };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Checks the internal consistency of the description.
+    pub fn validate(&self) -> Result<(), PlatformError> {
+        if self.nodes == 0 {
+            return Err(PlatformError::NoNodes);
+        }
+        if !self.mem_per_node.is_valid() || self.mem_per_node.is_zero() {
+            return Err(PlatformError::BadMemory(self.mem_per_node));
+        }
+        if !self.pfs_bandwidth.is_valid() || self.pfs_bandwidth.is_zero() {
+            return Err(PlatformError::BadBandwidth(self.pfs_bandwidth));
+        }
+        if !self.node_mtbf.is_finite() || !self.node_mtbf.is_positive() {
+            return Err(PlatformError::BadMtbf(self.node_mtbf));
+        }
+        Ok(())
+    }
+
+    /// Total platform memory.
+    pub fn total_memory(&self) -> Bytes {
+        self.mem_per_node * self.nodes as f64
+    }
+
+    /// Total core count.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    /// System MTBF `µ = µ_ind / N`: the mean time between failures anywhere
+    /// on the platform (failures across nodes are independent exponentials).
+    pub fn system_mtbf(&self) -> Duration {
+        self.node_mtbf / self.nodes as f64
+    }
+
+    /// MTBF experienced by a job spanning `q` nodes: `µ_j = µ_ind / q`.
+    pub fn job_mtbf(&self, q_nodes: usize) -> Duration {
+        assert!(q_nodes > 0, "job must use at least one node");
+        self.node_mtbf / q_nodes as f64
+    }
+
+    /// Returns a copy with a different PFS bandwidth (bandwidth sweeps).
+    pub fn with_bandwidth(&self, bw: Bandwidth) -> Platform {
+        Platform {
+            pfs_bandwidth: bw,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with a different node MTBF (reliability sweeps).
+    pub fn with_node_mtbf(&self, mtbf: Duration) -> Platform {
+        Platform {
+            node_mtbf: mtbf,
+            ..self.clone()
+        }
+    }
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} nodes x {} cores, {} / node, PFS {}, node MTBF {}",
+            self.name,
+            self.nodes,
+            self.cores_per_node,
+            self.mem_per_node,
+            self.pfs_bandwidth,
+            self.node_mtbf
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Platform {
+        Platform::new(
+            "test",
+            1000,
+            8,
+            Bytes::from_gb(16.0),
+            Bandwidth::from_gbps(100.0),
+            Duration::from_years(2.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let p = sample();
+        assert_eq!(p.total_cores(), 8000);
+        assert!((p.total_memory().as_tb() - 16.0).abs() < 1e-9);
+        // System MTBF = node MTBF / N.
+        let expected = Duration::from_years(2.0).as_secs() / 1000.0;
+        assert!((p.system_mtbf().as_secs() - expected).abs() < 1e-6);
+        // Job MTBF = node MTBF / q.
+        let expected = Duration::from_years(2.0).as_secs() / 100.0;
+        assert!((p.job_mtbf(100).as_secs() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        assert_eq!(
+            Platform::new(
+                "x",
+                0,
+                8,
+                Bytes::from_gb(1.0),
+                Bandwidth::from_gbps(1.0),
+                Duration::from_years(1.0)
+            )
+            .unwrap_err(),
+            PlatformError::NoNodes
+        );
+        assert!(matches!(
+            Platform::new(
+                "x",
+                10,
+                8,
+                Bytes::ZERO,
+                Bandwidth::from_gbps(1.0),
+                Duration::from_years(1.0)
+            ),
+            Err(PlatformError::BadMemory(_))
+        ));
+        assert!(matches!(
+            Platform::new(
+                "x",
+                10,
+                8,
+                Bytes::from_gb(1.0),
+                Bandwidth::ZERO,
+                Duration::from_years(1.0)
+            ),
+            Err(PlatformError::BadBandwidth(_))
+        ));
+        assert!(matches!(
+            Platform::new(
+                "x",
+                10,
+                8,
+                Bytes::from_gb(1.0),
+                Bandwidth::from_gbps(1.0),
+                Duration::ZERO
+            ),
+            Err(PlatformError::BadMtbf(_))
+        ));
+    }
+
+    #[test]
+    fn sweep_helpers_change_one_field() {
+        let p = sample();
+        let p2 = p.with_bandwidth(Bandwidth::from_gbps(40.0));
+        assert_eq!(p2.pfs_bandwidth, Bandwidth::from_gbps(40.0));
+        assert_eq!(p2.nodes, p.nodes);
+        let p3 = p.with_node_mtbf(Duration::from_years(10.0));
+        assert_eq!(p3.node_mtbf, Duration::from_years(10.0));
+        assert_eq!(p3.pfs_bandwidth, p.pfs_bandwidth);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn job_mtbf_rejects_zero_nodes() {
+        sample().job_mtbf(0);
+    }
+
+    #[test]
+    fn display_is_reasonable() {
+        let s = format!("{}", sample());
+        assert!(s.contains("test"));
+        assert!(s.contains("1000 nodes"));
+    }
+}

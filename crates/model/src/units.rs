@@ -1,0 +1,398 @@
+//! Dimensioned quantities: data volumes and bandwidths.
+//!
+//! Volumes are carried as `f64` bytes. Checkpoint files on the platforms the
+//! paper studies reach hundreds of terabytes; `f64` holds these exactly
+//! (they are far below 2^53) and divides cleanly into fractional transfer
+//! rates, which is what the fluid-flow I/O model needs.
+
+use coopckpt_des::Duration;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A volume of data, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Bytes(f64);
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0.0);
+
+    /// Creates a volume from raw bytes.
+    #[inline]
+    pub const fn new(bytes: f64) -> Self {
+        Bytes(bytes)
+    }
+
+    /// Creates a volume from gibi-scale gigabytes (10^9 bytes — the decimal
+    /// convention used for file-system bandwidth marketing, e.g. "160 GB/s").
+    #[inline]
+    pub fn from_gb(gb: f64) -> Self {
+        Bytes(gb * 1e9)
+    }
+
+    /// Creates a volume from terabytes (10^12 bytes).
+    #[inline]
+    pub fn from_tb(tb: f64) -> Self {
+        Bytes(tb * 1e12)
+    }
+
+    /// Creates a volume from petabytes (10^15 bytes).
+    #[inline]
+    pub fn from_pb(pb: f64) -> Self {
+        Bytes(pb * 1e15)
+    }
+
+    /// The volume in bytes.
+    #[inline]
+    pub const fn as_bytes(self) -> f64 {
+        self.0
+    }
+
+    /// The volume in gigabytes (10^9).
+    #[inline]
+    pub fn as_gb(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// The volume in terabytes (10^12).
+    #[inline]
+    pub fn as_tb(self) -> f64 {
+        self.0 / 1e12
+    }
+
+    /// True when the volume is finite and non-negative.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+
+    /// True for exactly zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// Clamps to be non-negative (useful after subtracting fluid progress).
+    #[inline]
+    pub fn max_zero(self) -> Self {
+        Bytes(self.0.max(0.0))
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, other: Self) -> Self {
+        Bytes(self.0.min(other.0))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        Bytes(self.0.max(other.0))
+    }
+
+    /// The time needed to move this volume at `bw`.
+    #[inline]
+    pub fn transfer_time(self, bw: Bandwidth) -> Duration {
+        Duration::from_secs(self.0 / bw.as_bytes_per_sec())
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        if b >= 1e15 {
+            write!(f, "{:.3}PB", b / 1e15)
+        } else if b >= 1e12 {
+            write!(f, "{:.3}TB", b / 1e12)
+        } else if b >= 1e9 {
+            write!(f, "{:.3}GB", b / 1e9)
+        } else if b >= 1e6 {
+            write!(f, "{:.3}MB", b / 1e6)
+        } else {
+            write!(f, "{:.0}B", b)
+        }
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    #[inline]
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Bytes {
+    type Output = Bytes;
+    #[inline]
+    fn sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 - rhs.0)
+    }
+}
+
+impl AddAssign for Bytes {
+    #[inline]
+    fn add_assign(&mut self, rhs: Bytes) {
+        self.0 += rhs.0;
+    }
+}
+
+impl SubAssign for Bytes {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Bytes) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for Bytes {
+    type Output = Bytes;
+    #[inline]
+    fn mul(self, rhs: f64) -> Bytes {
+        Bytes(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Bytes {
+    type Output = Bytes;
+    #[inline]
+    fn div(self, rhs: f64) -> Bytes {
+        Bytes(self.0 / rhs)
+    }
+}
+
+impl Div<Bytes> for Bytes {
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: Bytes) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Div<Duration> for Bytes {
+    type Output = Bandwidth;
+    #[inline]
+    fn div(self, rhs: Duration) -> Bandwidth {
+        Bandwidth::new(self.0 / rhs.as_secs())
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        Bytes(iter.map(|b| b.0).sum())
+    }
+}
+
+/// A data rate, in bytes per second.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Bandwidth(f64);
+
+impl Bandwidth {
+    /// Zero rate.
+    pub const ZERO: Bandwidth = Bandwidth(0.0);
+
+    /// Creates a rate from bytes per second.
+    #[inline]
+    pub const fn new(bytes_per_sec: f64) -> Self {
+        Bandwidth(bytes_per_sec)
+    }
+
+    /// Creates a rate from GB/s (10^9 bytes per second).
+    #[inline]
+    pub fn from_gbps(gbps: f64) -> Self {
+        Bandwidth(gbps * 1e9)
+    }
+
+    /// Creates a rate from TB/s (10^12 bytes per second).
+    #[inline]
+    pub fn from_tbps(tbps: f64) -> Self {
+        Bandwidth(tbps * 1e12)
+    }
+
+    /// The rate in bytes per second.
+    #[inline]
+    pub const fn as_bytes_per_sec(self) -> f64 {
+        self.0
+    }
+
+    /// The rate in GB/s.
+    #[inline]
+    pub fn as_gbps(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// True when the rate is finite and non-negative.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+
+    /// True for exactly zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, other: Self) -> Self {
+        Bandwidth(self.0.min(other.0))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        Bandwidth(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1e12 {
+            write!(f, "{:.3}TB/s", self.0 / 1e12)
+        } else {
+            write!(f, "{:.3}GB/s", self.0 / 1e9)
+        }
+    }
+}
+
+impl Add for Bandwidth {
+    type Output = Bandwidth;
+    #[inline]
+    fn add(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Bandwidth {
+    type Output = Bandwidth;
+    #[inline]
+    fn sub(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Bandwidth {
+    type Output = Bandwidth;
+    #[inline]
+    fn mul(self, rhs: f64) -> Bandwidth {
+        Bandwidth(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Bandwidth {
+    type Output = Bandwidth;
+    #[inline]
+    fn div(self, rhs: f64) -> Bandwidth {
+        Bandwidth(self.0 / rhs)
+    }
+}
+
+impl Div<Bandwidth> for Bandwidth {
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: Bandwidth) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Mul<Duration> for Bandwidth {
+    type Output = Bytes;
+    #[inline]
+    fn mul(self, rhs: Duration) -> Bytes {
+        Bytes(self.0 * rhs.as_secs())
+    }
+}
+
+impl Sum for Bandwidth {
+    fn sum<I: Iterator<Item = Bandwidth>>(iter: I) -> Bandwidth {
+        Bandwidth(iter.map(|b| b.0).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_constructors() {
+        assert_eq!(Bytes::from_gb(1.0).as_bytes(), 1e9);
+        assert_eq!(Bytes::from_tb(1.0).as_gb(), 1000.0);
+        assert_eq!(Bytes::from_pb(1.0).as_tb(), 1000.0);
+    }
+
+    #[test]
+    fn byte_arithmetic() {
+        let a = Bytes::from_gb(10.0);
+        let b = Bytes::from_gb(4.0);
+        assert_eq!((a + b).as_gb(), 14.0);
+        assert_eq!((a - b).as_gb(), 6.0);
+        assert_eq!((a * 2.0).as_gb(), 20.0);
+        assert_eq!((a / 2.0).as_gb(), 5.0);
+        assert!((a / b - 2.5).abs() < 1e-12);
+        let mut c = a;
+        c += b;
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn transfer_time_matches_rate() {
+        let v = Bytes::from_gb(160.0);
+        let bw = Bandwidth::from_gbps(160.0);
+        assert!((v.transfer_time(bw).as_secs() - 1.0).abs() < 1e-12);
+        // And the inverse: bandwidth * time = volume.
+        let back = bw * Duration::from_secs(1.0);
+        assert!((back.as_gb() - 160.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bytes_over_duration_gives_bandwidth() {
+        let rate = Bytes::from_gb(100.0) / Duration::from_secs(10.0);
+        assert!((rate.as_gbps() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validity_checks() {
+        assert!(Bytes::from_gb(1.0).is_valid());
+        assert!(!Bytes::new(-1.0).is_valid());
+        assert!(!Bytes::new(f64::NAN).is_valid());
+        assert!(Bandwidth::from_gbps(1.0).is_valid());
+        assert!(!Bandwidth::new(f64::INFINITY).is_valid());
+        assert!(Bytes::ZERO.is_zero());
+        assert!(Bandwidth::ZERO.is_zero());
+    }
+
+    #[test]
+    fn clamp_and_minmax() {
+        assert_eq!(Bytes::new(-5.0).max_zero(), Bytes::ZERO);
+        let a = Bytes::from_gb(1.0);
+        let b = Bytes::from_gb(2.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        let x = Bandwidth::from_gbps(1.0);
+        let y = Bandwidth::from_gbps(2.0);
+        assert_eq!(x.min(y), x);
+        assert_eq!(x.max(y), y);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(format!("{}", Bytes::from_gb(2.0)), "2.000GB");
+        assert_eq!(format!("{}", Bytes::from_tb(3.5)), "3.500TB");
+        assert_eq!(format!("{}", Bytes::from_pb(1.0)), "1.000PB");
+        assert_eq!(format!("{}", Bytes::new(12.0)), "12B");
+        assert_eq!(format!("{}", Bandwidth::from_gbps(40.0)), "40.000GB/s");
+        assert_eq!(format!("{}", Bandwidth::from_tbps(1.5)), "1.500TB/s");
+    }
+
+    #[test]
+    fn sums() {
+        let total: Bytes = (1..=4).map(|i| Bytes::from_gb(i as f64)).sum();
+        assert_eq!(total.as_gb(), 10.0);
+        let total: Bandwidth = (1..=3).map(|i| Bandwidth::from_gbps(i as f64)).sum();
+        assert_eq!(total.as_gbps(), 6.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Job-scheduling substrate: node pool plus greedy first-fit scheduler.
+//!
+//! The paper's job scheduling model (Sections 2 and 5): all jobs are
+//! presented to the scheduler ordered by priority (arrival rank); a simple
+//! greedy **first-fit** pass starts, in priority order, every pending job
+//! that currently fits in the free nodes. Restarted (failed) jobs are
+//! resubmitted with the highest priority so they reclaim nodes immediately.
+//!
+//! Nodes are interchangeable; the pool tracks which allocation occupies
+//! each node so that a random node failure can be mapped to its victim job.
+//!
+//! ```
+//! use coopckpt_sched::Scheduler;
+//!
+//! let mut sched: Scheduler<&'static str> = Scheduler::new(100);
+//! sched.submit(0, 60, "big");
+//! sched.submit(1, 50, "too-big-for-now");
+//! sched.submit(2, 30, "fits-in-hole");
+//! let started = sched.run_fit_pass();
+//! // First-fit: "big" (60 nodes) starts, "too-big-for-now" (50) skipped,
+//! // "fits-in-hole" (30) backfills into the remaining 40 nodes.
+//! let names: Vec<_> = started.iter().map(|s| s.payload).collect();
+//! assert_eq!(names, vec!["big", "fits-in-hole"]);
+//! ```
+
+mod pool;
+mod scheduler;
+
+pub use pool::{AllocId, NodePool};
+pub use scheduler::{Scheduler, StartedJob};

@@ -1,0 +1,228 @@
+//! The node pool: who occupies which node.
+
+use std::collections::HashMap;
+
+/// Identifier of one allocation (a job's set of nodes). Never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AllocId(u64);
+
+/// Tracks the occupancy of the platform's nodes.
+///
+/// Nodes are indexed `0..nodes`. Allocation hands out the lowest-numbered
+/// free nodes (deterministic, and irrelevant to the model since nodes are
+/// interchangeable — the index only matters to map a failing node to its
+/// victim).
+#[derive(Debug, Clone)]
+pub struct NodePool {
+    /// Per-node occupant.
+    assignment: Vec<Option<AllocId>>,
+    /// Free node indices, kept sorted descending so `pop` yields the lowest.
+    free: Vec<usize>,
+    /// Nodes of each live allocation.
+    allocs: HashMap<AllocId, Vec<usize>>,
+    next_id: u64,
+}
+
+impl NodePool {
+    /// Creates a pool of `nodes` free nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0, "pool must have at least one node");
+        NodePool {
+            assignment: vec![None; nodes],
+            free: (0..nodes).rev().collect(),
+            allocs: HashMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Total number of nodes.
+    pub fn total(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of free nodes.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Number of allocated nodes.
+    pub fn allocated_count(&self) -> usize {
+        self.total() - self.free_count()
+    }
+
+    /// Fraction of nodes allocated, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        self.allocated_count() as f64 / self.total() as f64
+    }
+
+    /// Allocates `q` nodes, or returns `None` if fewer are free.
+    pub fn allocate(&mut self, q: usize) -> Option<AllocId> {
+        assert!(q > 0, "allocation must request at least one node");
+        if q > self.free.len() {
+            return None;
+        }
+        let id = AllocId(self.next_id);
+        self.next_id += 1;
+        let nodes: Vec<usize> = (0..q).map(|_| self.free.pop().expect("checked len")).collect();
+        for &n in &nodes {
+            debug_assert!(self.assignment[n].is_none());
+            self.assignment[n] = Some(id);
+        }
+        self.allocs.insert(id, nodes);
+        Some(id)
+    }
+
+    /// Releases an allocation, freeing its nodes. Returns the freed node
+    /// indices, or `None` if the id is unknown (already released).
+    pub fn release(&mut self, id: AllocId) -> Option<Vec<usize>> {
+        let nodes = self.allocs.remove(&id)?;
+        for &n in &nodes {
+            debug_assert_eq!(self.assignment[n], Some(id));
+            self.assignment[n] = None;
+            self.free.push(n);
+        }
+        // Keep the free stack deterministic (lowest index allocated first).
+        self.free.sort_unstable_by(|a, b| b.cmp(a));
+        Some(nodes)
+    }
+
+    /// The allocation occupying `node`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is out of range.
+    pub fn occupant(&self, node: usize) -> Option<AllocId> {
+        self.assignment[node]
+    }
+
+    /// The nodes of a live allocation.
+    pub fn nodes_of(&self, id: AllocId) -> Option<&[usize]> {
+        self.allocs.get(&id).map(|v| v.as_slice())
+    }
+
+    /// Number of live allocations.
+    pub fn live_allocations(&self) -> usize {
+        self.allocs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_release_roundtrip() {
+        let mut pool = NodePool::new(10);
+        let a = pool.allocate(4).unwrap();
+        assert_eq!(pool.free_count(), 6);
+        assert_eq!(pool.allocated_count(), 4);
+        assert_eq!(pool.nodes_of(a).unwrap().len(), 4);
+        let freed = pool.release(a).unwrap();
+        assert_eq!(freed.len(), 4);
+        assert_eq!(pool.free_count(), 10);
+        assert!(pool.release(a).is_none(), "double release is a no-op");
+    }
+
+    #[test]
+    fn refuses_oversized_requests() {
+        let mut pool = NodePool::new(5);
+        assert!(pool.allocate(6).is_none());
+        let _a = pool.allocate(3).unwrap();
+        assert!(pool.allocate(3).is_none());
+        assert!(pool.allocate(2).is_some());
+        assert_eq!(pool.free_count(), 0);
+    }
+
+    #[test]
+    fn occupant_lookup() {
+        let mut pool = NodePool::new(8);
+        let a = pool.allocate(3).unwrap();
+        let b = pool.allocate(2).unwrap();
+        for n in 0..8 {
+            let occ = pool.occupant(n);
+            if pool.nodes_of(a).unwrap().contains(&n) {
+                assert_eq!(occ, Some(a));
+            } else if pool.nodes_of(b).unwrap().contains(&n) {
+                assert_eq!(occ, Some(b));
+            } else {
+                assert_eq!(occ, None);
+            }
+        }
+    }
+
+    #[test]
+    fn lowest_nodes_allocated_first() {
+        let mut pool = NodePool::new(10);
+        let a = pool.allocate(3).unwrap();
+        assert_eq!(pool.nodes_of(a).unwrap(), &[0, 1, 2]);
+        let b = pool.allocate(2).unwrap();
+        assert_eq!(pool.nodes_of(b).unwrap(), &[3, 4]);
+        pool.release(a);
+        let c = pool.allocate(4).unwrap();
+        assert_eq!(pool.nodes_of(c).unwrap(), &[0, 1, 2, 5]);
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let mut pool = NodePool::new(100);
+        assert_eq!(pool.utilization(), 0.0);
+        pool.allocate(25).unwrap();
+        assert!((pool.utilization() - 0.25).abs() < 1e-12);
+        pool.allocate(75).unwrap();
+        assert_eq!(pool.utilization(), 1.0);
+    }
+
+    #[test]
+    fn live_allocation_count() {
+        let mut pool = NodePool::new(10);
+        let a = pool.allocate(1).unwrap();
+        let _b = pool.allocate(1).unwrap();
+        assert_eq!(pool.live_allocations(), 2);
+        pool.release(a);
+        assert_eq!(pool.live_allocations(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_size_pool_rejected() {
+        NodePool::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_node_request_rejected() {
+        NodePool::new(4).allocate(0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Free + allocated always equals total; no node is double-assigned.
+        #[test]
+        fn conservation_under_random_ops(ops in proptest::collection::vec((1usize..20, proptest::bool::ANY), 1..100)) {
+            let mut pool = NodePool::new(64);
+            let mut live: Vec<AllocId> = Vec::new();
+            for (q, release_first) in ops {
+                if release_first && !live.is_empty() {
+                    let id = live.remove(0);
+                    pool.release(id);
+                }
+                if let Some(id) = pool.allocate(q) {
+                    live.push(id);
+                }
+                prop_assert_eq!(pool.free_count() + pool.allocated_count(), 64);
+                // Assignment map consistent with the allocation table.
+                let assigned = (0..64).filter(|&n| pool.occupant(n).is_some()).count();
+                prop_assert_eq!(assigned, pool.allocated_count());
+            }
+        }
+    }
+}

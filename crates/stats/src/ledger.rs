@@ -1,0 +1,316 @@
+//! Node-second accounting: where does platform time go?
+//!
+//! Following Section 6 of the paper, the *waste ratio* of a run is the
+//! node-time spent **not** progressing jobs, divided by the node-time a
+//! baseline (failure-free, checkpoint-free, contention-free) execution
+//! would use — measured over a window that excludes the first and last
+//! simulated days. [`WasteLedger`] accumulates node-seconds per
+//! [`Category`], clipping every recorded interval to the window.
+
+use coopckpt_des::Time;
+
+/// Where a slice of node-time went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Useful computation (progress toward the job's work).
+    Work,
+    /// The job's own (non-CR) I/O at contention-free speed: input, output,
+    /// and regular in-run I/O, costed at full bandwidth. The baseline run
+    /// performs these too, so they count as useful.
+    RegularIo,
+    /// Checkpoint commits (the whole commit is CR overhead).
+    CkptCommit,
+    /// Blocking waits for the I/O subsystem (queueing delay under token
+    /// disciplines; jobs idle while waiting).
+    IoWait,
+    /// Extra transfer time beyond the contention-free duration (bandwidth
+    /// sharing under Oblivious).
+    Dilation,
+    /// Recovery reads after a failure.
+    Recovery,
+    /// Work lost to a failure: progress since the last usable checkpoint.
+    LostWork,
+}
+
+impl Category {
+    /// All categories, in reporting order.
+    pub const ALL: [Category; 7] = [
+        Category::Work,
+        Category::RegularIo,
+        Category::CkptCommit,
+        Category::IoWait,
+        Category::Dilation,
+        Category::Recovery,
+        Category::LostWork,
+    ];
+
+    /// True when this category counts toward the baseline (useful) time.
+    pub fn is_useful(self) -> bool {
+        matches!(self, Category::Work | Category::RegularIo)
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Work => "work",
+            Category::RegularIo => "regular_io",
+            Category::CkptCommit => "ckpt_commit",
+            Category::IoWait => "io_wait",
+            Category::Dilation => "dilation",
+            Category::Recovery => "recovery",
+            Category::LostWork => "lost_work",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Category::Work => 0,
+            Category::RegularIo => 1,
+            Category::CkptCommit => 2,
+            Category::IoWait => 3,
+            Category::Dilation => 4,
+            Category::Recovery => 5,
+            Category::LostWork => 6,
+        }
+    }
+}
+
+/// Accumulates node-seconds per category inside a measurement window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WasteLedger {
+    window_start: Time,
+    window_end: Time,
+    node_seconds: [f64; 7],
+}
+
+impl WasteLedger {
+    /// Creates a ledger measuring `[window_start, window_end]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the window is non-empty and finite.
+    pub fn new(window_start: Time, window_end: Time) -> Self {
+        assert!(
+            window_start.is_finite() && window_end.is_finite() && window_start < window_end,
+            "invalid measurement window [{window_start}, {window_end}]"
+        );
+        WasteLedger {
+            window_start,
+            window_end,
+            node_seconds: [0.0; 7],
+        }
+    }
+
+    /// The measurement window.
+    pub fn window(&self) -> (Time, Time) {
+        (self.window_start, self.window_end)
+    }
+
+    /// Records `q_nodes` nodes spending `[from, to]` in `category`; the
+    /// interval is clipped to the window. Zero- or negative-length
+    /// intervals after clipping are ignored.
+    pub fn record(&mut self, category: Category, q_nodes: usize, from: Time, to: Time) {
+        debug_assert!(to >= from, "interval end {to} precedes start {from}");
+        let a = from.max(self.window_start);
+        let b = to.min(self.window_end);
+        let secs = b.since(a).as_secs();
+        if secs > 0.0 {
+            self.node_seconds[category.index()] += q_nodes as f64 * secs;
+        }
+    }
+
+    /// Records an instantaneous penalty of `node_seconds` attributed to the
+    /// instant `at` (used for lost work, which is a quantity, not an
+    /// interval). Counted only when `at` lies inside the window.
+    pub fn record_amount(&mut self, category: Category, node_seconds: f64, at: Time) {
+        debug_assert!(node_seconds >= 0.0, "negative amount {node_seconds}");
+        if at >= self.window_start && at <= self.window_end {
+            self.node_seconds[category.index()] += node_seconds;
+        }
+    }
+
+    /// Moves `node_seconds` of mass from one category to another, gated on
+    /// `at` lying inside the window.
+    ///
+    /// Used when a failure strikes: the progress a job accrued since its
+    /// last checkpoint was recorded as [`Category::Work`] while it happened,
+    /// but the failure voids it — it is re-executed (and re-recorded as
+    /// work) after the restart, so the voided mass moves to
+    /// [`Category::LostWork`]. When part of the voided interval predates
+    /// the window the source can be driven slightly negative; this edge
+    /// noise is bounded by one checkpoint period per window boundary.
+    pub fn reclassify(&mut self, from: Category, to: Category, node_seconds: f64, at: Time) {
+        debug_assert!(node_seconds >= 0.0, "negative reclassification");
+        if at >= self.window_start && at <= self.window_end {
+            self.node_seconds[from.index()] -= node_seconds;
+            self.node_seconds[to.index()] += node_seconds;
+        }
+    }
+
+    /// Node-seconds recorded in `category`.
+    pub fn get(&self, category: Category) -> f64 {
+        self.node_seconds[category.index()]
+    }
+
+    /// Total useful node-seconds (work + the job's own I/O at nominal cost).
+    pub fn useful(&self) -> f64 {
+        Category::ALL
+            .iter()
+            .filter(|c| c.is_useful())
+            .map(|c| self.get(*c))
+            .sum()
+    }
+
+    /// Total wasted node-seconds.
+    pub fn wasted(&self) -> f64 {
+        Category::ALL
+            .iter()
+            .filter(|c| !c.is_useful())
+            .map(|c| self.get(*c))
+            .sum()
+    }
+
+    /// The waste ratio: wasted / (useful + wasted) — the fraction of
+    /// consumed node-time lost to resilience and contention, the paper's
+    /// y-axis. Returns 0 for an empty ledger.
+    pub fn waste_ratio(&self) -> f64 {
+        let total = self.useful() + self.wasted();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.wasted() / total
+        }
+    }
+
+    /// Efficiency = 1 − waste ratio.
+    pub fn efficiency(&self) -> f64 {
+        1.0 - self.waste_ratio()
+    }
+
+    /// Merges another ledger (same window assumed) into this one.
+    pub fn merge(&mut self, other: &WasteLedger) {
+        for (a, b) in self.node_seconds.iter_mut().zip(&other.node_seconds) {
+            *a += b;
+        }
+    }
+
+    /// Per-category breakdown as `(label, node_seconds)` in reporting order.
+    pub fn breakdown(&self) -> Vec<(&'static str, f64)> {
+        Category::ALL
+            .iter()
+            .map(|c| (c.label(), self.get(*c)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ledger() -> WasteLedger {
+        WasteLedger::new(Time::from_secs(100.0), Time::from_secs(200.0))
+    }
+
+    #[test]
+    fn records_inside_window() {
+        let mut l = ledger();
+        l.record(Category::Work, 10, Time::from_secs(120.0), Time::from_secs(130.0));
+        assert_eq!(l.get(Category::Work), 100.0);
+    }
+
+    #[test]
+    fn clips_to_window() {
+        let mut l = ledger();
+        // Starts before the window: only [100, 150] counts.
+        l.record(Category::Work, 2, Time::from_secs(50.0), Time::from_secs(150.0));
+        assert_eq!(l.get(Category::Work), 100.0);
+        // Ends after the window: only [150, 200] counts.
+        l.record(Category::CkptCommit, 1, Time::from_secs(150.0), Time::from_secs(500.0));
+        assert_eq!(l.get(Category::CkptCommit), 50.0);
+        // Entirely outside: nothing.
+        l.record(Category::Recovery, 100, Time::from_secs(0.0), Time::from_secs(99.0));
+        assert_eq!(l.get(Category::Recovery), 0.0);
+    }
+
+    #[test]
+    fn waste_ratio_mixes_categories() {
+        let mut l = ledger();
+        l.record(Category::Work, 1, Time::from_secs(100.0), Time::from_secs(180.0)); // 80 useful
+        l.record(Category::RegularIo, 1, Time::from_secs(180.0), Time::from_secs(190.0)); // 10 useful
+        l.record(Category::CkptCommit, 1, Time::from_secs(190.0), Time::from_secs(200.0)); // 10 waste
+        assert_eq!(l.useful(), 90.0);
+        assert_eq!(l.wasted(), 10.0);
+        assert!((l.waste_ratio() - 0.1).abs() < 1e-12);
+        assert!((l.efficiency() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_amount_respects_window() {
+        let mut l = ledger();
+        l.record_amount(Category::LostWork, 500.0, Time::from_secs(150.0));
+        l.record_amount(Category::LostWork, 999.0, Time::from_secs(50.0)); // outside
+        assert_eq!(l.get(Category::LostWork), 500.0);
+    }
+
+    #[test]
+    fn reclassify_moves_mass_inside_window() {
+        let mut l = ledger();
+        l.record(Category::Work, 1, Time::from_secs(100.0), Time::from_secs(200.0));
+        l.reclassify(Category::Work, Category::LostWork, 30.0, Time::from_secs(150.0));
+        assert_eq!(l.get(Category::Work), 70.0);
+        assert_eq!(l.get(Category::LostWork), 30.0);
+        // Total is conserved.
+        assert_eq!(l.useful() + l.wasted(), 100.0);
+        // Outside the window: no effect.
+        l.reclassify(Category::Work, Category::LostWork, 30.0, Time::from_secs(999.0));
+        assert_eq!(l.get(Category::Work), 70.0);
+    }
+
+    #[test]
+    fn empty_ledger_ratio_is_zero() {
+        assert_eq!(ledger().waste_ratio(), 0.0);
+        assert_eq!(ledger().efficiency(), 1.0);
+    }
+
+    #[test]
+    fn merge_adds_categories() {
+        let mut a = ledger();
+        a.record(Category::Work, 1, Time::from_secs(100.0), Time::from_secs(150.0));
+        let mut b = ledger();
+        b.record(Category::Work, 1, Time::from_secs(150.0), Time::from_secs(200.0));
+        b.record(Category::IoWait, 2, Time::from_secs(100.0), Time::from_secs(110.0));
+        a.merge(&b);
+        assert_eq!(a.get(Category::Work), 100.0);
+        assert_eq!(a.get(Category::IoWait), 20.0);
+    }
+
+    #[test]
+    fn breakdown_covers_all_categories() {
+        let b = ledger().breakdown();
+        assert_eq!(b.len(), 7);
+        let labels: Vec<&str> = b.iter().map(|(l, _)| *l).collect();
+        assert!(labels.contains(&"work"));
+        assert!(labels.contains(&"lost_work"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid measurement window")]
+    fn rejects_empty_window() {
+        WasteLedger::new(Time::from_secs(5.0), Time::from_secs(5.0));
+    }
+
+    #[test]
+    fn usefulness_classification() {
+        assert!(Category::Work.is_useful());
+        assert!(Category::RegularIo.is_useful());
+        for c in [
+            Category::CkptCommit,
+            Category::IoWait,
+            Category::Dilation,
+            Category::Recovery,
+            Category::LostWork,
+        ] {
+            assert!(!c.is_useful(), "{c:?} must be waste");
+        }
+    }
+}

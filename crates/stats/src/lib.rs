@@ -1,0 +1,29 @@
+//! Statistics substrate: online moments, quantiles, candlestick summaries,
+//! waste ledgers, and plain-text/CSV table rendering.
+//!
+//! The paper's Monte-Carlo methodology (Section 5) reports, per operating
+//! point, the mean together with the first/last deciles and quartiles over
+//! ≥1000 simulation instances, measured on a fixed-length segment that
+//! excludes the first and last simulated days. The pieces here mirror that:
+//!
+//! * [`OnlineStats`] — Welford's numerically stable streaming moments.
+//! * [`Candlestick`] — the five-number summary (d1/q1/mean/q3/d9) drawn in
+//!   the paper's figures, computed from a sample buffer.
+//! * [`WasteLedger`] — node-second accounting by category, clipped to a
+//!   measurement window; its [`waste_ratio`](WasteLedger::waste_ratio) is
+//!   the quantity plotted on the paper's y-axes.
+//! * [`Table`] — aligned text / CSV rendering for the bench binaries.
+//! * [`P2Quantile`] — the O(1)-memory P² streaming quantile estimator for
+//!   sweeps too large to buffer.
+
+pub mod ledger;
+pub mod p2;
+pub mod online;
+pub mod quantile;
+pub mod table;
+
+pub use ledger::{Category, WasteLedger};
+pub use online::OnlineStats;
+pub use p2::P2Quantile;
+pub use quantile::{quantile, Candlestick, Samples};
+pub use table::Table;

@@ -1,0 +1,228 @@
+//! Welford's online mean/variance.
+
+/// Streaming moments: count, mean, variance, extrema.
+///
+/// Uses Welford's update, which is numerically stable for long streams of
+/// similar-magnitude values (the failure counts and waste ratios aggregated
+/// here). Two accumulators can be [`merge`](OnlineStats::merge)d, so
+/// per-thread statistics combine exactly (Chan et al. parallel variant).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "observation must be finite, got {x}");
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// True when no observation has been added.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (exact).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments_match_naive_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Unbiased variance of this classic data set is 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let s = OnlineStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        let mut s = OnlineStats::new();
+        s.push(3.5);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_err(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = OnlineStats::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &xs[..37] {
+            left.push(x);
+        }
+        for &x in &xs[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), all.count());
+        assert!((left.mean() - all.mean()).abs() < 1e-12);
+        assert!((left.variance() - all.variance()).abs() < 1e-10);
+        assert_eq!(left.min(), all.min());
+        assert_eq!(left.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = OnlineStats::new();
+        s.push(1.0);
+        s.push(2.0);
+        let before = s;
+        s.merge(&OnlineStats::new());
+        assert_eq!(s, before);
+        let mut e = OnlineStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn numerical_stability_large_offset() {
+        // Values near 1e9 with tiny variance: naive sum-of-squares would
+        // lose everything to cancellation.
+        let mut s = OnlineStats::new();
+        for i in 0..1000 {
+            s.push(1e9 + (i % 10) as f64);
+        }
+        assert!((s.mean() - (1e9 + 4.5)).abs() < 1e-3);
+        let expected_var = 8.25 * 1000.0 / 999.0;
+        assert!((s.variance() - expected_var).abs() / expected_var < 1e-6);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Merging any split equals processing the whole stream.
+        #[test]
+        fn merge_associativity(xs in proptest::collection::vec(-1e6f64..1e6, 2..200), split in 0usize..200) {
+            let split = split % xs.len();
+            let mut whole = OnlineStats::new();
+            for &x in &xs { whole.push(x); }
+            let mut a = OnlineStats::new();
+            let mut b = OnlineStats::new();
+            for &x in &xs[..split] { a.push(x); }
+            for &x in &xs[split..] { b.push(x); }
+            a.merge(&b);
+            prop_assert_eq!(a.count(), whole.count());
+            prop_assert!((a.mean() - whole.mean()).abs() <= 1e-9 * whole.mean().abs().max(1.0));
+            prop_assert!((a.variance() - whole.variance()).abs() <= 1e-6 * whole.variance().abs().max(1.0));
+        }
+
+        /// Mean stays within [min, max].
+        #[test]
+        fn mean_bounded(xs in proptest::collection::vec(-1e9f64..1e9, 1..100)) {
+            let mut s = OnlineStats::new();
+            for &x in &xs { s.push(x); }
+            prop_assert!(s.mean() >= s.min() - 1e-6);
+            prop_assert!(s.mean() <= s.max() + 1e-6);
+        }
+    }
+}

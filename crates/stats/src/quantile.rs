@@ -1,0 +1,271 @@
+//! Exact quantiles and the paper's candlestick summary.
+
+/// Linear-interpolation quantile of a **sorted** slice (type-7 estimator,
+/// the R/NumPy default). `q` in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics on an empty slice or `q` outside `[0, 1]`.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0,1], got {q}");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted"
+    );
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = q * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = h - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// The five-number summary drawn as a candlestick in the paper's figures:
+/// whiskers at the first and ninth deciles, box at the quartiles, centre at
+/// the mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candlestick {
+    /// First decile (10th percentile) — lower whisker.
+    pub d1: f64,
+    /// First quartile (25th percentile) — box bottom.
+    pub q1: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// Sample mean — the centre marker in the paper's plots.
+    pub mean: f64,
+    /// Third quartile (75th percentile) — box top.
+    pub q3: f64,
+    /// Ninth decile (90th percentile) — upper whisker.
+    pub d9: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl Candlestick {
+    /// Computes the summary from unsorted samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample.
+    pub fn from_samples(values: &[f64]) -> Candlestick {
+        assert!(!values.is_empty(), "candlestick of empty sample");
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Candlestick {
+            d1: quantile(&sorted, 0.10),
+            q1: quantile(&sorted, 0.25),
+            median: quantile(&sorted, 0.50),
+            mean,
+            q3: quantile(&sorted, 0.75),
+            d9: quantile(&sorted, 0.90),
+            n: sorted.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for Candlestick {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.4} [{:.4}|{:.4}..{:.4}|{:.4}] n={}",
+            self.mean, self.d1, self.q1, self.q3, self.d9, self.n
+        )
+    }
+}
+
+/// A growable buffer of observations with summary helpers — the
+/// per-operating-point sample set of a Monte-Carlo sweep.
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    values: Vec<f64>,
+}
+
+impl Samples {
+    /// An empty sample set.
+    pub fn new() -> Self {
+        Samples { values: Vec::new() }
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite values (upstream bug, better caught here).
+    pub fn push(&mut self, x: f64) {
+        assert!(x.is_finite(), "sample must be finite, got {x}");
+        self.values.push(x);
+    }
+
+    /// Appends all observations from another set.
+    pub fn extend_from(&mut self, other: &Samples) {
+        self.values.extend_from_slice(&other.values);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The raw observations, insertion-ordered.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Sample mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample.
+    pub fn mean(&self) -> f64 {
+        assert!(!self.values.is_empty(), "mean of empty sample");
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// The candlestick summary.
+    pub fn candlestick(&self) -> Candlestick {
+        Candlestick::from_samples(&self.values)
+    }
+}
+
+impl FromIterator<f64> for Samples {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Samples::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_of_known_sequence() {
+        let xs: Vec<f64> = (1..=11).map(|i| i as f64).collect(); // 1..=11
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 11.0);
+        assert_eq!(quantile(&xs, 0.5), 6.0);
+        assert_eq!(quantile(&xs, 0.25), 3.5);
+        assert_eq!(quantile(&xs, 0.75), 8.5);
+        assert_eq!(quantile(&xs, 0.10), 2.0);
+        assert_eq!(quantile(&xs, 0.90), 10.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert_eq!(quantile(&xs, 0.5), 5.0);
+        assert_eq!(quantile(&xs, 0.3), 3.0);
+    }
+
+    #[test]
+    fn quantile_singleton() {
+        assert_eq!(quantile(&[42.0], 0.0), 42.0);
+        assert_eq!(quantile(&[42.0], 0.5), 42.0);
+        assert_eq!(quantile(&[42.0], 1.0), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn quantile_rejects_empty() {
+        quantile(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be in")]
+    fn quantile_rejects_bad_q() {
+        quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn candlestick_ordering_invariant() {
+        let xs: Vec<f64> = (0..100).map(|i| ((i * 37) % 100) as f64).collect();
+        let c = Candlestick::from_samples(&xs);
+        assert!(c.d1 <= c.q1);
+        assert!(c.q1 <= c.median);
+        assert!(c.median <= c.q3);
+        assert!(c.q3 <= c.d9);
+        assert_eq!(c.n, 100);
+        assert!((c.mean - 49.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn candlestick_constant_sample() {
+        let c = Candlestick::from_samples(&[7.0; 25]);
+        assert_eq!(c.d1, 7.0);
+        assert_eq!(c.d9, 7.0);
+        assert_eq!(c.mean, 7.0);
+    }
+
+    #[test]
+    fn samples_collect_and_summarize() {
+        let s: Samples = (1..=5).map(|i| i as f64).collect();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.mean(), 3.0);
+        let c = s.candlestick();
+        assert_eq!(c.median, 3.0);
+        let mut t = Samples::new();
+        t.extend_from(&s);
+        t.push(6.0);
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn samples_reject_nan() {
+        Samples::new().push(f64::NAN);
+    }
+
+    #[test]
+    fn display_format() {
+        let c = Candlestick::from_samples(&[1.0, 2.0, 3.0]);
+        let s = format!("{c}");
+        assert!(s.contains("n=3"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Quantiles are monotone in q and bounded by the extremes.
+        #[test]
+        fn quantile_monotone(mut xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            xs.sort_by(|a, b| a.total_cmp(b));
+            let mut prev = f64::NEG_INFINITY;
+            for i in 0..=10 {
+                let q = i as f64 / 10.0;
+                let v = quantile(&xs, q);
+                prop_assert!(v >= prev);
+                prop_assert!(v >= xs[0] && v <= xs[xs.len() - 1]);
+                prev = v;
+            }
+        }
+
+        /// Candlestick fields are always correctly ordered.
+        #[test]
+        fn candlestick_ordered(xs in proptest::collection::vec(-1e6f64..1e6, 1..300)) {
+            let c = Candlestick::from_samples(&xs);
+            prop_assert!(c.d1 <= c.q1 && c.q1 <= c.median && c.median <= c.q3 && c.q3 <= c.d9);
+            prop_assert!(c.mean >= c.d1.min(xs[0]) - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Scalar root finding.
+
+/// Errors from [`bisect`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BisectError {
+    /// `f(lo)` and `f(hi)` have the same sign — no bracketed root.
+    NotBracketed,
+    /// Inputs were non-finite.
+    BadInterval,
+}
+
+impl std::fmt::Display for BisectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BisectError::NotBracketed => write!(f, "root is not bracketed by [lo, hi]"),
+            BisectError::BadInterval => write!(f, "interval bounds must be finite with lo < hi"),
+        }
+    }
+}
+
+impl std::error::Error for BisectError {}
+
+/// Bisection root finding on a bracketing interval.
+///
+/// Returns `x` with `|f(x)| ≈ 0` located to relative precision `rel_tol`
+/// (of the interval width) within `max_iter` halvings. The function must be
+/// continuous with `f(lo)` and `f(hi)` of opposite (or zero) sign.
+pub fn bisect(
+    mut f: impl FnMut(f64) -> f64,
+    lo: f64,
+    hi: f64,
+    rel_tol: f64,
+    max_iter: u32,
+) -> Result<f64, BisectError> {
+    if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+        return Err(BisectError::BadInterval);
+    }
+    let mut a = lo;
+    let mut b = hi;
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(BisectError::NotBracketed);
+    }
+    for _ in 0..max_iter {
+        let mid = 0.5 * (a + b);
+        let fm = f(mid);
+        if fm == 0.0 || (b - a) <= rel_tol * hi.abs().max(1.0) {
+            return Ok(mid);
+        }
+        if fm.signum() == fa.signum() {
+            a = mid;
+            fa = fm;
+        } else {
+            b = mid;
+        }
+    }
+    Ok(0.5 * (a + b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_sqrt_two() {
+        let root = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-14, 200).unwrap();
+        assert!((root - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finds_root_of_decreasing_function() {
+        // Shapes like F(λ) − 1: decreasing, root near 3.
+        let root = bisect(|x| 3.0 - x, 0.0, 10.0, 1e-14, 200).unwrap();
+        assert!((root - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn exact_root_at_endpoint() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-12, 100).unwrap(), 0.0);
+        assert_eq!(bisect(|x| x - 1.0, 0.0, 1.0, 1e-12, 100).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn unbracketed_is_an_error() {
+        assert_eq!(
+            bisect(|x| x + 10.0, 0.0, 1.0, 1e-12, 100),
+            Err(BisectError::NotBracketed)
+        );
+    }
+
+    #[test]
+    fn bad_interval_is_an_error() {
+        assert_eq!(
+            bisect(|x| x, 1.0, 0.0, 1e-12, 100),
+            Err(BisectError::BadInterval)
+        );
+        assert_eq!(
+            bisect(|x| x, f64::NAN, 1.0, 1e-12, 100),
+            Err(BisectError::BadInterval)
+        );
+    }
+
+    #[test]
+    fn respects_iteration_budget() {
+        // One iteration: the answer is the first midpoint.
+        let root = bisect(|x| x - 0.3, 0.0, 1.0, 0.0, 1).unwrap();
+        assert!((root - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,210 @@
+//! Table 1 of the paper: the LANL workload from the APEX workflows report.
+//!
+//! Each class is recorded exactly as published — workload percentage,
+//! walltime, core count on Cielo, and I/O volumes as percentages of the
+//! job's memory footprint — and projected onto a concrete [`Platform`] by
+//! [`classes_for`]. Because volumes are relative to memory, the projection
+//! automatically applies the paper's Section 6.2 rule ("scaling the problem
+//! size proportionally to the change in machine memory size") when given
+//! the prospective platform.
+
+use crate::platforms::CIELO_CORES_PER_NODE;
+use coopckpt_des::Duration;
+use coopckpt_model::{AppClass, Bytes, Platform};
+
+/// One row of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApexClassSpec {
+    /// Workflow name.
+    pub name: &'static str,
+    /// Share of platform resources ("Workload percentage"), in percent.
+    pub workload_pct: f64,
+    /// Work time, hours.
+    pub work_hours: f64,
+    /// Cores used on Cielo.
+    pub cores: usize,
+    /// Initial input, % of job memory.
+    pub input_pct: f64,
+    /// Final output, % of job memory.
+    pub output_pct: f64,
+    /// Checkpoint size, % of job memory.
+    pub ckpt_pct: f64,
+}
+
+/// The four LANL workflows of Table 1: EAP, LAP, Silverton, VPIC.
+pub const APEX_SPECS: [ApexClassSpec; 4] = [
+    ApexClassSpec {
+        name: "EAP",
+        workload_pct: 66.0,
+        work_hours: 262.4,
+        cores: 16_384,
+        input_pct: 3.0,
+        output_pct: 105.0,
+        ckpt_pct: 160.0,
+    },
+    ApexClassSpec {
+        name: "LAP",
+        workload_pct: 5.5,
+        work_hours: 64.0,
+        cores: 4_096,
+        input_pct: 5.0,
+        output_pct: 220.0,
+        ckpt_pct: 185.0,
+    },
+    ApexClassSpec {
+        name: "Silverton",
+        workload_pct: 16.5,
+        work_hours: 128.0,
+        cores: 32_768,
+        input_pct: 70.0,
+        output_pct: 43.0,
+        ckpt_pct: 350.0,
+    },
+    ApexClassSpec {
+        name: "VPIC",
+        workload_pct: 12.0,
+        work_hours: 157.2,
+        cores: 30_000,
+        input_pct: 10.0,
+        output_pct: 270.0,
+        ckpt_pct: 85.0,
+    },
+];
+
+impl ApexClassSpec {
+    /// Nodes this class occupies on `platform`: the class's core count is
+    /// interpreted as a *fraction of Cielo* and projected onto the target
+    /// machine, which reduces to `cores / 8` on Cielo itself.
+    pub fn nodes_on(&self, platform: &Platform) -> usize {
+        let cielo_nodes = 143_104 / CIELO_CORES_PER_NODE;
+        let fraction = self.cores as f64 / 143_104.0;
+        if platform.nodes == cielo_nodes {
+            self.cores / CIELO_CORES_PER_NODE
+        } else {
+            ((fraction * platform.nodes as f64).round() as usize).max(1)
+        }
+    }
+
+    /// Projects this row onto a platform, converting the percentage volumes
+    /// into bytes of that machine's memory.
+    pub fn instantiate(&self, platform: &Platform) -> AppClass {
+        let q_nodes = self.nodes_on(platform);
+        let mem: Bytes = platform.mem_per_node * q_nodes as f64;
+        AppClass {
+            name: self.name.to_string(),
+            q_nodes,
+            walltime: Duration::from_hours(self.work_hours),
+            resource_share: self.workload_pct / 100.0,
+            input_bytes: mem * (self.input_pct / 100.0),
+            output_bytes: mem * (self.output_pct / 100.0),
+            ckpt_bytes: mem * (self.ckpt_pct / 100.0),
+            regular_io_bytes: Bytes::ZERO,
+        }
+    }
+}
+
+/// Projects all four APEX classes onto `platform`.
+pub fn classes_for(platform: &Platform) -> Vec<AppClass> {
+    APEX_SPECS.iter().map(|s| s.instantiate(platform)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platforms::{cielo, prospective};
+
+    #[test]
+    fn table1_shares_sum_to_one() {
+        let total: f64 = APEX_SPECS.iter().map(|s| s.workload_pct).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_counts_on_cielo() {
+        let p = cielo();
+        let nodes: Vec<usize> = APEX_SPECS.iter().map(|s| s.nodes_on(&p)).collect();
+        assert_eq!(nodes, vec![2048, 512, 4096, 3750]);
+    }
+
+    #[test]
+    fn eap_checkpoint_size_on_cielo() {
+        // EAP: 2048 nodes × 16 GB × 160 % = 52.4 TB.
+        let p = cielo();
+        let eap = APEX_SPECS[0].instantiate(&p);
+        let expected_tb = 2048.0 * (286.0 / 17_888.0) * 1.6;
+        assert!(
+            (eap.ckpt_bytes.as_tb() - expected_tb).abs() < 0.01,
+            "EAP ckpt {} TB vs expected {expected_tb} TB",
+            eap.ckpt_bytes.as_tb()
+        );
+        // At 160 GB/s the commit takes ~5.5 minutes.
+        let c = eap.ckpt_duration(p.pfs_bandwidth);
+        assert!(c.as_secs() > 300.0 && c.as_secs() < 340.0, "C_EAP = {c}");
+    }
+
+    #[test]
+    fn daly_periods_are_sane_on_cielo() {
+        // With 2-year node MTBF and 160 GB/s: all Daly periods should be
+        // tens of minutes to a few hours.
+        let p = cielo();
+        for class in classes_for(&p) {
+            let period = class.daly_period(&p);
+            assert!(
+                period.as_hours() > 0.2 && period.as_hours() < 4.0,
+                "{}: Daly period {period}",
+                class.name
+            );
+        }
+    }
+
+    #[test]
+    fn io_pressure_feasible_at_160_infeasible_at_40() {
+        // F = Σ n_i C_i / P_i with n_i jobs = share × N / q_i: the paper's
+        // Fig. 1 story is that 160 GB/s is (borderline) feasible while
+        // 40 GB/s is not for Daly-period checkpointing.
+        for (bw, expect_feasible) in [(160.0, true), (40.0, false)] {
+            let p = cielo().with_bandwidth(coopckpt_model::Bandwidth::from_gbps(bw));
+            let mut f = 0.0;
+            for class in classes_for(&p) {
+                let n_jobs = class.resource_share * p.nodes as f64 / class.q_nodes as f64;
+                let c = class.ckpt_duration(p.pfs_bandwidth).as_secs();
+                let period = class.daly_period(&p).as_secs();
+                f += n_jobs * c / period;
+            }
+            assert_eq!(
+                f <= 1.0,
+                expect_feasible,
+                "at {bw} GB/s the I/O fraction is {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn prospective_scales_volumes_by_memory() {
+        let c = cielo();
+        let f = prospective();
+        let eap_c = APEX_SPECS[0].instantiate(&c);
+        let eap_f = APEX_SPECS[0].instantiate(&f);
+        // Node share preserved: 16384/143104 of the machine.
+        assert_eq!(eap_f.q_nodes, (16_384.0 / 143_104.0 * 50_000.0_f64).round() as usize);
+        // Checkpoint grows with per-job memory (≈24.5× total memory and the
+        // same fractional footprint).
+        let ratio = eap_f.ckpt_bytes / eap_c.ckpt_bytes;
+        let mem_ratio = f.total_memory() / c.total_memory();
+        assert!(
+            (ratio / mem_ratio - 1.0).abs() < 0.01,
+            "volume ratio {ratio} vs memory ratio {mem_ratio}"
+        );
+    }
+
+    #[test]
+    fn all_classes_valid_on_both_platforms() {
+        for p in [cielo(), prospective()] {
+            for class in classes_for(&p) {
+                assert!(class.q_nodes > 0 && class.q_nodes < p.nodes);
+                assert!(class.ckpt_bytes.is_valid() && !class.ckpt_bytes.is_zero());
+                assert!(class.walltime.is_positive());
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Platform presets used in the paper's evaluation.
+
+use coopckpt_des::Duration;
+use coopckpt_model::{Bandwidth, Bytes, Platform};
+
+/// Cores per node assumed when mapping Cielo's published core count onto
+/// failure units. The paper's MTBF anchors ("2-year node MTBF ⇒ ≈1 h system
+/// MTBF"; "50-year ⇒ ≈24 h") imply ≈17,500–18,250 failing units, i.e. the
+/// 143,104 cores grouped 8 per unit.
+pub const CIELO_CORES_PER_NODE: usize = 8;
+
+/// Cielo: a 1.37 PF capability system at LANL (2010–2016); 143,104 cores,
+/// 286 TB of memory, up to 160 GB/s of PFS bandwidth (paper Section 6.1).
+///
+/// Node MTBF defaults to 2 years (the paper's Figure 1 setting); sweeps use
+/// [`Platform::with_node_mtbf`] and [`Platform::with_bandwidth`].
+pub fn cielo() -> Platform {
+    Platform::new(
+        "Cielo",
+        143_104 / CIELO_CORES_PER_NODE, // 17,888 nodes
+        CIELO_CORES_PER_NODE,
+        Bytes::from_tb(286.0) / (143_104.0 / CIELO_CORES_PER_NODE as f64),
+        Bandwidth::from_gbps(160.0),
+        Duration::from_years(2.0),
+    )
+    .expect("Cielo preset must be valid")
+}
+
+/// The prospective future system of Section 6.2: 50,000 compute nodes and
+/// 7 PB of main memory (e.g. Aurora-class). Bandwidth and MTBF are the
+/// swept quantities in Figure 3; the defaults here (10 TB/s, 15-year node
+/// MTBF) sit mid-range of that sweep.
+pub fn prospective() -> Platform {
+    Platform::new(
+        "Prospective",
+        50_000,
+        64,
+        Bytes::from_pb(7.0) / 50_000.0,
+        Bandwidth::from_tbps(10.0),
+        Duration::from_years(15.0),
+    )
+    .expect("prospective preset must be valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cielo_totals_match_published_figures() {
+        let p = cielo();
+        assert_eq!(p.nodes, 17_888);
+        assert_eq!(p.total_cores(), 143_104);
+        assert!((p.total_memory().as_tb() - 286.0).abs() < 1e-6);
+        assert_eq!(p.pfs_bandwidth, Bandwidth::from_gbps(160.0));
+    }
+
+    #[test]
+    fn cielo_system_mtbf_anchors() {
+        // 2-year node MTBF → ≈1 h system MTBF (paper Fig. 1 caption).
+        let p = cielo();
+        let hours = p.system_mtbf().as_hours();
+        assert!(
+            (hours - 1.0).abs() < 0.05,
+            "system MTBF at 2-year nodes: {hours} h"
+        );
+        // 50-year node MTBF → ≈24 h system MTBF (paper Fig. 2 x-axis).
+        let p = p.with_node_mtbf(Duration::from_years(50.0));
+        let hours = p.system_mtbf().as_hours();
+        assert!(
+            (hours - 24.0).abs() < 0.6,
+            "system MTBF at 50-year nodes: {hours} h"
+        );
+    }
+
+    #[test]
+    fn prospective_totals() {
+        let p = prospective();
+        assert_eq!(p.nodes, 50_000);
+        assert!((p.total_memory().as_tb() - 7000.0).abs() < 1e-6);
+        // Memory ratio to Cielo ≈ 24.5×: the paper's problem-size scaling.
+        let ratio = p.total_memory() / cielo().total_memory();
+        assert!((ratio - 7000.0 / 286.0).abs() < 1e-9);
+    }
+}

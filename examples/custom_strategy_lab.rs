@@ -1,0 +1,108 @@
+//! A "strategy lab": build your own platform and application classes, then
+//! explore how checkpoint policy, interference model, and failure law
+//! interact — the knobs the paper's ablations turn.
+//!
+//! This example models a mid-size cluster running a bursty visualization
+//! workload (large regular I/O) next to a classic stencil solver, a mix
+//! where application–CR contention (not just CR–CR) matters.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example custom_strategy_lab
+//! ```
+
+use coopckpt::sim::{FailureModel, InterferenceKind};
+use coopckpt::prelude::*;
+use coopckpt_stats::Table;
+
+fn platform() -> Platform {
+    Platform::new(
+        "MidCluster",
+        4096,
+        32,
+        Bytes::from_gb(192.0),
+        Bandwidth::from_gbps(80.0),
+        Duration::from_years(8.0),
+    )
+    .expect("valid platform")
+}
+
+fn classes(p: &Platform) -> Vec<AppClass> {
+    vec![
+        AppClass {
+            name: "stencil".into(),
+            q_nodes: 1024,
+            walltime: Duration::from_hours(48.0),
+            resource_share: 0.55,
+            input_bytes: p.mem_per_node * 1024.0 * 0.05,
+            output_bytes: p.mem_per_node * 1024.0 * 0.80,
+            ckpt_bytes: p.mem_per_node * 1024.0 * 0.90,
+            regular_io_bytes: Bytes::ZERO,
+        },
+        AppClass {
+            name: "vizburst".into(),
+            q_nodes: 512,
+            walltime: Duration::from_hours(24.0),
+            resource_share: 0.45,
+            input_bytes: p.mem_per_node * 512.0 * 0.30,
+            output_bytes: p.mem_per_node * 512.0 * 0.50,
+            ckpt_bytes: p.mem_per_node * 512.0 * 0.40,
+            // Heavy in-run I/O: 4x memory streamed out over the run.
+            regular_io_bytes: p.mem_per_node * 512.0 * 4.0,
+        },
+    ]
+}
+
+fn main() {
+    let p = platform();
+    let classes = classes(&p);
+    println!("{p}");
+    println!("classes: stencil (55%), vizburst (45%, heavy regular I/O)\n");
+
+    let mc = MonteCarloConfig::new(5);
+    let span = Duration::from_days(7.0);
+
+    // Axis 1: strategy × interference model.
+    let mut table = Table::new(["strategy", "linear", "degraded(0.3)", "equal-share"]);
+    for strategy in [
+        Strategy::oblivious(CheckpointPolicy::Daly),
+        Strategy::ordered(CheckpointPolicy::Daly),
+        Strategy::least_waste(),
+    ] {
+        let mut cells = vec![strategy.name()];
+        for interference in [
+            InterferenceKind::Linear,
+            InterferenceKind::Degraded(0.3),
+            InterferenceKind::Equal,
+        ] {
+            let cfg = SimConfig::new(p.clone(), classes.clone(), strategy)
+                .with_span(span)
+                .with_interference(interference);
+            cells.push(format!("{:.3}", run_many(&cfg, &mc).mean()));
+        }
+        table.row(cells);
+    }
+    println!("waste ratio by interference model:\n{}", table.to_text());
+
+    // Axis 2: failure law (exponential vs infant-mortality Weibull).
+    let mut table = Table::new(["strategy", "exponential", "weibull k=0.7", "no failures"]);
+    for strategy in [
+        Strategy::ordered_nb(CheckpointPolicy::Daly),
+        Strategy::least_waste(),
+    ] {
+        let mut cells = vec![strategy.name()];
+        for failures in [
+            FailureModel::Exponential,
+            FailureModel::Weibull(0.7),
+            FailureModel::None,
+        ] {
+            let cfg = SimConfig::new(p.clone(), classes.clone(), strategy)
+                .with_span(span)
+                .with_failures(failures);
+            cells.push(format!("{:.3}", run_many(&cfg, &mc).mean()));
+        }
+        table.row(cells);
+    }
+    println!("waste ratio by failure law:\n{}", table.to_text());
+}

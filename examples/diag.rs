@@ -1,0 +1,40 @@
+//! Engineering diagnostic: one-seed, per-strategy counters and wall-clock
+//! timings at an arbitrary operating point — the quickest way to sanity
+//! check a change to the engine.
+//!
+//! ```sh
+//! cargo run --release --example diag -- [bandwidth_gbps] [span_days]
+//! ```
+
+use coopckpt::prelude::*;
+
+fn main() {
+    let gbps: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40.0);
+    let days: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7.0);
+    let platform = coopckpt_workload::cielo().with_bandwidth(Bandwidth::from_gbps(gbps));
+    let classes = coopckpt_workload::classes_for(&platform);
+    for strategy in Strategy::all_seven() {
+        let cfg = SimConfig::new(platform.clone(), classes.clone(), strategy)
+            .with_span(Duration::from_days(days));
+        let t0 = std::time::Instant::now();
+        let r = run_simulation(&cfg, 1);
+        let dt = t0.elapsed();
+        println!(
+            "{:<17} waste={:.3} util={:.3} events={:>9} ckpts={:>6} done={:>3} restarts={:>4} wall={:?}",
+            strategy.name(),
+            r.waste_ratio,
+            r.utilization,
+            r.events,
+            r.checkpoints_committed,
+            r.jobs_completed,
+            r.restarts,
+            dt
+        );
+    }
+}

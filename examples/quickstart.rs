@@ -1,0 +1,65 @@
+//! Quickstart: simulate the LANL APEX workload on Cielo under two
+//! strategies and compare against the theoretical lower bound.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use coopckpt::prelude::*;
+use coopckpt_theory::{lower_bound, ClassParams};
+
+fn main() {
+    // 1. Describe the machine: Cielo with a deliberately scarce 40 GB/s of
+    //    PFS bandwidth (the stressed operating point of the paper's Fig. 2).
+    let platform = coopckpt_workload::cielo().with_bandwidth(Bandwidth::from_gbps(40.0));
+    println!("platform: {platform}");
+
+    // 2. Project the APEX application classes (Table 1) onto it.
+    let classes = coopckpt_workload::classes_for(&platform);
+    for class in &classes {
+        println!(
+            "  {:<10} q={:<5} ckpt={:>9} C={:>8.1}s  P_Daly={:>7.1}min",
+            class.name,
+            class.q_nodes,
+            format!("{}", class.ckpt_bytes),
+            class.ckpt_duration(platform.pfs_bandwidth).as_secs(),
+            class.daly_period(&platform).as_secs() / 60.0,
+        );
+    }
+
+    // 3. The analytic lower bound (Theorem 1) for this operating point.
+    let params: Vec<ClassParams> = classes
+        .iter()
+        .map(|c| ClassParams::from_app_class(c, &platform))
+        .collect();
+    let bound = lower_bound(&platform, &params);
+    println!(
+        "\ntheoretical lower bound: waste = {:.3} (lambda = {:.3e}, I/O fraction = {:.3})",
+        bound.waste, bound.lambda, bound.io_fraction
+    );
+
+    // 4. Simulate a 14-day segment under two strategies (seeded, hence
+    //    reproducible) and compare.
+    for strategy in [
+        Strategy::oblivious(CheckpointPolicy::fixed_hourly()),
+        Strategy::least_waste(),
+    ] {
+        let config = SimConfig::new(platform.clone(), classes.clone(), strategy)
+            .with_span(Duration::from_days(14.0));
+        let result = run_simulation(&config, 2024);
+        println!(
+            "\n{:<16} waste = {:.3}  (ckpts = {}, failures on jobs = {}, restarts = {}, util = {:.1}%)",
+            strategy.name(),
+            result.waste_ratio,
+            result.checkpoints_committed,
+            result.failures_hitting_jobs,
+            result.restarts,
+            100.0 * result.utilization,
+        );
+        for (label, node_secs) in &result.breakdown {
+            println!("    {:<12} {:>14.0} node-s", label, node_secs);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Renders a per-job timeline of one simulated day from the execution
+//! trace: when jobs start, checkpoint, fail, restart, and finish — a
+//! text-mode view of the Gantt charts checkpoint papers usually draw.
+//!
+//! ```sh
+//! cargo run --release --example timeline -- [strategy] [seed]
+//! ```
+//! where `strategy` is `oblivious|ordered|ordered-nb|least-waste`
+//! (default `least-waste`).
+
+use coopckpt::prelude::*;
+use coopckpt::sim::trace::TraceEvent;
+use std::collections::BTreeMap;
+
+fn main() {
+    let strategy = match std::env::args().nth(1).as_deref() {
+        Some("oblivious") => Strategy::oblivious(CheckpointPolicy::Daly),
+        Some("ordered") => Strategy::ordered(CheckpointPolicy::Daly),
+        Some("ordered-nb") => Strategy::ordered_nb(CheckpointPolicy::Daly),
+        _ => Strategy::least_waste(),
+    };
+    let seed: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(11);
+
+    // A small, failure-prone cluster keeps the picture readable.
+    let platform = Platform::new(
+        "demo",
+        64,
+        8,
+        Bytes::from_gb(16.0),
+        Bandwidth::from_gbps(8.0),
+        Duration::from_years(0.15),
+    )
+    .expect("valid platform");
+    let classes = vec![
+        AppClass {
+            name: "solver".into(),
+            q_nodes: 16,
+            walltime: Duration::from_hours(10.0),
+            resource_share: 0.6,
+            input_bytes: Bytes::from_gb(32.0),
+            output_bytes: Bytes::from_gb(64.0),
+            ckpt_bytes: platform.mem_per_node * 16.0,
+            regular_io_bytes: Bytes::ZERO,
+        },
+        AppClass {
+            name: "filter".into(),
+            q_nodes: 8,
+            walltime: Duration::from_hours(5.0),
+            resource_share: 0.4,
+            input_bytes: Bytes::from_gb(16.0),
+            output_bytes: Bytes::from_gb(32.0),
+            ckpt_bytes: platform.mem_per_node * 8.0,
+            regular_io_bytes: Bytes::ZERO,
+        },
+    ];
+
+    let cfg = SimConfig::new(platform, classes, strategy)
+        .with_span(Duration::from_days(1.0))
+        .with_trace();
+    let result = run_simulation(&cfg, seed);
+    let trace = result.trace.expect("trace requested");
+
+    println!(
+        "{} — 1 simulated day, waste ratio {:.3}, {} checkpoints, {} failures on jobs\n",
+        strategy.name(),
+        result.waste_ratio,
+        result.checkpoints_committed,
+        result.failures_hitting_jobs
+    );
+
+    // Collect per-job event glyphs on a 120-column day.
+    const COLS: usize = 120;
+    let day = 86_400.0;
+    let col = |t: coopckpt::prelude::Time| -> usize {
+        ((t.as_secs() / day) * COLS as f64).min(COLS as f64 - 1.0) as usize
+    };
+    let mut rows: BTreeMap<String, Vec<char>> = BTreeMap::new();
+    let set = |rows: &mut BTreeMap<String, Vec<char>>, job: String, c: usize, glyph: char, keep_existing: bool| {
+        let row = rows.entry(job).or_insert_with(|| vec![' '; COLS]);
+        if !keep_existing || row[c] == ' ' {
+            row[c] = glyph;
+        }
+    };
+    for ev in trace.events() {
+        match ev {
+            TraceEvent::JobStarted {
+                at, job, is_restart, ..
+            } => set(
+                &mut rows,
+                job.to_string(),
+                col(*at),
+                if *is_restart { 'r' } else { 'S' },
+                false,
+            ),
+            TraceEvent::CheckpointDurable { at, job, .. } => {
+                set(&mut rows, job.to_string(), col(*at), 'c', true)
+            }
+            TraceEvent::Failure {
+                at,
+                victim: Some(job),
+                ..
+            } => set(&mut rows, job.to_string(), col(*at), 'X', false),
+            TraceEvent::JobCompleted { at, job } => {
+                set(&mut rows, job.to_string(), col(*at), 'E', false)
+            }
+            _ => {}
+        }
+    }
+
+    println!("legend: S start  r restart  c checkpoint  X failure  E end");
+    println!("time → 0h{:>pad$}24h", "", pad = COLS - 5);
+    for (job, cells) in rows {
+        println!("{job:>6} |{}|", cells.iter().collect::<String>());
+    }
+}

@@ -1,0 +1,145 @@
+//! Restart semantics under failures: resubmission priority, recovery I/O,
+//! checkpoint content, and the accounting invariants around them.
+
+use coopckpt::prelude::*;
+use coopckpt::sim::FailureModel;
+
+fn platform(mtbf_years: f64) -> Platform {
+    Platform::new(
+        "failtest",
+        64,
+        8,
+        Bytes::from_gb(16.0),
+        Bandwidth::from_gbps(50.0),
+        Duration::from_years(mtbf_years),
+    )
+    .unwrap()
+}
+
+fn one_class(p: &Platform) -> Vec<AppClass> {
+    vec![AppClass {
+        name: "only".into(),
+        q_nodes: 16,
+        walltime: Duration::from_hours(24.0),
+        resource_share: 1.0,
+        input_bytes: Bytes::from_gb(32.0),
+        output_bytes: Bytes::from_gb(64.0),
+        ckpt_bytes: p.mem_per_node * 16.0,
+        regular_io_bytes: Bytes::ZERO,
+    }]
+}
+
+fn cfg(mtbf_years: f64, strategy: Strategy) -> SimConfig {
+    let p = platform(mtbf_years);
+    let c = one_class(&p);
+    SimConfig::new(p, c, strategy).with_span(Duration::from_days(5.0))
+}
+
+#[test]
+fn every_job_failure_produces_exactly_one_restart() {
+    for strategy in Strategy::all_seven() {
+        let r = run_simulation(&cfg(0.05, strategy), 13);
+        assert!(
+            r.failures_hitting_jobs > 0,
+            "{}: premise — unreliable platform must strike jobs",
+            strategy.name()
+        );
+        assert_eq!(
+            r.restarts,
+            r.failures_hitting_jobs,
+            "{}: every job failure resubmits exactly one restart",
+            strategy.name()
+        );
+    }
+}
+
+#[test]
+fn failures_on_idle_nodes_are_harmless() {
+    // With no failures hitting jobs there are no restarts; with the
+    // unreliable platform, total failures exceed job strikes (some hit
+    // idle nodes) and only the latter produce restarts.
+    let r = run_simulation(&cfg(0.05, Strategy::least_waste()), 4);
+    assert!(r.failures_total >= r.failures_hitting_jobs);
+}
+
+#[test]
+fn more_failures_mean_more_recovery_waste() {
+    let reliable = run_simulation(&cfg(5.0, Strategy::ordered(CheckpointPolicy::Daly)), 8);
+    let unreliable = run_simulation(&cfg(0.05, Strategy::ordered(CheckpointPolicy::Daly)), 8);
+    let rec = |r: &SimResult| {
+        r.breakdown
+            .iter()
+            .find(|(l, _)| *l == "recovery")
+            .unwrap()
+            .1
+    };
+    assert!(
+        rec(&unreliable) > rec(&reliable),
+        "recovery waste must grow with failure rate ({} vs {})",
+        rec(&unreliable),
+        rec(&reliable)
+    );
+    assert!(unreliable.waste_ratio > reliable.waste_ratio);
+}
+
+#[test]
+fn checkpoints_bound_lost_work() {
+    // With checkpointing, mean lost work per failure is bounded by roughly
+    // the checkpoint period plus queueing delays; without checkpoints
+    // (no-failure baseline comparison) the job would lose everything.
+    let r = run_simulation(&cfg(0.02, Strategy::ordered(CheckpointPolicy::Daly)), 99);
+    assert!(r.failures_hitting_jobs >= 3, "want several failures, got {}", r.failures_hitting_jobs);
+    let lost = r
+        .breakdown
+        .iter()
+        .find(|(l, _)| *l == "lost_work")
+        .unwrap()
+        .1;
+    let per_failure_hours = lost / (16.0 * r.failures_hitting_jobs as f64) / 3600.0;
+    // The class's Daly period here is far below 12 h; allow generous slack
+    // for queueing dilation.
+    assert!(
+        per_failure_hours < 12.0,
+        "mean lost work per failure too high: {per_failure_hours} h"
+    );
+}
+
+#[test]
+fn weibull_failures_run_and_differ_from_exponential() {
+    let base = cfg(0.05, Strategy::ordered_nb(CheckpointPolicy::Daly));
+    let exp = run_simulation(&base.clone().with_failures(FailureModel::Exponential), 5);
+    let wei = run_simulation(&base.with_failures(FailureModel::Weibull(0.7)), 5);
+    // Same seed, different law → different failure schedule.
+    assert_ne!(exp.failures_total, wei.failures_total);
+    assert!(wei.failures_total > 0);
+}
+
+#[test]
+fn no_failure_model_is_clean() {
+    let r = run_simulation(
+        &cfg(0.05, Strategy::least_waste()).with_failures(FailureModel::None),
+        6,
+    );
+    assert_eq!(r.failures_total, 0);
+    assert_eq!(r.failures_hitting_jobs, 0);
+    assert_eq!(r.restarts, 0);
+    for (label, v) in &r.breakdown {
+        if *label == "lost_work" || *label == "recovery" {
+            assert_eq!(*v, 0.0, "{label} must be zero without failures");
+        }
+    }
+}
+
+#[test]
+fn unreliable_platforms_checkpoint_more_usefully() {
+    // Daly periods shrink with MTBF, so the unreliable platform commits
+    // more checkpoints per unit time.
+    let reliable = run_simulation(&cfg(20.0, Strategy::ordered(CheckpointPolicy::Daly)), 31);
+    let unreliable = run_simulation(&cfg(0.1, Strategy::ordered(CheckpointPolicy::Daly)), 31);
+    assert!(
+        unreliable.checkpoints_committed > reliable.checkpoints_committed,
+        "unreliable platform should checkpoint more often: {} vs {}",
+        unreliable.checkpoints_committed,
+        reliable.checkpoints_committed
+    );
+}
