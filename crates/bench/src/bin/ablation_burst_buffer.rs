@@ -46,7 +46,12 @@ fn main() {
         ),
     ];
 
-    let mut t = Table::new(["strategy", "no burst buffer", "0.5x mem, 1 GB/s/node", "2x mem, 4 GB/s/node"]);
+    let mut t = Table::new([
+        "strategy",
+        "no burst buffer",
+        "0.5x mem, 1 GB/s/node",
+        "2x mem, 4 GB/s/node",
+    ]);
     for strategy in [
         Strategy::oblivious(CheckpointPolicy::Daly),
         Strategy::ordered(CheckpointPolicy::Daly),
@@ -55,8 +60,8 @@ fn main() {
     ] {
         let mut cells = vec![strategy.name()];
         for (_, bb) in &variants {
-            let mut cfg = SimConfig::new(platform.clone(), classes.clone(), strategy)
-                .with_span(scale.span);
+            let mut cfg =
+                SimConfig::new(platform.clone(), classes.clone(), strategy).with_span(scale.span);
             if let Some(spec) = bb {
                 cfg = cfg.with_burst_buffer(*spec);
             }
@@ -65,5 +70,7 @@ fn main() {
         t.row(cells);
     }
     emit(&t);
-    println!("\n(waste ratio; the drain still contends on the PFS, so gains shrink when it saturates)");
+    println!(
+        "\n(waste ratio; the drain still contends on the PFS, so gains shrink when it saturates)"
+    );
 }

@@ -33,15 +33,18 @@ fn main() {
                 CheckpointPolicy::Fixed(Duration::from_hours(h)),
             )
         })
-        .chain(std::iter::once(("daly".to_string(), CheckpointPolicy::Daly)))
+        .chain(std::iter::once((
+            "daly".to_string(),
+            CheckpointPolicy::Daly,
+        )))
         .collect();
 
     let mut t = Table::new(["period", "Oblivious", "Ordered-NB"]);
     for (label, policy) in &policies {
         let mut cells = vec![label.clone()];
         for strategy in [Strategy::oblivious(*policy), Strategy::ordered_nb(*policy)] {
-            let cfg = SimConfig::new(platform.clone(), classes.clone(), strategy)
-                .with_span(scale.span);
+            let cfg =
+                SimConfig::new(platform.clone(), classes.clone(), strategy).with_span(scale.span);
             cells.push(format!("{:.4}", run_many(&cfg, &scale.mc()).mean()));
         }
         t.row(cells);

@@ -37,7 +37,13 @@ fn main() {
         ("equal-share", InterferenceKind::Equal),
     ];
 
-    let mut t = Table::new(["strategy", "linear", "degraded(0.2)", "degraded(0.5)", "equal-share"]);
+    let mut t = Table::new([
+        "strategy",
+        "linear",
+        "degraded(0.2)",
+        "degraded(0.5)",
+        "equal-share",
+    ]);
     for strategy in Strategy::all_seven() {
         let mut cells = vec![strategy.name()];
         for (_, kind) in &models {
@@ -49,5 +55,7 @@ fn main() {
         t.row(cells);
     }
     emit(&t);
-    println!("\n(waste ratio; token-based strategies serialize I/O and are insensitive to the model)");
+    println!(
+        "\n(waste ratio; token-based strategies serialize I/O and are insensitive to the model)"
+    );
 }

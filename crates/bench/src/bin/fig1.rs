@@ -19,15 +19,9 @@ fn main() {
 
     let platform = coopckpt_workload::cielo(); // node MTBF = 2 years
     let classes = coopckpt_workload::classes_for(&platform);
-    let template = SimConfig::new(platform, classes, Strategy::least_waste())
-        .with_span(scale.span);
+    let template = SimConfig::new(platform, classes, Strategy::least_waste()).with_span(scale.span);
 
     let bandwidths = [40.0, 60.0, 80.0, 100.0, 120.0, 140.0, 160.0];
-    let points = waste_vs_bandwidth(
-        &template,
-        &bandwidths,
-        &Strategy::all_seven(),
-        &scale.mc(),
-    );
+    let points = waste_vs_bandwidth(&template, &bandwidths, &Strategy::all_seven(), &scale.mc());
     emit(&sweep_table("bandwidth_gbps", &points));
 }

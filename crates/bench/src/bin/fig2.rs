@@ -19,8 +19,7 @@ fn main() {
 
     let platform = coopckpt_workload::cielo().with_bandwidth(Bandwidth::from_gbps(40.0));
     let classes = coopckpt_workload::classes_for(&platform);
-    let template = SimConfig::new(platform, classes, Strategy::least_waste())
-        .with_span(scale.span);
+    let template = SimConfig::new(platform, classes, Strategy::least_waste()).with_span(scale.span);
 
     let mtbf_years = [2.0, 4.0, 7.0, 10.0, 20.0, 35.0, 50.0];
     let points = waste_vs_mtbf(&template, &mtbf_years, &Strategy::all_seven(), &scale.mc());

@@ -34,8 +34,7 @@ fn main() {
 
     let mut t = Table::new(["node_mtbf_years", "series", "min_bandwidth_tbps"]);
     for &years in &mtbf_years {
-        let platform =
-            coopckpt_workload::prospective().with_node_mtbf(Duration::from_years(years));
+        let platform = coopckpt_workload::prospective().with_node_mtbf(Duration::from_years(years));
         let classes = coopckpt_workload::classes_for(&platform);
         let template = SimConfig::new(platform.clone(), classes.clone(), Strategy::least_waste())
             .with_span(scale.span);

@@ -157,7 +157,10 @@ mod tests {
     #[test]
     fn float_lists() {
         let a = Args::parse(["x", "--values", "40, 80,160"]).unwrap();
-        assert_eq!(a.get_f64_list("values").unwrap().unwrap(), vec![40.0, 80.0, 160.0]);
+        assert_eq!(
+            a.get_f64_list("values").unwrap().unwrap(),
+            vec![40.0, 80.0, 160.0]
+        );
         assert_eq!(a.get_f64_list("absent").unwrap(), None);
         let a = Args::parse(["x", "--values", "1,two"]).unwrap();
         assert!(a.get_f64_list("values").is_err());

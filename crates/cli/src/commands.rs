@@ -58,9 +58,7 @@ fn platform_from(args: &Args) -> Result<Platform, Box<dyn std::error::Error>> {
         other => return Err(format!("unknown platform '{other}'").into()),
     };
     if let Some(bw) = args.get("bandwidth") {
-        let gbps: f64 = bw
-            .parse()
-            .map_err(|_| format!("bad --bandwidth '{bw}'"))?;
+        let gbps: f64 = bw.parse().map_err(|_| format!("bad --bandwidth '{bw}'"))?;
         p = p.with_bandwidth(Bandwidth::from_gbps(gbps));
     }
     if let Some(m) = args.get("mtbf-years") {
@@ -161,7 +159,10 @@ pub fn table1(args: &Args) -> CmdResult {
             format!("{}", class.input_bytes),
             format!("{}", class.output_bytes),
             format!("{}", class.ckpt_bytes),
-            format!("{:.1}", class.ckpt_duration(platform.pfs_bandwidth).as_secs()),
+            format!(
+                "{:.1}",
+                class.ckpt_duration(platform.pfs_bandwidth).as_secs()
+            ),
             format!("{:.1}", class.daly_period(&platform).as_secs() / 60.0),
         ]);
     }
@@ -296,7 +297,9 @@ pub fn workload(args: &Args) -> CmdResult {
     let spec = WorkloadSpec::new(classes.clone()).with_min_span(Duration::from_days(span));
     let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let jobs = spec.generate(&platform, &mut rng);
-    let mut t = Table::new(["job", "class", "nodes", "work_h", "input", "output", "ckpt", "priority"]);
+    let mut t = Table::new([
+        "job", "class", "nodes", "work_h", "input", "output", "ckpt", "priority",
+    ]);
     for j in &jobs {
         t.row([
             format!("{}", j.id),

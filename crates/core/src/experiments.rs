@@ -85,7 +85,9 @@ pub fn waste_vs_mtbf(
 ) -> Vec<SweepPoint> {
     let mut points = Vec::new();
     for &years in mtbf_years {
-        let platform = template.platform.with_node_mtbf(Duration::from_years(years));
+        let platform = template
+            .platform
+            .with_node_mtbf(Duration::from_years(years));
         for strat in strategies {
             let cfg = SimConfig {
                 platform: platform.clone(),
@@ -122,7 +124,10 @@ pub fn min_bandwidth_for_efficiency(
         (0.0..1.0).contains(&target_efficiency),
         "target efficiency must be in (0, 1)"
     );
-    assert!(lo_gbps > 0.0 && lo_gbps < hi_gbps, "invalid bandwidth range");
+    assert!(
+        lo_gbps > 0.0 && lo_gbps < hi_gbps,
+        "invalid bandwidth range"
+    );
     let mean_eff = |gbps: f64| -> f64 {
         let cfg = SimConfig {
             platform: template.platform.with_bandwidth(Bandwidth::from_gbps(gbps)),
@@ -218,7 +223,10 @@ mod tests {
     #[test]
     fn bandwidth_sweep_produces_all_series() {
         let t = template();
-        let strategies = [Strategy::least_waste(), Strategy::oblivious(crate::strategy::CheckpointPolicy::Daly)];
+        let strategies = [
+            Strategy::least_waste(),
+            Strategy::oblivious(crate::strategy::CheckpointPolicy::Daly),
+        ];
         let pts = waste_vs_bandwidth(&t, &[2.0, 8.0], &strategies, &MonteCarloConfig::new(2));
         // Two x-values × (two strategies + bound).
         assert_eq!(pts.len(), 6);
@@ -268,15 +276,8 @@ mod tests {
     fn min_bandwidth_search_is_consistent() {
         let t = template();
         let mc = MonteCarloConfig::new(1);
-        let found = min_bandwidth_for_efficiency(
-            &t,
-            Strategy::least_waste(),
-            0.5,
-            0.25,
-            64.0,
-            6,
-            &mc,
-        );
+        let found =
+            min_bandwidth_for_efficiency(&t, Strategy::least_waste(), 0.5, 0.25, 64.0, 6, &mc);
         let bw = found.expect("50% efficiency must be reachable at 64 GB/s");
         assert!((0.25..=64.0).contains(&bw));
     }

@@ -27,7 +27,9 @@ use crate::strategy::{CheckpointPolicy, IoDiscipline};
 use coopckpt_des::{Duration, EventKey, Process, Simulator, StepControl, Time};
 use coopckpt_failure::{FailureTrace, Xoshiro256pp};
 use coopckpt_io::burst::{Admission, BurstBuffer};
-use coopckpt_io::{DegradedShare, EqualShare, LinearShare, Pfs, RequestId, RequestQueue, TransferId};
+use coopckpt_io::{
+    DegradedShare, EqualShare, LinearShare, Pfs, RequestId, RequestQueue, TransferId,
+};
 use coopckpt_model::{Bytes, JobId, JobSpec, Platform};
 use coopckpt_sched::{AllocId, Scheduler};
 use coopckpt_stats::{Category, WasteLedger};
@@ -372,8 +374,7 @@ impl Engine {
                     // P ≥ N·C_pfs/q) caps the aggregate drain demand at
                     // F = 1 — the Eq. (6) feasibility condition.
                     let floor = Duration::from_secs(
-                        c_nominal.as_secs() * self.platform.nodes as f64
-                            / spec.q_nodes as f64,
+                        c_nominal.as_secs() * self.platform.nodes as f64 / spec.q_nodes as f64,
                     );
                     daly.max(floor)
                 } else {
@@ -484,14 +485,23 @@ impl Engine {
         if self.discipline.is_exclusive() {
             self.jobs[idx].state = JState::WaitIo(kind);
             self.jobs[idx].state_since = now;
-            let id = self.queue.push(now, RMeta { job: idx, kind, volume });
+            let id = self.queue.push(
+                now,
+                RMeta {
+                    job: idx,
+                    kind,
+                    volume,
+                },
+            );
             self.jobs[idx].request = Some(id);
             self.try_grant(sim, now);
         } else {
             let q = self.jobs[idx].q();
             self.jobs[idx].state = JState::Transfer(kind);
             self.jobs[idx].state_since = now;
-            let tid = self.pfs.start(now, volume, q as f64, TMeta { job: idx, kind });
+            let tid = self
+                .pfs
+                .start(now, volume, q as f64, TMeta { job: idx, kind });
             self.jobs[idx].transfer = Some(tid);
             self.record(TraceEvent::IoStarted {
                 at: now,
@@ -832,9 +842,9 @@ impl Engine {
                 self.mark(idx, now, Category::IoWait);
                 self.jobs[idx].state = JState::Transfer(kind);
                 let q = self.jobs[idx].q();
-                let tid = self
-                    .pfs
-                    .start(now, granted.meta.volume, q as f64, TMeta { job: idx, kind });
+                let tid =
+                    self.pfs
+                        .start(now, granted.meta.volume, q as f64, TMeta { job: idx, kind });
                 self.jobs[idx].transfer = Some(tid);
                 self.record(TraceEvent::IoStarted {
                     at: now,
@@ -849,10 +859,7 @@ impl Engine {
 
     /// Implements Equations (1) and (2): picks the candidate whose grant
     /// minimizes the expected waste inflicted on every *other* candidate.
-    fn select_least_waste(
-        &mut self,
-        now: Time,
-    ) -> coopckpt_io::PendingRequest<RMeta> {
+    fn select_least_waste(&mut self, now: Time) -> coopckpt_io::PendingRequest<RMeta> {
         // Precompute the candidate sums so each cost evaluation is O(1).
         let mut s_io_qd = 0.0; // Σ_IO q_j d_j
         let mut s_io_q = 0.0; // Σ_IO q_j
@@ -1211,12 +1218,7 @@ impl Engine {
 impl Process for Engine {
     type Event = Event;
 
-    fn handle(
-        &mut self,
-        sim: &mut Simulator<Event>,
-        now: Time,
-        event: Event,
-    ) -> StepControl {
+    fn handle(&mut self, sim: &mut Simulator<Event>, now: Time, event: Event) -> StepControl {
         match event {
             Event::FitPass => self.on_fit_pass(sim, now),
             Event::PfsWake => self.on_pfs_wake(sim, now),

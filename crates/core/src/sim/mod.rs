@@ -205,10 +205,7 @@ pub fn run_simulation(config: &SimConfig, seed: u64) -> SimResult {
     let jobs = spec.generate(&config.platform, &mut workload_rng);
 
     let (w0, w1) = config.window();
-    let ledger = WasteLedger::new(
-        coopckpt_des::Time::ZERO + w0,
-        coopckpt_des::Time::ZERO + w1,
-    );
+    let ledger = WasteLedger::new(coopckpt_des::Time::ZERO + w0, coopckpt_des::Time::ZERO + w1);
 
     engine::Engine::run(config, jobs, &mut failure_rng, ledger)
 }
@@ -285,14 +282,32 @@ mod tests {
     #[test]
     fn no_failures_means_no_restarts() {
         let p = tiny_platform();
-        let cfg = SimConfig::new(p.clone(), tiny_classes(&p), Strategy::ordered(CheckpointPolicy::Daly))
-            .with_span(Duration::from_days(4.0))
-            .with_failures(FailureModel::None);
+        let cfg = SimConfig::new(
+            p.clone(),
+            tiny_classes(&p),
+            Strategy::ordered(CheckpointPolicy::Daly),
+        )
+        .with_span(Duration::from_days(4.0))
+        .with_failures(FailureModel::None);
         let r = run_simulation(&cfg, 3);
         assert_eq!(r.failures_total, 0);
         assert_eq!(r.restarts, 0);
-        assert_eq!(r.breakdown.iter().find(|(l, _)| *l == "lost_work").unwrap().1, 0.0);
-        assert_eq!(r.breakdown.iter().find(|(l, _)| *l == "recovery").unwrap().1, 0.0);
+        assert_eq!(
+            r.breakdown
+                .iter()
+                .find(|(l, _)| *l == "lost_work")
+                .unwrap()
+                .1,
+            0.0
+        );
+        assert_eq!(
+            r.breakdown
+                .iter()
+                .find(|(l, _)| *l == "recovery")
+                .unwrap()
+                .1,
+            0.0
+        );
     }
 
     #[test]
@@ -300,8 +315,12 @@ mod tests {
         // With a generous buffer and fast absorb, the job-visible commit
         // shrinks and waste falls under scarce PFS bandwidth.
         let p = tiny_platform();
-        let base = SimConfig::new(p.clone(), tiny_classes(&p), Strategy::ordered(CheckpointPolicy::Daly))
-            .with_span(Duration::from_days(4.0));
+        let base = SimConfig::new(
+            p.clone(),
+            tiny_classes(&p),
+            Strategy::ordered(CheckpointPolicy::Daly),
+        )
+        .with_span(Duration::from_days(4.0));
         let with_bb = base.clone().with_burst_buffer(BurstBufferSpec {
             capacity: Bytes::from_tb(50.0),
             write_bw_per_node: Bandwidth::from_gbps(4.0),

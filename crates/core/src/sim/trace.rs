@@ -238,9 +238,15 @@ impl Trace {
 
     /// The failures that struck jobs.
     pub fn job_failures(&self) -> impl Iterator<Item = &TraceEvent> {
-        self.events.iter().filter(
-            |e| matches!(e, TraceEvent::Failure { victim: Some(_), .. }),
-        )
+        self.events.iter().filter(|e| {
+            matches!(
+                e,
+                TraceEvent::Failure {
+                    victim: Some(_),
+                    ..
+                }
+            )
+        })
     }
 
     /// Renders the whole trace as CSV (`t_secs,event,job,detail` rows with

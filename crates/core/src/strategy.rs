@@ -152,8 +152,7 @@ mod tests {
     fn seven_distinct_strategies() {
         let all = Strategy::all_seven();
         assert_eq!(all.len(), 7);
-        let names: std::collections::HashSet<String> =
-            all.iter().map(|s| s.name()).collect();
+        let names: std::collections::HashSet<String> = all.iter().map(|s| s.name()).collect();
         assert_eq!(names.len(), 7, "names must be unique: {names:?}");
     }
 

@@ -38,8 +38,12 @@ pub trait Process {
 
     /// Handles one event at simulation time `now`. New events are scheduled
     /// through `sim`.
-    fn handle(&mut self, sim: &mut Simulator<Self::Event>, now: Time, event: Self::Event)
-        -> StepControl;
+    fn handle(
+        &mut self,
+        sim: &mut Simulator<Self::Event>,
+        now: Time,
+        event: Self::Event,
+    ) -> StepControl;
 }
 
 /// The simulation clock plus future-event list handed to [`Process::handle`].

@@ -155,12 +155,8 @@ mod tests {
         let mut rng = Xoshiro256pp::seed_from_u64(42);
         // 1000 nodes, 2-year node MTBF → system MTBF ≈ 17.52 h.
         let horizon = Time::from_secs(Duration::from_days(3650.0).as_secs());
-        let trace = FailureTrace::generate_exponential(
-            &mut rng,
-            1000,
-            Duration::from_years(2.0),
-            horizon,
-        );
+        let trace =
+            FailureTrace::generate_exponential(&mut rng, 1000, Duration::from_years(2.0), horizon);
         let expected = Duration::from_years(2.0).as_secs() / 1000.0;
         let got = trace.empirical_mtbf().unwrap().as_secs();
         assert!(
@@ -178,10 +174,7 @@ mod tests {
             Duration::from_years(1.0),
             Time::from_secs(Duration::from_days(365.0).as_secs()),
         );
-        assert!(trace
-            .events()
-            .windows(2)
-            .all(|w| w[0].at <= w[1].at));
+        assert!(trace.events().windows(2).all(|w| w[0].at <= w[1].at));
     }
 
     #[test]

@@ -318,11 +318,15 @@ impl<M> Pfs<M> {
             return;
         }
         self.scratch_weights.clear();
-        self.scratch_weights.extend(self.active.iter().map(|t| t.weight));
+        self.scratch_weights
+            .extend(self.active.iter().map(|t| t.weight));
         self.scratch_rates.clear();
         self.scratch_rates.resize(k, Bandwidth::ZERO);
-        self.model
-            .split(self.bandwidth, &self.scratch_weights, &mut self.scratch_rates);
+        self.model.split(
+            self.bandwidth,
+            &self.scratch_weights,
+            &mut self.scratch_rates,
+        );
         for (t, &rate) in self.active.iter_mut().zip(&self.scratch_rates) {
             t.rate = rate;
         }

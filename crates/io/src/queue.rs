@@ -118,7 +118,10 @@ impl<M> RequestQueue<M> {
 
     /// Removes every request matching the predicate, returning them in FCFS
     /// order (e.g. flush all requests of a failed job).
-    pub fn remove_where(&mut self, mut pred: impl FnMut(&PendingRequest<M>) -> bool) -> Vec<PendingRequest<M>> {
+    pub fn remove_where(
+        &mut self,
+        mut pred: impl FnMut(&PendingRequest<M>) -> bool,
+    ) -> Vec<PendingRequest<M>> {
         let mut removed = Vec::new();
         let mut kept = VecDeque::with_capacity(self.queue.len());
         for req in self.queue.drain(..) {

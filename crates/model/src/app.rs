@@ -78,7 +78,10 @@ impl AppClass {
     /// The Young/Daly period `P_Daly = √(2 µ_i C_i)` for this class when the
     /// full PFS bandwidth is available for its checkpoint.
     pub fn daly_period(&self, platform: &Platform) -> Duration {
-        crate::ckpt::young_daly_period(self.ckpt_duration(platform.pfs_bandwidth), self.mtbf(platform))
+        crate::ckpt::young_daly_period(
+            self.ckpt_duration(platform.pfs_bandwidth),
+            self.mtbf(platform),
+        )
     }
 
     /// Memory footprint of one job of this class on `platform`
@@ -142,7 +145,13 @@ pub struct JobSpec {
 
 impl JobSpec {
     /// Instantiates a fresh (non-restart) job from a class.
-    pub fn from_class(id: JobId, class_id: ClassId, class: &AppClass, work: Duration, priority: i64) -> Self {
+    pub fn from_class(
+        id: JobId,
+        class_id: ClassId,
+        class: &AppClass,
+        work: Duration,
+        priority: i64,
+    ) -> Self {
         JobSpec {
             id,
             class: class_id,
@@ -171,7 +180,8 @@ impl JobSpec {
             input_bytes: self.ckpt_bytes,
             output_bytes: self.output_bytes,
             ckpt_bytes: self.ckpt_bytes,
-            regular_io_bytes: self.regular_io_bytes * (remaining_work / self.work.max(Duration::from_secs(1e-9))).clamp(0.0, 1.0),
+            regular_io_bytes: self.regular_io_bytes
+                * (remaining_work / self.work.max(Duration::from_secs(1e-9))).clamp(0.0, 1.0),
             priority,
             is_restart: true,
         }

@@ -67,7 +67,9 @@ impl NodePool {
         }
         let id = AllocId(self.next_id);
         self.next_id += 1;
-        let nodes: Vec<usize> = (0..q).map(|_| self.free.pop().expect("checked len")).collect();
+        let nodes: Vec<usize> = (0..q)
+            .map(|_| self.free.pop().expect("checked len"))
+            .collect();
         for &n in &nodes {
             debug_assert!(self.assignment[n].is_none());
             self.assignment[n] = Some(id);

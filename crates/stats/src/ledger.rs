@@ -214,7 +214,12 @@ mod tests {
     #[test]
     fn records_inside_window() {
         let mut l = ledger();
-        l.record(Category::Work, 10, Time::from_secs(120.0), Time::from_secs(130.0));
+        l.record(
+            Category::Work,
+            10,
+            Time::from_secs(120.0),
+            Time::from_secs(130.0),
+        );
         assert_eq!(l.get(Category::Work), 100.0);
     }
 
@@ -222,22 +227,52 @@ mod tests {
     fn clips_to_window() {
         let mut l = ledger();
         // Starts before the window: only [100, 150] counts.
-        l.record(Category::Work, 2, Time::from_secs(50.0), Time::from_secs(150.0));
+        l.record(
+            Category::Work,
+            2,
+            Time::from_secs(50.0),
+            Time::from_secs(150.0),
+        );
         assert_eq!(l.get(Category::Work), 100.0);
         // Ends after the window: only [150, 200] counts.
-        l.record(Category::CkptCommit, 1, Time::from_secs(150.0), Time::from_secs(500.0));
+        l.record(
+            Category::CkptCommit,
+            1,
+            Time::from_secs(150.0),
+            Time::from_secs(500.0),
+        );
         assert_eq!(l.get(Category::CkptCommit), 50.0);
         // Entirely outside: nothing.
-        l.record(Category::Recovery, 100, Time::from_secs(0.0), Time::from_secs(99.0));
+        l.record(
+            Category::Recovery,
+            100,
+            Time::from_secs(0.0),
+            Time::from_secs(99.0),
+        );
         assert_eq!(l.get(Category::Recovery), 0.0);
     }
 
     #[test]
     fn waste_ratio_mixes_categories() {
         let mut l = ledger();
-        l.record(Category::Work, 1, Time::from_secs(100.0), Time::from_secs(180.0)); // 80 useful
-        l.record(Category::RegularIo, 1, Time::from_secs(180.0), Time::from_secs(190.0)); // 10 useful
-        l.record(Category::CkptCommit, 1, Time::from_secs(190.0), Time::from_secs(200.0)); // 10 waste
+        l.record(
+            Category::Work,
+            1,
+            Time::from_secs(100.0),
+            Time::from_secs(180.0),
+        ); // 80 useful
+        l.record(
+            Category::RegularIo,
+            1,
+            Time::from_secs(180.0),
+            Time::from_secs(190.0),
+        ); // 10 useful
+        l.record(
+            Category::CkptCommit,
+            1,
+            Time::from_secs(190.0),
+            Time::from_secs(200.0),
+        ); // 10 waste
         assert_eq!(l.useful(), 90.0);
         assert_eq!(l.wasted(), 10.0);
         assert!((l.waste_ratio() - 0.1).abs() < 1e-12);
@@ -255,14 +290,29 @@ mod tests {
     #[test]
     fn reclassify_moves_mass_inside_window() {
         let mut l = ledger();
-        l.record(Category::Work, 1, Time::from_secs(100.0), Time::from_secs(200.0));
-        l.reclassify(Category::Work, Category::LostWork, 30.0, Time::from_secs(150.0));
+        l.record(
+            Category::Work,
+            1,
+            Time::from_secs(100.0),
+            Time::from_secs(200.0),
+        );
+        l.reclassify(
+            Category::Work,
+            Category::LostWork,
+            30.0,
+            Time::from_secs(150.0),
+        );
         assert_eq!(l.get(Category::Work), 70.0);
         assert_eq!(l.get(Category::LostWork), 30.0);
         // Total is conserved.
         assert_eq!(l.useful() + l.wasted(), 100.0);
         // Outside the window: no effect.
-        l.reclassify(Category::Work, Category::LostWork, 30.0, Time::from_secs(999.0));
+        l.reclassify(
+            Category::Work,
+            Category::LostWork,
+            30.0,
+            Time::from_secs(999.0),
+        );
         assert_eq!(l.get(Category::Work), 70.0);
     }
 
@@ -275,10 +325,25 @@ mod tests {
     #[test]
     fn merge_adds_categories() {
         let mut a = ledger();
-        a.record(Category::Work, 1, Time::from_secs(100.0), Time::from_secs(150.0));
+        a.record(
+            Category::Work,
+            1,
+            Time::from_secs(100.0),
+            Time::from_secs(150.0),
+        );
         let mut b = ledger();
-        b.record(Category::Work, 1, Time::from_secs(150.0), Time::from_secs(200.0));
-        b.record(Category::IoWait, 2, Time::from_secs(100.0), Time::from_secs(110.0));
+        b.record(
+            Category::Work,
+            1,
+            Time::from_secs(150.0),
+            Time::from_secs(200.0),
+        );
+        b.record(
+            Category::IoWait,
+            2,
+            Time::from_secs(100.0),
+            Time::from_secs(110.0),
+        );
         a.merge(&b);
         assert_eq!(a.get(Category::Work), 100.0);
         assert_eq!(a.get(Category::IoWait), 20.0);

@@ -17,8 +17,8 @@
 //!   sweeps too large to buffer.
 
 pub mod ledger;
-pub mod p2;
 pub mod online;
+pub mod p2;
 pub mod quantile;
 pub mod table;
 

@@ -416,22 +416,20 @@ mod proptests {
     }
 
     fn arb_classes(max_nodes: usize) -> impl Strategy<Value = Vec<ClassParams>> {
-        proptest::collection::vec(
-            (1.0f64..20.0, 1usize..500, 1.0f64..5000.0),
-            1..5,
+        proptest::collection::vec((1.0f64..20.0, 1usize..500, 1.0f64..5000.0), 1..5).prop_map(
+            move |rows| {
+                rows.into_iter()
+                    .enumerate()
+                    .map(|(i, (n_jobs, q, c))| ClassParams {
+                        name: format!("c{i}"),
+                        n_jobs,
+                        q_nodes: q.min(max_nodes),
+                        ckpt: Duration::from_secs(c),
+                        recovery: Duration::from_secs(c),
+                    })
+                    .collect()
+            },
         )
-        .prop_map(move |rows| {
-            rows.into_iter()
-                .enumerate()
-                .map(|(i, (n_jobs, q, c))| ClassParams {
-                    name: format!("c{i}"),
-                    n_jobs,
-                    q_nodes: q.min(max_nodes),
-                    ckpt: Duration::from_secs(c),
-                    recovery: Duration::from_secs(c),
-                })
-                .collect()
-        })
     }
 
     proptest! {

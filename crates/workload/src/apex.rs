@@ -186,7 +186,10 @@ mod tests {
         let eap_c = APEX_SPECS[0].instantiate(&c);
         let eap_f = APEX_SPECS[0].instantiate(&f);
         // Node share preserved: 16384/143104 of the machine.
-        assert_eq!(eap_f.q_nodes, (16_384.0 / 143_104.0 * 50_000.0_f64).round() as usize);
+        assert_eq!(
+            eap_f.q_nodes,
+            (16_384.0 / 143_104.0 * 50_000.0_f64).round() as usize
+        );
         // Checkpoint grows with per-job memory (≈24.5× total memory and the
         // same fractional footprint).
         let ratio = eap_f.ckpt_bytes / eap_c.ckpt_bytes;

@@ -177,7 +177,10 @@ mod tests {
         let (p, s) = spec();
         let mut rng = Xoshiro256pp::seed_from_u64(1);
         let jobs = s.generate(&p, &mut rng);
-        let total: f64 = jobs.iter().map(|j| j.q_nodes as f64 * j.work.as_secs()).sum();
+        let total: f64 = jobs
+            .iter()
+            .map(|j| j.q_nodes as f64 * j.work.as_secs())
+            .sum();
         let needed = p.nodes as f64 * Duration::from_days(60.0).as_secs();
         assert!(total >= needed, "work {total} < needed {needed}");
     }
@@ -209,11 +212,7 @@ mod tests {
         for job in &jobs {
             let w = s.classes[job.class.0].walltime;
             let ratio = job.work / w;
-            assert!(
-                (0.8..=1.2).contains(&ratio),
-                "job {} ratio {ratio}",
-                job.id
-            );
+            assert!((0.8..=1.2).contains(&ratio), "job {} ratio {ratio}", job.id);
             distinct.insert((job.work.as_secs() * 1000.0) as i64);
         }
         assert!(distinct.len() > jobs.len() / 2, "durations look constant");
@@ -249,7 +248,9 @@ mod tests {
         let (p, s) = spec();
         let short = s.clone().with_min_span(Duration::from_days(10.0));
         let long = s.with_min_span(Duration::from_days(120.0));
-        let a = short.generate(&p, &mut Xoshiro256pp::seed_from_u64(5)).len();
+        let a = short
+            .generate(&p, &mut Xoshiro256pp::seed_from_u64(5))
+            .len();
         let b = long.generate(&p, &mut Xoshiro256pp::seed_from_u64(5)).len();
         assert!(a < b, "10-day mix {a} jobs vs 120-day mix {b}");
     }

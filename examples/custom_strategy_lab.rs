@@ -12,8 +12,8 @@
 //! cargo run --release --example custom_strategy_lab
 //! ```
 
-use coopckpt::sim::{FailureModel, InterferenceKind};
 use coopckpt::prelude::*;
+use coopckpt::sim::{FailureModel, InterferenceKind};
 use coopckpt_stats::Table;
 
 fn platform() -> Platform {

@@ -23,7 +23,8 @@ fn main() {
         .map(|s| s.parse().expect("MTBF must be a number"))
         .unwrap_or(15.0);
 
-    let platform = coopckpt_workload::prospective().with_node_mtbf(Duration::from_years(mtbf_years));
+    let platform =
+        coopckpt_workload::prospective().with_node_mtbf(Duration::from_years(mtbf_years));
     let classes = coopckpt_workload::classes_for(&platform);
     println!(
         "{} — node MTBF {} years (system MTBF {:.2} h), target efficiency 80%\n",
@@ -44,9 +45,8 @@ fn main() {
         Strategy::ordered_nb(CheckpointPolicy::Daly),
         Strategy::least_waste(),
     ] {
-        let found = min_bandwidth_for_efficiency(
-            &template, strategy, 0.80, 100.0, 100_000.0, 8, &mc,
-        );
+        let found =
+            min_bandwidth_for_efficiency(&template, strategy, 0.80, 100.0, 100_000.0, 8, &mc);
         table.row([
             strategy.name(),
             match found {

@@ -78,7 +78,11 @@ fn main() {
         ((t.as_secs() / day) * COLS as f64).min(COLS as f64 - 1.0) as usize
     };
     let mut rows: BTreeMap<String, Vec<char>> = BTreeMap::new();
-    let set = |rows: &mut BTreeMap<String, Vec<char>>, job: String, c: usize, glyph: char, keep_existing: bool| {
+    let set = |rows: &mut BTreeMap<String, Vec<char>>,
+               job: String,
+               c: usize,
+               glyph: char,
+               keep_existing: bool| {
         let row = rows.entry(job).or_insert_with(|| vec![' '; COLS]);
         if !keep_existing || row[c] == ' ' {
             row[c] = glyph;
@@ -87,7 +91,10 @@ fn main() {
     for ev in trace.events() {
         match ev {
             TraceEvent::JobStarted {
-                at, job, is_restart, ..
+                at,
+                job,
+                is_restart,
+                ..
             } => set(
                 &mut rows,
                 job.to_string(),

@@ -1,0 +1,38 @@
+//! Workspace hub for the **coopckpt** reproduction of Hérault, Robert,
+//! Bouteiller, Arnold, Ferreira, Bosilca, Dongarra: *Optimal Cooperative
+//! Checkpointing for Shared High-Performance Computing Platforms*
+//! (IPDPS 2018 / INRIA RR-9109).
+//!
+//! This crate contains no logic of its own. It owns the cross-crate
+//! integration suites (`tests/`) and the runnable walkthroughs
+//! (`examples/`), and re-exports every library crate so downstream code
+//! can depend on the whole family through a single name:
+//!
+//! ```
+//! use coopckpt_suite::theory::{lower_bound, ClassParams};
+//! use coopckpt_suite::workload;
+//!
+//! let platform = workload::cielo();
+//! let params: Vec<ClassParams> = workload::classes_for(&platform)
+//!     .iter()
+//!     .map(|c| ClassParams::from_app_class(c, &platform))
+//!     .collect();
+//! assert!(lower_bound(&platform, &params).waste > 0.0);
+//! ```
+//!
+//! Start with `cargo run --example quickstart`, or see the crate map in
+//! the repository `README.md`.
+
+pub use coopckpt as core;
+pub use coopckpt_des as des;
+pub use coopckpt_failure as failure;
+pub use coopckpt_io as io;
+pub use coopckpt_model as model;
+pub use coopckpt_sched as sched;
+pub use coopckpt_stats as stats;
+pub use coopckpt_theory as theory;
+pub use coopckpt_workload as workload;
+
+/// The paper's seven strategies plus the simulator entry points, re-exported
+/// at the hub root for convenience.
+pub use coopckpt::prelude;

@@ -1,0 +1,58 @@
+//! Fixture and tolerances shared by the steady-state suites
+//! (`theory_vs_sim.rs` and the fast `smoke.rs` CI guard), so the two
+//! cannot silently diverge.
+#![allow(dead_code)] // each test binary uses a subset
+
+use coopckpt::prelude::*;
+
+/// The simulated mean over a few instances may dip slightly below the
+/// Theorem 1 bound on lucky draws (fewer failures than expectation —
+/// acknowledged in the paper), but not materially: it must stay above
+/// `bound * BOUND_LOWER_FRAC`.
+pub const BOUND_LOWER_FRAC: f64 = 0.85;
+
+/// A cooperative strategy must track the bound from above within a modest
+/// factor: `waste < bound * BOUND_UPPER_FACTOR + BOUND_UPPER_SLACK`.
+pub const BOUND_UPPER_FACTOR: f64 = 3.0;
+/// Additive slack for operating points where the bound itself is tiny.
+pub const BOUND_UPPER_SLACK: f64 = 0.02;
+
+/// A clean steady-state platform: 256 nodes whose bandwidth and MTBF the
+/// caller picks per operating point.
+pub fn steady_platform(bw_gbps: f64, mtbf_years: f64) -> Platform {
+    Platform::new(
+        "steady",
+        256,
+        8,
+        Bytes::from_gb(16.0),
+        Bandwidth::from_gbps(bw_gbps),
+        Duration::from_years(mtbf_years),
+    )
+    .unwrap()
+}
+
+/// Long jobs with modest checkpoints: a clean steady-state workload.
+pub fn steady_classes(p: &Platform) -> Vec<AppClass> {
+    vec![
+        AppClass {
+            name: "alpha".into(),
+            q_nodes: 64,
+            walltime: Duration::from_hours(60.0),
+            resource_share: 0.5,
+            input_bytes: Bytes::from_gb(32.0),
+            output_bytes: Bytes::from_gb(64.0),
+            ckpt_bytes: p.mem_per_node * 64.0,
+            regular_io_bytes: Bytes::ZERO,
+        },
+        AppClass {
+            name: "beta".into(),
+            q_nodes: 32,
+            walltime: Duration::from_hours(40.0),
+            resource_share: 0.5,
+            input_bytes: Bytes::from_gb(16.0),
+            output_bytes: Bytes::from_gb(32.0),
+            ckpt_bytes: p.mem_per_node * 32.0,
+            regular_io_bytes: Bytes::ZERO,
+        },
+    ]
+}

@@ -88,7 +88,11 @@ fn checkpoints_bound_lost_work() {
     // the checkpoint period plus queueing delays; without checkpoints
     // (no-failure baseline comparison) the job would lose everything.
     let r = run_simulation(&cfg(0.02, Strategy::ordered(CheckpointPolicy::Daly)), 99);
-    assert!(r.failures_hitting_jobs >= 3, "want several failures, got {}", r.failures_hitting_jobs);
+    assert!(
+        r.failures_hitting_jobs >= 3,
+        "want several failures, got {}",
+        r.failures_hitting_jobs
+    );
     let lost = r
         .breakdown
         .iter()

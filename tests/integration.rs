@@ -75,7 +75,10 @@ fn failures_add_lost_work_and_recovery() {
     let base = config(1000.0, 0.05, Strategy::ordered_nb(CheckpointPolicy::Daly));
     let no_fail = run_simulation(&base.clone().with_failures(FailureModel::None), 3);
     let with_fail = run_simulation(&base, 3);
-    assert!(with_fail.failures_hitting_jobs > 0, "premise: failures strike");
+    assert!(
+        with_fail.failures_hitting_jobs > 0,
+        "premise: failures strike"
+    );
     assert!(with_fail.restarts > 0);
     assert!(
         with_fail.waste_ratio > no_fail.waste_ratio,

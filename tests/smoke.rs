@@ -1,0 +1,45 @@
+//! CI smoke guard for the paper's headline result (§6.1): a single
+//! Least-Waste simulation must bracket the Theorem 1 analytic lower bound
+//! within the same tolerances `theory_vs_sim.rs` exercises at scale.
+//!
+//! This is deliberately one operating point and a handful of Monte-Carlo
+//! instances, so it stays fast enough to run on every push; the full
+//! sweep lives in `theory_vs_sim.rs`. Fixture and tolerances are shared
+//! through `common` so the two suites cannot drift apart.
+
+mod common;
+
+use common::{
+    steady_classes, steady_platform, BOUND_LOWER_FRAC, BOUND_UPPER_FACTOR, BOUND_UPPER_SLACK,
+};
+use coopckpt::prelude::*;
+use coopckpt_theory::{lower_bound, ClassParams};
+
+#[test]
+fn least_waste_agrees_with_theorem1_bound() {
+    let platform = steady_platform(20.0, 3.0);
+    let classes = steady_classes(&platform);
+
+    let params: Vec<ClassParams> = classes
+        .iter()
+        .map(|c| ClassParams::from_app_class(c, &platform))
+        .collect();
+    let bound = lower_bound(&platform, &params).waste;
+    assert!(
+        bound.is_finite() && bound > 0.0 && bound < 1.0,
+        "Theorem 1 bound must be a meaningful waste ratio, got {bound}"
+    );
+
+    let config = SimConfig::new(platform, classes, Strategy::least_waste())
+        .with_span(Duration::from_days(10.0));
+    let waste = run_many(&config, &MonteCarloConfig::new(8)).mean();
+
+    assert!(
+        waste > bound * BOUND_LOWER_FRAC,
+        "Least-Waste mean waste {waste} sits far below the Theorem 1 bound {bound}"
+    );
+    assert!(
+        waste < bound * BOUND_UPPER_FACTOR + BOUND_UPPER_SLACK,
+        "Least-Waste mean waste {waste} fails to track the Theorem 1 bound {bound}"
+    );
+}

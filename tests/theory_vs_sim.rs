@@ -2,46 +2,14 @@
 //! Section-4 analytic lower bound in steady state — the paper's headline
 //! validation (Least-Waste "reaches the theoretical performance", §6.1).
 
+mod common;
+
+use common::{
+    steady_classes as classes, steady_platform as platform, BOUND_LOWER_FRAC, BOUND_UPPER_FACTOR,
+    BOUND_UPPER_SLACK,
+};
 use coopckpt::prelude::*;
 use coopckpt_theory::{lower_bound, unconstrained_periods, ClassParams};
-
-fn platform(bw_gbps: f64, mtbf_years: f64) -> Platform {
-    Platform::new(
-        "steady",
-        256,
-        8,
-        Bytes::from_gb(16.0),
-        Bandwidth::from_gbps(bw_gbps),
-        Duration::from_years(mtbf_years),
-    )
-    .unwrap()
-}
-
-fn classes(p: &Platform) -> Vec<AppClass> {
-    // Long jobs with modest checkpoints: a clean steady-state workload.
-    vec![
-        AppClass {
-            name: "alpha".into(),
-            q_nodes: 64,
-            walltime: Duration::from_hours(60.0),
-            resource_share: 0.5,
-            input_bytes: Bytes::from_gb(32.0),
-            output_bytes: Bytes::from_gb(64.0),
-            ckpt_bytes: p.mem_per_node * 64.0,
-            regular_io_bytes: Bytes::ZERO,
-        },
-        AppClass {
-            name: "beta".into(),
-            q_nodes: 32,
-            walltime: Duration::from_hours(40.0),
-            resource_share: 0.5,
-            input_bytes: Bytes::from_gb(16.0),
-            output_bytes: Bytes::from_gb(32.0),
-            ckpt_bytes: p.mem_per_node * 32.0,
-            regular_io_bytes: Bytes::ZERO,
-        },
-    ]
-}
 
 fn bound_for(p: &Platform, cls: &[AppClass]) -> f64 {
     let params: Vec<ClassParams> = cls
@@ -69,11 +37,11 @@ fn simulated_waste_never_beats_the_bound_significantly() {
         Strategy::ordered_nb(CheckpointPolicy::Daly),
         Strategy::least_waste(),
     ] {
-        let cfg = SimConfig::new(p.clone(), cls.clone(), strategy)
-            .with_span(Duration::from_days(10.0));
+        let cfg =
+            SimConfig::new(p.clone(), cls.clone(), strategy).with_span(Duration::from_days(10.0));
         let waste = mean_waste(&cfg, 8);
         assert!(
-            waste > bound * 0.85,
+            waste > bound * BOUND_LOWER_FRAC,
             "{}: mean simulated waste {waste} sits far below the bound {bound}",
             strategy.name()
         );
@@ -91,7 +59,7 @@ fn cooperative_strategies_track_the_bound_when_unconstrained() {
         .with_span(Duration::from_days(10.0));
     let waste = mean_waste(&cfg, 8);
     assert!(
-        waste < bound * 3.0 + 0.02,
+        waste < bound * BOUND_UPPER_FACTOR + BOUND_UPPER_SLACK,
         "Least-Waste waste {waste} should track the unconstrained bound {bound}"
     );
 }
@@ -107,7 +75,10 @@ fn bound_tightens_with_bandwidth_and_sim_follows() {
         let cfg = SimConfig::new(p.clone(), cls.clone(), Strategy::least_waste())
             .with_span(Duration::from_days(8.0));
         let sim = mean_waste(&cfg, 5);
-        assert!(bound <= last_bound + 1e-12, "bound must fall with bandwidth");
+        assert!(
+            bound <= last_bound + 1e-12,
+            "bound must fall with bandwidth"
+        );
         assert!(
             sim < last_sim + 0.05,
             "simulated waste should broadly fall with bandwidth ({last_sim} -> {sim} at {bw} GB/s)"
@@ -130,7 +101,10 @@ fn constrained_bound_stretches_periods_beyond_daly() {
         .map(|c| ClassParams::from_app_class(c, &p))
         .collect();
     let lb = lower_bound(&p, &params);
-    assert!(lb.io_constrained(), "premise: 0.3 GB/s must bind the constraint");
+    assert!(
+        lb.io_constrained(),
+        "premise: 0.3 GB/s must bind the constraint"
+    );
     for (opt, daly) in lb.periods.iter().zip(unconstrained_periods(&p, &params)) {
         assert!(
             opt.as_secs() > daly.as_secs() * 1.01,

@@ -94,10 +94,7 @@ fn checkpoint_content_is_monotone_per_job() {
 #[test]
 fn every_failure_victim_restarts_promptly() {
     let trace = traced(20.0, 0.1, Strategy::least_waste(), 4);
-    let failures: Vec<f64> = trace
-        .job_failures()
-        .map(|e| e.at().as_secs())
-        .collect();
+    let failures: Vec<f64> = trace.job_failures().map(|e| e.at().as_secs()).collect();
     assert!(!failures.is_empty(), "premise: failures must strike");
     let restarts: Vec<f64> = trace
         .events()
@@ -222,7 +219,13 @@ fn csv_export_has_one_row_per_event() {
     assert_eq!(csv.lines().count(), trace.len() + 1);
     assert!(csv.starts_with("t_secs,event,job,detail"));
     assert!(csv.contains("checkpoint_durable"));
-    assert!(trace.events().iter().any(|e| matches!(e, TraceEvent::IoStarted { kind: TraceIo::Input, .. })));
+    assert!(trace.events().iter().any(|e| matches!(
+        e,
+        TraceEvent::IoStarted {
+            kind: TraceIo::Input,
+            ..
+        }
+    )));
 }
 
 /// Mean interval between a job's consecutive durable checkpoints.
@@ -250,10 +253,14 @@ fn effective_period_matches_daly_when_unconstrained() {
     // the next request fires P − C later).
     let p = platform(500.0, 5.0);
     let c = classes(&p);
-    let cfg = SimConfig::new(p.clone(), c.clone(), Strategy::ordered(CheckpointPolicy::Daly))
-        .with_span(Duration::from_days(4.0))
-        .with_failures(coopckpt::sim::FailureModel::None)
-        .with_trace();
+    let cfg = SimConfig::new(
+        p.clone(),
+        c.clone(),
+        Strategy::ordered(CheckpointPolicy::Daly),
+    )
+    .with_span(Duration::from_days(4.0))
+    .with_failures(coopckpt::sim::FailureModel::None)
+    .with_trace();
     let trace = run_simulation(&cfg, 12).trace.unwrap();
     let measured = mean_effective_period(&trace);
     // The workload mixes two classes; their Daly periods bracket the mean.

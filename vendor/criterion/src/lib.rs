@@ -1,0 +1,224 @@
+//! Vendored minimal stand-in for `criterion`.
+//!
+//! Offers the same authoring surface the workspace's benches use —
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BatchSize`] — backed by a simple wall-clock
+//! harness instead of criterion's statistical machinery:
+//!
+//! * each benchmark is warmed up briefly, then timed over adaptive batches
+//!   until ~`MEASURE_MS` of samples accumulate;
+//! * the median per-iteration time is printed as `name ... <time>`;
+//! * there are no plots, baselines, or outlier analysis.
+//!
+//! Benches declare `harness = false` in their manifest exactly as with the
+//! real criterion, so swapping the real crate back in later is a
+//! manifest-only change.
+
+use std::time::{Duration, Instant};
+
+const WARMUP_MS: u64 = 50;
+const MEASURE_MS: u64 = 300;
+
+/// How `iter_batched` amortizes setup cost. The stub runs one setup per
+/// measured iteration regardless of the hint, so the variants only
+/// document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Routine input is small; batches may be large.
+    SmallInput,
+    /// Routine input is large; batches should be small.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Timing driver handed to every benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warmup_until = Instant::now() + Duration::from_millis(WARMUP_MS);
+        while Instant::now() < warmup_until {
+            std::hint::black_box(routine());
+        }
+        let measure_until = Instant::now() + Duration::from_millis(MEASURE_MS);
+        while Instant::now() < measure_until {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh input from `setup`; setup time is excluded
+    /// from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warmup_until = Instant::now() + Duration::from_millis(WARMUP_MS);
+        while Instant::now() < warmup_until {
+            std::hint::black_box(routine(setup()));
+        }
+        let measure_until = Instant::now() + Duration::from_millis(MEASURE_MS);
+        while Instant::now() < measure_until {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median(&self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        Some(sorted[sorted.len() / 2])
+    }
+}
+
+fn report(name: &str, bencher: &Bencher) {
+    match bencher.median() {
+        Some(t) => println!(
+            "{name:<40} {:>12} ({} samples)",
+            format_duration(t),
+            bencher.samples.len()
+        ),
+        None => println!("{name:<40} {:>12}", "no samples"),
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Benchmark registry and runner.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new();
+        f(&mut bencher);
+        report(name.as_ref(), &bencher);
+        self
+    }
+
+    /// Opens a named group; benchmarks inside it report as `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's sample count is
+    /// time-budgeted rather than fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new();
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, name.as_ref()), &bencher);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function from a list of `fn(&mut Criterion)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups (benches set `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; this
+            // harness has no options, so arguments are ignored.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("self/test", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher::new();
+        b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.median().is_some());
+    }
+
+    #[test]
+    fn group_reports_prefixed() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("inner", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

@@ -1,0 +1,234 @@
+//! Vendored minimal stand-in for the `rand` crate.
+//!
+//! This workspace builds offline, so instead of the crates.io `rand` we
+//! vendor the *exact* API surface the workspace consumes:
+//!
+//! * [`rand_core::TryRng`] — the fallible core trait that generators
+//!   implement (`coopckpt_failure::Xoshiro256pp` implements it with
+//!   `Error = Infallible`).
+//! * [`rand_core::Rng`] — the infallible trait, blanket-implemented for
+//!   every `TryRng<Error = Infallible>`.
+//! * [`RngExt::random_range`] — uniform sampling from half-open ranges of
+//!   floats and integers, blanket-implemented for every [`rand_core::Rng`].
+//!
+//! Everything is dependency-free and deterministic; there is no OS
+//! entropy source here on purpose (the simulator requires seed-stable
+//! streams).
+
+pub mod rand_core {
+    //! Core generator traits, mirroring the `rand_core` layout.
+
+    pub use core::convert::Infallible;
+
+    /// A fallible random generator: the lowest-level trait a source of
+    /// randomness implements.
+    pub trait TryRng {
+        /// Error produced when the underlying source fails. Infallible
+        /// generators use [`Infallible`] and get [`Rng`] for free.
+        type Error;
+
+        /// Returns the next 32 random bits.
+        fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+
+        /// Returns the next 64 random bits.
+        fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+
+        /// Fills `dest` with random bytes.
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Self::Error>;
+    }
+
+    /// An infallible random generator.
+    ///
+    /// Blanket-implemented for every [`TryRng`] whose error is
+    /// [`Infallible`], so implementors only ever write the `try_*` side.
+    pub trait Rng {
+        /// Returns the next 32 random bits.
+        fn next_u32(&mut self) -> u32;
+        /// Returns the next 64 random bits.
+        fn next_u64(&mut self) -> u64;
+        /// Fills `dest` with random bytes.
+        fn fill_bytes(&mut self, dest: &mut [u8]);
+    }
+
+    impl<T> Rng for T
+    where
+        T: TryRng<Error = Infallible> + ?Sized,
+    {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            match self.try_next_u32() {
+                Ok(v) => v,
+                Err(e) => match e {},
+            }
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            match self.try_next_u64() {
+                Ok(v) => v,
+                Err(e) => match e {},
+            }
+        }
+
+        #[inline]
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            match self.try_fill_bytes(dest) {
+                Ok(()) => {}
+                Err(e) => match e {},
+            }
+        }
+    }
+}
+
+use rand_core::Rng;
+
+/// A half-open range that knows how to sample a uniform value of type `T`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    #[inline]
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        // 53-bit uniform in [0, 1), then affine map into [start, end).
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0);
+        let x = self.start + u * (self.end - self.start);
+        // Guard against round-up to `end` at the top of the interval.
+        // Returning `start` (not `end - width*EPSILON`, which can round
+        // back to `end` for large-magnitude narrow ranges) keeps the
+        // half-open contract unconditionally.
+        if x >= self.end {
+            self.start
+        } else {
+            x
+        }
+    }
+}
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    #[inline]
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = (rng.next_u64() >> 40) as f32 * (1.0 / 16_777_216.0);
+        let x = self.start + u * (self.end - self.start);
+        if x >= self.end {
+            self.start
+        } else {
+            x
+        }
+    }
+}
+
+/// Unbiased uniform draw in `[0, bound)` via widening-multiply rejection
+/// (Lemire 2019).
+#[inline]
+fn bounded_u64<R: Rng + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    let mut x = rng.next_u64();
+    let mut m = (x as u128) * (bound as u128);
+    let mut l = m as u64;
+    if l < bound {
+        let t = bound.wrapping_neg() % bound;
+        while l < t {
+            x = rng.next_u64();
+            m = (x as u128) * (bound as u128);
+            l = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+macro_rules! impl_int_range {
+    ($($ty:ty => $unsigned:ty),* $(,)?) => {$(
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            #[inline]
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let width = (self.end as $unsigned).wrapping_sub(self.start as $unsigned);
+                let draw = bounded_u64(rng, width as u64) as $unsigned;
+                (self.start as $unsigned).wrapping_add(draw) as $ty
+            }
+        }
+    )*};
+}
+
+impl_int_range! {
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`rand_core::Rng`].
+pub trait RngExt: Rng {
+    /// Draws a uniform value from a half-open `lo..hi` range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    #[inline]
+    fn random_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rand_core::{Infallible, Rng, TryRng};
+    use super::RngExt;
+
+    /// SplitMix64 — enough randomness for self-tests.
+    struct Sm(u64);
+
+    impl TryRng for Sm {
+        type Error = Infallible;
+        fn try_next_u32(&mut self) -> Result<u32, Infallible> {
+            Ok((self.try_next_u64()? >> 32) as u32)
+        }
+        fn try_next_u64(&mut self) -> Result<u64, Infallible> {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            Ok(z ^ (z >> 31))
+        }
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Infallible> {
+            for b in dest.iter_mut() {
+                *b = (self.try_next_u64()? & 0xFF) as u8;
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Sm(1);
+        for _ in 0..10_000 {
+            let f: f64 = rng.random_range(-3.0..7.0);
+            assert!((-3.0..7.0).contains(&f));
+            let u: u32 = rng.random_range(0..10);
+            assert!(u < 10);
+            let i: i64 = rng.random_range(-5..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn blanket_rng_works_via_dyn_compatible_path() {
+        let mut rng = Sm(7);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+        assert_ne!(rng.next_u32(), 0);
+    }
+}
