@@ -2,6 +2,12 @@
 //! end-to-end benchmark per strategy.
 //!
 //! Run with `cargo bench -p coopckpt-bench`.
+//!
+//! The end-to-end group simulates a 7-day Cielo instance per strategy and
+//! dominates the wall-clock (minutes). Setting `COOPCKPT_BENCH_FAST=1`
+//! shrinks its horizon to one day — numbers are then only indicative, but
+//! the group still exercises the full engine, which is what a CI smoke run
+//! needs.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
@@ -84,15 +90,18 @@ fn bench_failure_trace(c: &mut Criterion) {
     });
 }
 
-/// End-to-end: one 7-day APEX/Cielo instance per strategy at 40 GB/s.
+/// End-to-end: one 7-day APEX/Cielo instance per strategy at 40 GB/s
+/// (1-day when `COOPCKPT_BENCH_FAST` is set).
 fn bench_end_to_end(c: &mut Criterion) {
+    let fast = std::env::var("COOPCKPT_BENCH_FAST").is_ok_and(|v| !v.is_empty() && v != "0");
+    let span_days = if fast { 1.0 } else { 7.0 };
     let platform = coopckpt_workload::cielo().with_bandwidth(Bandwidth::from_gbps(40.0));
     let classes = coopckpt_workload::classes_for(&platform);
-    let mut group = c.benchmark_group("sim/7day_cielo_40gbps");
+    let mut group = c.benchmark_group(format!("sim/{span_days:.0}day_cielo_40gbps"));
     group.sample_size(10);
     for strategy in Strategy::all_seven() {
         let config = SimConfig::new(platform.clone(), classes.clone(), strategy)
-            .with_span(Duration::from_days(7.0));
+            .with_span(Duration::from_days(span_days));
         let mut seed = 0u64;
         group.bench_function(strategy.name(), |b| {
             b.iter(|| {

@@ -2,6 +2,10 @@
 
 use std::collections::HashMap;
 
+/// Flags that take no value; `--help` anywhere in a command line asks for
+/// that subcommand's help text.
+const BOOL_FLAGS: &[&str] = &["help"];
+
 /// Parsed command line: a subcommand, positional arguments, and flags.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
@@ -56,6 +60,8 @@ impl Args {
             if let Some(name) = tok.strip_prefix("--") {
                 if let Some((k, v)) = name.split_once('=') {
                     args.flags.insert(k.to_string(), v.to_string());
+                } else if BOOL_FLAGS.contains(&name) {
+                    args.flags.insert(name.to_string(), String::new());
                 } else {
                     let value = iter
                         .next()
@@ -74,6 +80,11 @@ impl Args {
     /// Raw string flag.
     pub fn get(&self, flag: &str) -> Option<&str> {
         self.flags.get(flag).map(String::as_str)
+    }
+
+    /// True when a boolean flag (e.g. `--help`) was given.
+    pub fn is_set(&self, flag: &str) -> bool {
+        self.flags.contains_key(flag)
     }
 
     /// String flag with default.
@@ -152,6 +163,18 @@ mod tests {
             Args::parse(["x", "--flag"]),
             Err(ArgError::MissingValue(_))
         ));
+    }
+
+    #[test]
+    fn help_is_a_boolean_flag() {
+        // `--help` consumes no value, wherever it appears.
+        let a = Args::parse(["run", "--help"]).unwrap();
+        assert!(a.is_set("help"));
+        let a = Args::parse(["run", "--help", "--samples", "5"]).unwrap();
+        assert!(a.is_set("help"));
+        assert_eq!(a.get("samples"), Some("5"));
+        let a = Args::parse(["run", "--samples", "5"]).unwrap();
+        assert!(!a.is_set("help"));
     }
 
     #[test]

@@ -20,10 +20,12 @@ COMMANDS:
               checkpoint costs and Daly periods.
   theory      Evaluate the Section-4 lower bound (Theorem 1).
   run         Monte-Carlo simulate one strategy at one operating point.
-  sweep       Sweep bandwidth or MTBF across all seven strategies (CSV).
+  sweep       Sweep bandwidth, MTBF or tier depth across strategies (CSV).
   workload    Generate and dump one randomized job mix (CSV).
   trace       Simulate one instance and dump its execution trace (CSV).
   help        Show this message.
+
+Run `coopckpt <command> --help` for per-command flags and examples.
 
 COMMON FLAGS:
   --platform cielo|prospective   target machine          [cielo]
@@ -35,7 +37,8 @@ COMMON FLAGS:
   --strategy <name>              oblivious-fixed|oblivious-daly|
                                  ordered-fixed|ordered-daly|
                                  ordered-nb-fixed|ordered-nb-daly|
-                                 least-waste              [least-waste]
+                                 least-waste|tiered|tiered-fixed
+                                                          [least-waste]
   --interference linear|degraded:<a>|equal               [linear]
   --failures exponential|weibull:<k>|none                [exponential]
   --format text|csv                                      [text]
@@ -44,9 +47,108 @@ EXAMPLES:
   coopckpt trace --strategy least-waste --span-days 2 --bandwidth 40
   coopckpt theory --bandwidth 40
   coopckpt run --strategy ordered-nb-daly --bandwidth 40 --samples 20
+  coopckpt run --strategy tiered --tiers 3 --bandwidth 40
+  coopckpt sweep --axis bandwidth --values 40,80,120,160 --samples 50
+  coopckpt sweep --axis tiers --values 0,1,2,3 --bandwidth 40
+";
+
+/// `coopckpt run --help`
+pub const RUN_HELP: &str = "\
+coopckpt run — Monte-Carlo simulate one strategy at one operating point
+
+USAGE:
+  coopckpt run [--strategy <name>] [--tiers <n>] [--flag value]...
+
+Runs `--samples` randomized instances (seeds `--seed`..) of the selected
+strategy and prints candlestick statistics (mean, deciles, quartiles,
+median) of the platform waste ratio.
+
+FLAGS:
+  --strategy <name>    oblivious-fixed|oblivious-daly|ordered-fixed|
+                       ordered-daly|ordered-nb-fixed|ordered-nb-daly|
+                       least-waste|tiered|tiered-fixed   [least-waste]
+  --tiers <n>          storage-hierarchy depth: n tiers scaled to the
+                       platform (node-local, burst-buffer, campaign, ...);
+                       0 = the paper's PFS-only platform  [0]
+  --platform cielo|prospective                            [cielo]
+  --bandwidth <GB/s>   PFS bandwidth override
+  --mtbf-years <y>     node MTBF override
+  --span-days <days>   simulated span per instance        [14]
+  --samples <n>        Monte-Carlo instances              [10]
+  --seed <n>           base seed                          [1]
+  --interference linear|degraded:<a>|equal                [linear]
+  --failures exponential|weibull:<k>|none                 [exponential]
+  --format text|csv                                       [text]
+
+EXAMPLES:
+  coopckpt run --strategy least-waste --bandwidth 40 --samples 20
+  coopckpt run --strategy tiered --tiers 3 --bandwidth 40 --samples 20
+  coopckpt run --strategy ordered-daly --tiers 1 --span-days 7
+";
+
+/// `coopckpt sweep --help`
+pub const SWEEP_HELP: &str = "\
+coopckpt sweep — sweep one axis across all strategies (figures 1/2 data)
+
+USAGE:
+  coopckpt sweep --axis bandwidth|mtbf|tiers [--values a,b,c] [--flag value]...
+
+Simulates every strategy at each point of the swept axis and prints one
+row per (x, strategy) with candlestick statistics of the waste ratio.
+The `bandwidth` and `mtbf` axes add the Theorem 1 bound as a
+'Theoretical Model' series; the `tiers` axis has no analytic bound (fast
+absorbs legitimately beat the PFS-priced bound).
+
+FLAGS:
+  --axis <name>        bandwidth (GB/s, Fig. 1) | mtbf (years, Fig. 2) |
+                       tiers (hierarchy depth)             [bandwidth]
+  --values a,b,c       swept values
+                       [bandwidth: 40..160; mtbf: 2..50; tiers: 0..3]
+  --samples <n>        Monte-Carlo instances per point     [10]
+  --seed <n>           base seed                           [1]
+  --platform, --bandwidth, --mtbf-years, --span-days, --interference,
+  --failures, --format as in `coopckpt run --help`
+
+EXAMPLES:
   coopckpt sweep --axis bandwidth --values 40,80,120,160 --samples 50
   coopckpt sweep --axis mtbf --values 2,5,10,20,50 --bandwidth 40
+  coopckpt sweep --axis tiers --values 0,1,2,3 --bandwidth 40 --format csv
 ";
+
+/// `coopckpt trace --help`
+pub const TRACE_HELP: &str = "\
+coopckpt trace — simulate one instance and dump its execution trace
+
+USAGE:
+  coopckpt trace [--strategy <name>] [--tiers <n>] [--flag value]...
+
+Prints one CSV row per lifecycle event (`t_secs,event,job,detail`) to
+stdout and a one-line summary to stderr. Events: job_started, io_started,
+io_completed, checkpoint_durable, tier_absorb, tier_drain, tier_spill,
+failure, job_completed.
+
+FLAGS:
+  --strategy <name>    as in `coopckpt run --help`        [least-waste]
+  --tiers <n>          storage-hierarchy depth            [0]
+  --seed <n>           instance seed                      [1]
+  --platform, --bandwidth, --mtbf-years, --span-days, --interference,
+  --failures as in `coopckpt run --help`
+
+EXAMPLES:
+  coopckpt trace --strategy least-waste --span-days 2 --bandwidth 40
+  coopckpt trace --strategy tiered --tiers 3 --span-days 2 > trace.csv
+  coopckpt trace --seed 7 --failures weibull:0.7 --span-days 2
+";
+
+/// The help text for a subcommand, when it has a dedicated page.
+pub fn help_for(command: &str) -> Option<&'static str> {
+    match command {
+        "run" => Some(RUN_HELP),
+        "sweep" => Some(SWEEP_HELP),
+        "trace" => Some(TRACE_HELP),
+        _ => None,
+    }
+}
 
 /// Boxed error for command results.
 pub type CmdResult = Result<(), Box<dyn std::error::Error>>;
@@ -78,6 +180,8 @@ fn strategy_from(args: &Args) -> Result<Strategy, Box<dyn std::error::Error>> {
         "ordered-nb-fixed" => Strategy::ordered_nb(CheckpointPolicy::fixed_hourly()),
         "ordered-nb-daly" => Strategy::ordered_nb(CheckpointPolicy::Daly),
         "least-waste" => Strategy::least_waste(),
+        "tiered" | "tiered-daly" => Strategy::tiered(CheckpointPolicy::Daly),
+        "tiered-fixed" => Strategy::tiered(CheckpointPolicy::fixed_hourly()),
         other => return Err(format!("unknown strategy '{other}'").into()),
     };
     Ok(s)
@@ -202,10 +306,24 @@ pub fn theory(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// Installs `--tiers <n>` (a geometric hierarchy scaled to the platform)
+/// on a config; 0 tiers is the identity.
+fn apply_tiers(
+    args: &Args,
+    mut config: SimConfig,
+) -> Result<SimConfig, Box<dyn std::error::Error>> {
+    let tiers: usize = args.get_parsed_or("tiers", 0, "a tier count")?;
+    if tiers > 0 {
+        let stack = geometric_tiers(&config.platform, tiers);
+        config = config.with_tiers(stack);
+    }
+    Ok(config)
+}
+
 /// `coopckpt run`
 pub fn run(args: &Args) -> CmdResult {
     let strategy = strategy_from(args)?;
-    let config = config_from(args, strategy)?;
+    let config = apply_tiers(args, config_from(args, strategy)?)?;
     let samples: usize = args.get_parsed_or("samples", 10, "an integer")?;
     let seed: u64 = args.get_parsed_or("seed", 1, "an integer")?;
     let mc = MonteCarloConfig::new(samples).with_base_seed(seed);
@@ -248,7 +366,27 @@ pub fn sweep(args: &Args) -> CmdResult {
                 .unwrap_or_else(|| vec![2.0, 4.0, 10.0, 20.0, 50.0]);
             coopckpt::experiments::waste_vs_mtbf(&template, &values, &strategies, &mc)
         }
-        other => return Err(format!("unknown sweep axis '{other}' (bandwidth|mtbf)").into()),
+        "tiers" => {
+            let values = args
+                .get_f64_list("values")?
+                .unwrap_or_else(|| vec![0.0, 1.0, 2.0, 3.0]);
+            let counts: Vec<usize> = values
+                .iter()
+                .map(|&v| {
+                    if v >= 0.0 && v.fract() == 0.0 {
+                        Ok(v as usize)
+                    } else {
+                        Err(format!(
+                            "tier counts must be non-negative integers, got {v}"
+                        ))
+                    }
+                })
+                .collect::<Result<_, _>>()?;
+            let mut strategies = strategies.to_vec();
+            strategies.push(Strategy::tiered(CheckpointPolicy::Daly));
+            coopckpt::experiments::waste_vs_tier_count(&template, &counts, &strategies, &mc)
+        }
+        other => return Err(format!("unknown sweep axis '{other}' (bandwidth|mtbf|tiers)").into()),
     };
 
     let mut t = Table::new(["x", "series", "mean", "d1", "q1", "q3", "d9", "n"]);
@@ -271,7 +409,7 @@ pub fn sweep(args: &Args) -> CmdResult {
 /// `coopckpt trace`
 pub fn trace(args: &Args) -> CmdResult {
     let strategy = strategy_from(args)?;
-    let config = config_from(args, strategy)?.with_trace();
+    let config = apply_tiers(args, config_from(args, strategy)?)?.with_trace();
     let seed: u64 = args.get_parsed_or("seed", 1, "an integer")?;
     let result = coopckpt::run_simulation(&config, seed);
     let trace = result.trace.expect("trace was requested");
@@ -358,6 +496,9 @@ mod tests {
             ("ordered-nb-fixed", "Ordered-NB-Fixed"),
             ("ordered-nb-daly", "Ordered-NB-Daly"),
             ("least-waste", "Least-Waste"),
+            ("tiered", "Tiered-Daly"),
+            ("tiered-daly", "Tiered-Daly"),
+            ("tiered-fixed", "Tiered-Fixed"),
         ] {
             let s = strategy_from(&args(&["x", "--strategy", name])).unwrap();
             assert_eq!(s.name(), expect);
@@ -410,5 +551,30 @@ mod tests {
         assert_eq!(cfg.span, Duration::from_days(7.0));
         assert_eq!(cfg.platform.pfs_bandwidth, Bandwidth::from_gbps(40.0));
         assert_eq!(cfg.classes.len(), 4);
+    }
+
+    #[test]
+    fn tiers_flag_installs_a_hierarchy() {
+        let base = config_from(&args(&["x"]), Strategy::least_waste()).unwrap();
+        let cfg = apply_tiers(&args(&["x", "--tiers", "3"]), base.clone()).unwrap();
+        assert_eq!(cfg.tiers.len(), 3);
+        assert_eq!(cfg.tiers[1].name, "burst-buffer");
+        let cfg = apply_tiers(&args(&["x"]), base.clone()).unwrap();
+        assert!(cfg.tiers.is_empty());
+        assert!(apply_tiers(&args(&["x", "--tiers", "many"]), base).is_err());
+    }
+
+    #[test]
+    fn per_subcommand_help_pages() {
+        for (cmd, needle) in [
+            ("run", "--tiers <n>"),
+            ("sweep", "bandwidth|mtbf|tiers"),
+            ("trace", "tier_absorb"),
+        ] {
+            let page = help_for(cmd).expect("dedicated help page");
+            assert!(page.contains(needle), "{cmd} help should mention {needle}");
+            assert!(page.starts_with(&format!("coopckpt {cmd}")));
+        }
+        assert!(help_for("table1").is_none());
     }
 }

@@ -23,6 +23,15 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if parsed.is_set("help") {
+        let page = parsed
+            .command
+            .as_deref()
+            .and_then(commands::help_for)
+            .unwrap_or(commands::USAGE);
+        println!("{page}");
+        return;
+    }
     let outcome = match parsed.command.as_deref() {
         Some("table1") => commands::table1(&parsed),
         Some("theory") => commands::theory(&parsed),

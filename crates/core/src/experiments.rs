@@ -11,9 +11,13 @@
 //! * [`min_bandwidth_for_efficiency`] — Figure 3: the smallest bandwidth
 //!   reaching a target efficiency (80 % in the paper), per strategy, found
 //!   by bisection over the bandwidth axis.
+//! * [`waste_vs_tier_count`] — beyond the paper: waste ratio as a function
+//!   of storage-hierarchy depth (0 = the paper's PFS-only platform), with
+//!   tiers scaled to the platform by
+//!   [`geometric_tiers`].
 
 use crate::montecarlo::{run_many, MonteCarloConfig};
-use crate::sim::SimConfig;
+use crate::sim::{geometric_tiers, SimConfig};
 use crate::strategy::Strategy;
 use coopckpt_des::Duration;
 use coopckpt_model::{AppClass, Bandwidth, Platform};
@@ -102,6 +106,40 @@ pub fn waste_vs_mtbf(
             });
         }
         points.push(bound_point(years, &platform, &template.classes));
+    }
+    points
+}
+
+/// Beyond the paper: waste ratio vs. storage-hierarchy depth, for every
+/// strategy, at the template's fixed PFS bandwidth. Each tier count `k`
+/// installs [`geometric_tiers`]`(platform, k)`
+/// (`k = 0` is the PFS-only baseline).
+///
+/// No "Theoretical Model" series is emitted: the Theorem 1 bound prices
+/// checkpoints at the PFS commit cost, which a hierarchy's fast absorbs
+/// legitimately undercut, so the bound is not a lower bound on these runs.
+pub fn waste_vs_tier_count(
+    template: &SimConfig,
+    tier_counts: &[usize],
+    strategies: &[Strategy],
+    mc: &MonteCarloConfig,
+) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for &k in tier_counts {
+        let tiers = geometric_tiers(&template.platform, k);
+        for strat in strategies {
+            let cfg = SimConfig {
+                strategy: *strat,
+                tiers: tiers.clone(),
+                ..template.clone()
+            };
+            let samples = run_many(&cfg, mc);
+            points.push(SweepPoint {
+                x: k as f64,
+                series: strat.name(),
+                stats: samples.candlestick(),
+            });
+        }
     }
     points
 }
@@ -256,6 +294,22 @@ mod tests {
             .map(|p| p.stats.mean)
             .collect();
         assert!(bounds[1] < bounds[0]);
+    }
+
+    #[test]
+    fn tier_count_sweep_produces_all_series() {
+        let t = template();
+        let strategies = [
+            Strategy::ordered(crate::strategy::CheckpointPolicy::Daly),
+            Strategy::tiered(crate::strategy::CheckpointPolicy::Daly),
+        ];
+        let pts = waste_vs_tier_count(&t, &[0, 3], &strategies, &MonteCarloConfig::new(2));
+        assert_eq!(pts.len(), 4);
+        assert!(pts.iter().all(|p| p.series != "Theoretical Model"));
+        // Deeper hierarchy at the same PFS bandwidth must not hurt the
+        // blocking strategy.
+        let ordered: Vec<&SweepPoint> = pts.iter().filter(|p| p.series == "Ordered-Daly").collect();
+        assert!(ordered[1].stats.mean <= ordered[0].stats.mean + 1e-9);
     }
 
     #[test]

@@ -44,13 +44,13 @@ pub mod montecarlo;
 pub mod sim;
 pub mod strategy;
 
-pub use sim::{run_simulation, SimConfig, SimResult};
+pub use sim::{geometric_tiers, run_simulation, SimConfig, SimResult, TierSpec};
 pub use strategy::{CheckpointPolicy, IoDiscipline, Strategy};
 
 /// Convenience re-exports for downstream users.
 pub mod prelude {
     pub use crate::montecarlo::{run_many, MonteCarloConfig};
-    pub use crate::sim::{run_simulation, SimConfig, SimResult};
+    pub use crate::sim::{geometric_tiers, run_simulation, SimConfig, SimResult, TierSpec};
     pub use crate::strategy::{CheckpointPolicy, IoDiscipline, Strategy};
     pub use coopckpt_des::{Duration, Time};
     pub use coopckpt_model::{AppClass, Bandwidth, Bytes, Platform};

@@ -26,7 +26,7 @@ use super::{FailureModel, InterferenceKind, SimConfig, SimResult};
 use crate::strategy::{CheckpointPolicy, IoDiscipline};
 use coopckpt_des::{Duration, EventKey, Process, Simulator, StepControl, Time};
 use coopckpt_failure::{FailureTrace, Xoshiro256pp};
-use coopckpt_io::burst::{Admission, BurstBuffer};
+use coopckpt_io::hierarchy::{DrainHop, Placement, StorageHierarchy, TierSpec};
 use coopckpt_io::{
     DegradedShare, EqualShare, LinearShare, Pfs, RequestId, RequestQueue, TransferId,
 };
@@ -101,9 +101,12 @@ pub(super) enum Event {
     Milestone(JobIdx),
     /// A node fails.
     Failure(usize),
-    /// A burst-buffer absorb finished; the job resumes and the drain to
-    /// the PFS is issued.
+    /// A storage-tier absorb finished; the job resumes and the drain
+    /// cascade toward the PFS begins.
     AbsorbDone(JobIdx),
+    /// An inter-tier drain hop landed; the cascade continues one level
+    /// deeper (or onto the PFS).
+    DrainHopDone(JobIdx),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,6 +142,11 @@ struct Job {
     period: Duration,
     /// Contention-free commit time `C_j` at full bandwidth.
     ckpt_nominal: Duration,
+    /// The commit cost the job actually blocks for: the storage-tier
+    /// absorb time when a tier can hold its checkpoint, `C_j` otherwise.
+    /// The Daly period is derived from this, so the post-commit delay
+    /// subtracts it to keep the request cycle at one period.
+    ckpt_visible: Duration,
     /// Contention-free recovery time `R_j`.
     recovery_nominal: Duration,
     /// Progress captured by the last *successful* commit.
@@ -159,20 +167,28 @@ struct Job {
     transfer: Option<TransferId>,
     ckpt_event: Option<EventKey>,
     milestone_event: Option<EventKey>,
-    /// In-flight burst-buffer absorb: `(event, volume)`.
-    absorb: Option<(EventKey, Bytes)>,
-    /// At most one outstanding drain per job (admission control).
+    /// In-flight storage-tier absorb: `(event, volume, level)`.
+    absorb: Option<(EventKey, Bytes, usize)>,
+    /// At most one outstanding drain cascade per job (admission control).
     drain: Option<DrainState>,
 }
 
-/// A burst-buffered checkpoint on its way to the PFS.
+/// A tier-buffered checkpoint on its way down the hierarchy to the PFS.
 #[derive(Debug, Clone, Copy)]
 struct DrainState {
     volume: Bytes,
-    /// Progress this checkpoint captured; applied when the drain lands.
+    /// Progress this checkpoint captured; applied when the final PFS
+    /// drain lands.
     content: Duration,
+    /// The tier currently holding the bytes.
+    level: usize,
+    /// Queued final drain to the PFS (exclusive disciplines).
     request: Option<RequestId>,
+    /// Final PFS drain in flight.
     transfer: Option<TransferId>,
+    /// In-flight inter-tier hop: `(event, destination level)`. The
+    /// destination's space is already reserved.
+    hop: Option<(EventKey, usize)>,
 }
 
 impl Job {
@@ -218,9 +234,8 @@ pub(super) struct Engine {
     alloc_map: HashMap<AllocId, JobIdx>,
     pfs: Pfs<TMeta>,
     queue: RequestQueue<RMeta>,
-    burst: Option<BurstBuffer>,
-    /// Absorb bandwidth contributed by each node of a writing job.
-    burst_bw_per_node: coopckpt_model::Bandwidth,
+    /// The multi-level checkpoint storage hierarchy (empty = PFS only).
+    storage: StorageHierarchy,
     ledger: WasteLedger,
 
     pfs_wake: Option<(EventKey, Time)>,
@@ -272,13 +287,20 @@ impl Engine {
             FailureModel::None => FailureTrace::empty(),
         };
 
-        let burst = config
-            .burst_buffer
-            .map(|spec| BurstBuffer::new(spec.capacity, spec.write_bw_per_node));
-        let burst_bw_per_node = config
-            .burst_buffer
-            .map(|spec| spec.write_bw_per_node)
-            .unwrap_or(coopckpt_model::Bandwidth::ZERO);
+        // The hierarchy config wins; a bare `burst_buffer` maps onto the
+        // equivalent one-tier stack (node-local absorb semantics).
+        let tier_specs = if !config.tiers.is_empty() {
+            config.tiers.clone()
+        } else if let Some(spec) = config.burst_buffer {
+            vec![TierSpec::per_node(
+                "burst-buffer",
+                spec.capacity,
+                spec.write_bw_per_node,
+            )]
+        } else {
+            Vec::new()
+        };
+        let storage = StorageHierarchy::new(tier_specs);
 
         let mut engine = Engine {
             full_bw: platform.pfs_bandwidth,
@@ -290,8 +312,7 @@ impl Engine {
             alloc_map: HashMap::new(),
             pfs,
             queue: RequestQueue::new(),
-            burst,
-            burst_bw_per_node,
+            storage,
             ledger,
             pfs_wake: None,
             fit_scheduled: false,
@@ -349,13 +370,17 @@ impl Engine {
     fn admit(&mut self, config: &SimConfig, spec: JobSpec) {
         let class = &config.classes[spec.class.0];
         let c_nominal = spec.ckpt_bytes.transfer_time(self.full_bw);
-        // The commit cost the *job* observes: with a burst buffer the job
-        // blocks only for the (fast) absorb, which shortens the Daly period
-        // (paper Section 8: more bandwidth "increases the optimal
-        // checkpoint frequency").
-        let c_visible = if self.burst.is_some() {
-            let absorb_bw = self.burst_bw_per_node * spec.q_nodes as f64;
-            spec.ckpt_bytes.transfer_time(absorb_bw).min(c_nominal)
+        // The commit cost the *job* observes: with a storage hierarchy the
+        // job blocks only for the (fast) absorb, which shortens the Daly
+        // period (paper Section 8: more bandwidth "increases the optimal
+        // checkpoint frequency"). A hierarchy no tier of which can ever
+        // hold this job's checkpoint contributes nothing: the commit always
+        // spills to the PFS, so the visible cost stays the full commit.
+        let absorbing_level = self.storage.would_admit(spec.ckpt_bytes);
+        let c_visible = if let Some(level) = absorbing_level {
+            self.storage
+                .absorb_time(level, spec.ckpt_bytes, spec.q_nodes)
+                .min(c_nominal)
         } else {
             c_nominal
         };
@@ -366,7 +391,7 @@ impl Engine {
                     c_visible,
                     self.platform.job_mtbf(spec.q_nodes),
                 );
-                if self.burst.is_some() {
+                if absorbing_level.is_some() {
                     // Drain-aware pacing: a cheap absorb invites a short
                     // period, but every checkpoint must still drain through
                     // the PFS. Flooring the period at the job's fair-share
@@ -399,6 +424,7 @@ impl Engine {
             work_done: Duration::ZERO,
             period,
             ckpt_nominal: c_nominal,
+            ckpt_visible: c_visible,
             recovery_nominal: c_nominal,
             last_ckpt_content: Duration::ZERO,
             pending_content: Duration::ZERO,
@@ -581,6 +607,21 @@ impl Engine {
     fn issue_ckpt_request(&mut self, sim: &mut Simulator<Event>, idx: JobIdx, now: Time) {
         debug_assert_eq!(self.jobs[idx].state, JState::Computing);
         let volume = self.jobs[idx].spec.ckpt_bytes;
+        // Level-aware fast path (Tiered): a checkpoint the hierarchy can
+        // absorb never touches the shared PFS, so it needs no token —
+        // start the commit immediately. Falls through to the Ordered-NB
+        // queue when every tier is full or the previous cascade is still
+        // draining.
+        if self.discipline == IoDiscipline::Tiered
+            && self.jobs[idx].drain.is_none()
+            && volume.as_bytes() > EPS_BYTES
+            && self.storage.would_admit(volume).is_some()
+        {
+            // begin_commit closes the Computing interval and cancels the
+            // milestone itself.
+            self.begin_commit(sim, idx, now);
+            return;
+        }
         // Pause or continue? Blocking disciplines stop the job now.
         if self.discipline.checkpoint_is_non_blocking() {
             self.mark(idx, now, Category::Work);
@@ -642,18 +683,23 @@ impl Engine {
             self.finish_commit(sim, idx, now);
             return;
         }
-        // Burst-buffer fast path: absorb locally, drain in the background.
-        // Falls back to the direct PFS commit when the buffer is full or
-        // the job's previous drain is still in flight.
-        if self.jobs[idx].drain.is_none() {
-            if let Some(bb) = &mut self.burst {
-                if let Admission::Accepted { .. } = bb.try_absorb(now, volume) {
-                    let q = self.jobs[idx].q();
-                    let absorb_bw = self.burst_bw_per_node * q as f64;
-                    let absorb_time = volume.transfer_time(absorb_bw);
+        // Storage-hierarchy fast path: absorb into the shallowest tier
+        // with space (full tiers spill through deterministically), then
+        // drain toward the PFS in the background. Falls back to the direct
+        // PFS commit when every tier is full or the job's previous drain
+        // cascade is still in flight.
+        if self.jobs[idx].drain.is_none() && !self.storage.is_empty() {
+            let q = self.jobs[idx].q();
+            match self.storage.admit(now, volume, q) {
+                Placement::Tier { level, absorb_time } => {
+                    self.record_spills(idx, now, 0, level, volume);
                     let key = sim.schedule_in(absorb_time, Event::AbsorbDone(idx));
-                    self.jobs[idx].absorb = Some((key, volume));
+                    self.jobs[idx].absorb = Some((key, volume, level));
                     return;
+                }
+                Placement::Pfs => {
+                    let levels = self.storage.levels();
+                    self.record_spills(idx, now, 0, levels, volume);
                 }
             }
         }
@@ -677,55 +723,57 @@ impl Engine {
         self.resync_wake(sim);
     }
 
-    /// A burst-buffer absorb finished: the job's blocked interval ends, the
-    /// checkpoint waits in the buffer, and a background drain heads for the
-    /// PFS. Durability arrives only when the drain lands (a failure before
-    /// then rolls back to the previous PFS-resident checkpoint).
+    /// Records one `TierSpill` per full tier a write fell through
+    /// (`levels [from, to)`), in level order.
+    fn record_spills(&mut self, idx: JobIdx, now: Time, from: usize, to: usize, volume: Bytes) {
+        if self.trace.is_none() {
+            return;
+        }
+        let job = self.jobs[idx].spec.id;
+        for level in from..to {
+            self.record(TraceEvent::TierSpill {
+                at: now,
+                job,
+                level,
+                volume,
+            });
+        }
+    }
+
+    /// A tier absorb finished: the job's blocked interval ends, the
+    /// checkpoint waits in the tier, and its background drain cascade
+    /// toward the PFS begins. Durability arrives only when the final PFS
+    /// drain lands (a failure before then rolls back to the previous
+    /// PFS-resident checkpoint).
     fn on_absorb_done(&mut self, sim: &mut Simulator<Event>, idx: JobIdx, now: Time) {
         if !self.jobs[idx].is_live() {
             return;
         }
-        let Some((_, volume)) = self.jobs[idx].absorb.take() else {
+        let Some((_, volume, level)) = self.jobs[idx].absorb.take() else {
             return;
         };
         debug_assert_eq!(self.jobs[idx].state, JState::Commit);
         self.mark(idx, now, Category::CkptCommit);
+        self.record(TraceEvent::TierAbsorb {
+            at: now,
+            job: self.jobs[idx].spec.id,
+            level,
+            volume,
+        });
         let content = self.jobs[idx].pending_content;
-        let mut drain = DrainState {
+        self.jobs[idx].drain = Some(DrainState {
             volume,
             content,
+            level,
             request: None,
             transfer: None,
-        };
-        // Issue the drain through the configured I/O discipline.
-        if self.discipline.is_exclusive() {
-            let id = self.queue.push(
-                now,
-                RMeta {
-                    job: idx,
-                    kind: Kind::Drain,
-                    volume,
-                },
-            );
-            drain.request = Some(id);
-            self.jobs[idx].drain = Some(drain);
-        } else {
-            let q = self.jobs[idx].q();
-            let tid = self.pfs.start(
-                now,
-                volume,
-                q as f64,
-                TMeta {
-                    job: idx,
-                    kind: Kind::Drain,
-                },
-            );
-            drain.transfer = Some(tid);
-            self.jobs[idx].drain = Some(drain);
-        }
+            hop: None,
+        });
+        self.start_drain_hop(sim, idx, now);
         // Schedule the next checkpoint relative to the job-visible commit
-        // cost and resume computing.
-        let delay = (self.jobs[idx].period - self.jobs[idx].ckpt_nominal).max_zero();
+        // cost (the absorb the period derivation priced in, not the full
+        // PFS commit) and resume computing.
+        let delay = (self.jobs[idx].period - self.jobs[idx].ckpt_visible).max_zero();
         let key = sim.schedule_in(delay, Event::CkptDue(idx));
         self.jobs[idx].ckpt_event = Some(key);
         self.enter_computing(sim, idx, now);
@@ -733,16 +781,100 @@ impl Engine {
         self.resync_wake(sim);
     }
 
-    /// A drain landed on the PFS: the buffered checkpoint becomes the
-    /// durable restart point and the buffer space is freed. Runs even for
-    /// jobs that finished meanwhile (the data is still theirs to free).
+    /// Plans and launches the next hop of a job's drain cascade: into the
+    /// shallowest deeper tier with space (a plain timed event — inter-tier
+    /// traffic never touches the PFS), or onto the PFS through the
+    /// configured I/O discipline when no tier below has room.
+    fn start_drain_hop(&mut self, sim: &mut Simulator<Event>, idx: JobIdx, now: Time) {
+        let Some(drain) = self.jobs[idx].drain else {
+            return;
+        };
+        let (volume, from) = (drain.volume, drain.level);
+        let job = self.jobs[idx].spec.id;
+        match self.storage.plan_drain(from, volume) {
+            DrainHop::Tier {
+                level: dest,
+                transfer_time,
+            } => {
+                self.record_spills(idx, now, from + 1, dest, volume);
+                self.record(TraceEvent::TierDrain {
+                    at: now,
+                    job,
+                    from_level: from,
+                    to_level: Some(dest),
+                    volume,
+                });
+                let key = sim.schedule_in(transfer_time, Event::DrainHopDone(idx));
+                if let Some(d) = self.jobs[idx].drain.as_mut() {
+                    d.hop = Some((key, dest));
+                }
+            }
+            DrainHop::Pfs => {
+                self.record_spills(idx, now, from + 1, self.storage.levels(), volume);
+                self.record(TraceEvent::TierDrain {
+                    at: now,
+                    job,
+                    from_level: from,
+                    to_level: None,
+                    volume,
+                });
+                if self.discipline.is_exclusive() {
+                    let id = self.queue.push(
+                        now,
+                        RMeta {
+                            job: idx,
+                            kind: Kind::Drain,
+                            volume,
+                        },
+                    );
+                    if let Some(d) = self.jobs[idx].drain.as_mut() {
+                        d.request = Some(id);
+                    }
+                    self.try_grant(sim, now);
+                } else {
+                    let q = self.jobs[idx].q();
+                    let tid = self.pfs.start(
+                        now,
+                        volume,
+                        q as f64,
+                        TMeta {
+                            job: idx,
+                            kind: Kind::Drain,
+                        },
+                    );
+                    if let Some(d) = self.jobs[idx].drain.as_mut() {
+                        d.transfer = Some(tid);
+                    }
+                    self.resync_wake(sim);
+                }
+            }
+        }
+    }
+
+    /// An inter-tier hop landed: free the source tier and continue the
+    /// cascade from the destination. Runs even for jobs that finished
+    /// meanwhile (the data is still theirs to move and free).
+    fn on_drain_hop_done(&mut self, sim: &mut Simulator<Event>, idx: JobIdx, now: Time) {
+        let Some(drain) = self.jobs[idx].drain.as_mut() else {
+            return;
+        };
+        let Some((_, dest)) = drain.hop.take() else {
+            return;
+        };
+        let (from, volume) = (drain.level, drain.volume);
+        drain.level = dest;
+        self.storage.drain_complete(from, volume);
+        self.start_drain_hop(sim, idx, now);
+    }
+
+    /// The final drain landed on the PFS: the buffered checkpoint becomes
+    /// the durable restart point and the last tier's space is freed. Runs
+    /// even for jobs that finished meanwhile.
     fn on_drain_complete(&mut self, sim: &mut Simulator<Event>, idx: JobIdx, now: Time) {
         let Some(drain) = self.jobs[idx].drain.take() else {
             return;
         };
-        if let Some(bb) = &mut self.burst {
-            bb.drain_complete(drain.volume);
-        }
+        self.storage.drain_complete(drain.level, drain.volume);
         if self.jobs[idx].is_live() {
             self.jobs[idx].last_ckpt_content = drain.content;
             self.ckpts_committed += 1;
@@ -806,7 +938,7 @@ impl Engine {
             return;
         }
         let granted = match self.discipline {
-            IoDiscipline::Ordered | IoDiscipline::OrderedNb => {
+            IoDiscipline::Ordered | IoDiscipline::OrderedNb | IoDiscipline::Tiered => {
                 self.queue.pop_fcfs().expect("queue checked non-empty")
             }
             IoDiscipline::LeastWaste => self.select_least_waste(now),
@@ -1110,24 +1242,26 @@ impl Engine {
         if let Some(req) = self.jobs[idx].request.take() {
             self.queue.remove(req);
         }
-        if let Some((key, volume)) = self.jobs[idx].absorb.take() {
+        if let Some((key, volume, level)) = self.jobs[idx].absorb.take() {
             // Failure mid-absorb: the buffered bytes are useless.
             sim.cancel(key);
-            if let Some(bb) = &mut self.burst {
-                bb.discard(volume);
-            }
+            self.storage.discard(level, volume);
         }
         if let Some(drain) = self.jobs[idx].drain.take() {
-            // The undrained checkpoint dies with the job.
+            // The undrained checkpoint dies with the job, wherever it is
+            // in the cascade.
             if let Some(req) = drain.request {
                 self.queue.remove(req);
             }
             if let Some(tid) = drain.transfer {
                 self.pfs.cancel(now, tid);
             }
-            if let Some(bb) = &mut self.burst {
-                bb.discard(drain.volume);
+            if let Some((key, dest)) = drain.hop {
+                // Mid-hop: space is reserved at both ends.
+                sim.cancel(key);
+                self.storage.discard(dest, drain.volume);
             }
+            self.storage.discard(drain.level, drain.volume);
         }
         if let Some(key) = self.jobs[idx].ckpt_event.take() {
             sim.cancel(key);
@@ -1153,9 +1287,14 @@ impl Engine {
 
         // Admit the restart (inherits the class-derived checkpoint params).
         let ridx = self.jobs.len();
-        let (period, ckpt_nominal, recovery_nominal) = {
+        let (period, ckpt_nominal, ckpt_visible, recovery_nominal) = {
             let old = &self.jobs[idx];
-            (old.period, old.ckpt_nominal, old.recovery_nominal)
+            (
+                old.period,
+                old.ckpt_nominal,
+                old.ckpt_visible,
+                old.recovery_nominal,
+            )
         };
         let chunks_total = if restart_spec.regular_io_bytes.as_bytes() > EPS_BYTES {
             self.regular_io_chunks
@@ -1171,6 +1310,7 @@ impl Engine {
             work_done: Duration::ZERO,
             period,
             ckpt_nominal,
+            ckpt_visible,
             recovery_nominal,
             last_ckpt_content: Duration::ZERO,
             pending_content: Duration::ZERO,
@@ -1226,6 +1366,7 @@ impl Process for Engine {
             Event::Milestone(idx) => self.on_milestone(sim, idx, now),
             Event::Failure(node) => self.on_failure(sim, node, now),
             Event::AbsorbDone(idx) => self.on_absorb_done(sim, idx, now),
+            Event::DrainHopDone(idx) => self.on_drain_hop_done(sim, idx, now),
         }
         StepControl::Continue
     }

@@ -25,6 +25,8 @@ use coopckpt_model::{AppClass, Bandwidth, Bytes, Platform};
 use coopckpt_stats::WasteLedger;
 use coopckpt_workload::generator::WorkloadSpec;
 
+pub use coopckpt_io::hierarchy::TierSpec;
+
 /// Interference model selection (mirrors `coopckpt_io`'s models as plain
 /// data so configs stay `Clone + Send`).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -92,7 +94,14 @@ pub struct SimConfig {
     /// enforces ≥ 98 % enrollment over the segment).
     pub workload_slack: f64,
     /// Optional burst-buffer tier (None = the paper's base platform).
+    /// Shorthand for a one-tier [`tiers`](SimConfig::tiers) stack; ignored
+    /// when `tiers` is non-empty.
     pub burst_buffer: Option<BurstBufferSpec>,
+    /// Multi-level checkpoint storage hierarchy, shallow to deep (empty =
+    /// no tiers). Checkpoints are absorbed by the shallowest tier with
+    /// space and drain tier-by-tier to the PFS in the background; see
+    /// [`coopckpt_io::hierarchy`].
+    pub tiers: Vec<TierSpec>,
     /// Record a structured execution trace (see [`trace`]); off by default
     /// because traces of 60-day instances hold hundreds of thousands of
     /// events.
@@ -114,6 +123,7 @@ impl SimConfig {
             regular_io_chunks: 16,
             workload_slack: 1.5,
             burst_buffer: None,
+            tiers: Vec::new(),
             record_trace: false,
         }
     }
@@ -150,6 +160,14 @@ impl SimConfig {
     /// Adds a burst-buffer tier (paper Section 8 extension).
     pub fn with_burst_buffer(mut self, spec: BurstBufferSpec) -> Self {
         self.burst_buffer = Some(spec);
+        self
+    }
+
+    /// Installs a multi-level storage hierarchy (shallow to deep).
+    /// Supersedes [`with_burst_buffer`](SimConfig::with_burst_buffer) when
+    /// both are set.
+    pub fn with_tiers(mut self, tiers: Vec<TierSpec>) -> Self {
+        self.tiers = tiers;
         self
     }
 
@@ -192,6 +210,43 @@ pub struct SimResult {
     pub events: u64,
     /// The execution trace, when [`SimConfig::record_trace`] was set.
     pub trace: Option<trace::Trace>,
+}
+
+/// A standard `levels`-deep storage hierarchy scaled to `platform`, for
+/// sweeps and quick experiments (`levels = 0` returns no tiers, i.e. the
+/// paper's PFS-only base platform).
+///
+/// The stack mirrors real deployments, fast-and-small to slow-and-large:
+///
+/// * level 0 — *node-local* storage, 2 GB/s per node of the writing job,
+///   capacity half the platform's total memory;
+/// * level ℓ ≥ 1 — shared stores ("burst-buffer", then "campaign", then
+///   generic `tier<ℓ>`): capacity `2^ℓ ×` total memory, aggregate write
+///   bandwidth `2^(levels−ℓ) ×` the PFS bandwidth, so every tier writes
+///   faster than the PFS and the advantage shrinks with depth.
+pub fn geometric_tiers(platform: &Platform, levels: usize) -> Vec<TierSpec> {
+    (0..levels)
+        .map(|level| {
+            if level == 0 {
+                TierSpec::per_node(
+                    "node-local",
+                    platform.total_memory() * 0.5,
+                    Bandwidth::from_gbps(2.0),
+                )
+            } else {
+                let name = match level {
+                    1 => "burst-buffer".to_string(),
+                    2 => "campaign".to_string(),
+                    l => format!("tier{l}"),
+                };
+                TierSpec::new(
+                    name,
+                    platform.total_memory() * 2f64.powi(level as i32),
+                    platform.pfs_bandwidth * 2f64.powi((levels - level) as i32),
+                )
+            }
+        })
+        .collect()
 }
 
 /// Runs one simulation instance. Deterministic per `(config, seed)`.
@@ -367,6 +422,97 @@ mod tests {
             assert_eq!(a.waste_ratio, b.waste_ratio, "{}", strat.name());
             assert_eq!(a.events, b.events, "{}", strat.name());
         }
+    }
+
+    #[test]
+    fn three_tier_hierarchy_reduces_waste_vs_pfs_only() {
+        // Same PFS bandwidth; the hierarchy absorbs commits fast and
+        // drains in the background, so blocking waste must fall.
+        let p = tiny_platform();
+        let base = SimConfig::new(
+            p.clone(),
+            tiny_classes(&p),
+            Strategy::ordered(CheckpointPolicy::Daly),
+        )
+        .with_span(Duration::from_days(4.0));
+        let tiered = base.clone().with_tiers(geometric_tiers(&p, 3));
+        let plain = run_simulation(&base, 5);
+        let multi = run_simulation(&tiered, 5);
+        assert!(
+            multi.waste_ratio < plain.waste_ratio,
+            "3-tier hierarchy should reduce waste: {} vs {}",
+            multi.waste_ratio,
+            plain.waste_ratio
+        );
+        assert!(multi.checkpoints_committed > 0);
+    }
+
+    #[test]
+    fn hierarchy_runs_deterministically_under_all_disciplines() {
+        let p = tiny_platform();
+        let mut strategies = Strategy::all_seven().to_vec();
+        strategies.push(Strategy::tiered(CheckpointPolicy::Daly));
+        for strat in strategies {
+            let cfg = SimConfig::new(p.clone(), tiny_classes(&p), strat)
+                .with_span(Duration::from_days(2.0))
+                .with_tiers(geometric_tiers(&p, 3));
+            let a = run_simulation(&cfg, 3);
+            let b = run_simulation(&cfg, 3);
+            assert_eq!(a.waste_ratio, b.waste_ratio, "{}", strat.name());
+            assert_eq!(a.events, b.events, "{}", strat.name());
+        }
+    }
+
+    #[test]
+    fn tiny_tiers_fall_back_to_pfs() {
+        // Tiers smaller than one checkpoint reject every absorb; the
+        // simulation must still run correctly through the spill path.
+        let p = tiny_platform();
+        let tiers = vec![
+            TierSpec::per_node("local", Bytes::from_gb(1.0), Bandwidth::from_gbps(4.0)),
+            TierSpec::new("bb", Bytes::from_gb(2.0), Bandwidth::from_gbps(100.0)),
+        ];
+        let cfg = SimConfig::new(p.clone(), tiny_classes(&p), Strategy::least_waste())
+            .with_span(Duration::from_days(3.0))
+            .with_tiers(tiers);
+        let r = run_simulation(&cfg, 8);
+        assert!(r.checkpoints_committed > 0);
+        assert!(r.waste_ratio > 0.0 && r.waste_ratio <= 1.0);
+    }
+
+    #[test]
+    fn tiered_discipline_without_tiers_matches_ordered_nb() {
+        // Degenerate case: with no hierarchy the Tiered fast path never
+        // fires, so the discipline is Ordered-NB by construction.
+        let p = tiny_platform();
+        let nb = SimConfig::new(
+            p.clone(),
+            tiny_classes(&p),
+            Strategy::ordered_nb(CheckpointPolicy::Daly),
+        )
+        .with_span(Duration::from_days(3.0));
+        let tiered = nb
+            .clone()
+            .with_strategy(Strategy::tiered(CheckpointPolicy::Daly));
+        let a = run_simulation(&nb, 4);
+        let b = run_simulation(&tiered, 4);
+        assert_eq!(a.waste_ratio, b.waste_ratio);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn geometric_tiers_shape() {
+        let p = tiny_platform();
+        assert!(geometric_tiers(&p, 0).is_empty());
+        let tiers = geometric_tiers(&p, 3);
+        assert_eq!(tiers.len(), 3);
+        assert!(tiers[0].per_writer_node);
+        assert_eq!(tiers[1].name, "burst-buffer");
+        assert_eq!(tiers[2].name, "campaign");
+        // Capacities grow and aggregate bandwidths shrink with depth.
+        assert!(tiers[2].capacity > tiers[1].capacity);
+        assert!(tiers[1].write_bw > tiers[2].write_bw);
+        assert!(tiers[2].write_bw > p.pfs_bandwidth);
     }
 
     #[test]

@@ -88,6 +88,45 @@ pub enum TraceEvent {
         /// Captured progress.
         content: Duration,
     },
+    /// A storage tier absorbed a checkpoint: the job's blocked commit
+    /// interval ended and the data now drains toward the PFS in the
+    /// background.
+    TierAbsorb {
+        /// When.
+        at: Time,
+        /// Which job.
+        job: JobId,
+        /// The absorbing tier (0 = shallowest).
+        level: usize,
+        /// Volume absorbed.
+        volume: Bytes,
+    },
+    /// A background drain hop began: a buffered checkpoint started moving
+    /// from tier `from_level` one step deeper.
+    TierDrain {
+        /// When.
+        at: Time,
+        /// Which job owns the data.
+        job: JobId,
+        /// Source tier.
+        from_level: usize,
+        /// Destination tier, or `None` for the PFS.
+        to_level: Option<usize>,
+        /// Volume on the move.
+        volume: Bytes,
+    },
+    /// A write found tier `level` full and fell through to the next tier
+    /// (or, past the last tier, to the PFS).
+    TierSpill {
+        /// When.
+        at: Time,
+        /// Which job.
+        job: JobId,
+        /// The full tier that was skipped.
+        level: usize,
+        /// Volume that spilled.
+        volume: Bytes,
+    },
     /// A failure struck a node.
     Failure {
         /// When.
@@ -116,6 +155,9 @@ impl TraceEvent {
             | TraceEvent::IoStarted { at, .. }
             | TraceEvent::IoCompleted { at, .. }
             | TraceEvent::CheckpointDurable { at, .. }
+            | TraceEvent::TierAbsorb { at, .. }
+            | TraceEvent::TierDrain { at, .. }
+            | TraceEvent::TierSpill { at, .. }
             | TraceEvent::Failure { at, .. }
             | TraceEvent::JobCompleted { at, .. } => *at,
         }
@@ -128,6 +170,9 @@ impl TraceEvent {
             | TraceEvent::IoStarted { job, .. }
             | TraceEvent::IoCompleted { job, .. }
             | TraceEvent::CheckpointDurable { job, .. }
+            | TraceEvent::TierAbsorb { job, .. }
+            | TraceEvent::TierDrain { job, .. }
+            | TraceEvent::TierSpill { job, .. }
             | TraceEvent::JobCompleted { job, .. } => Some(*job),
             TraceEvent::Failure { victim, .. } => *victim,
         }
@@ -171,6 +216,35 @@ impl TraceEvent {
                 "{:.3},checkpoint_durable,{job},content_hours={:.4}",
                 at.as_secs(),
                 content.as_hours()
+            ),
+            TraceEvent::TierAbsorb {
+                at,
+                job,
+                level,
+                volume,
+            } => format!(
+                "{:.3},tier_absorb,{job},level={level};volume={volume}",
+                at.as_secs()
+            ),
+            TraceEvent::TierDrain {
+                at,
+                job,
+                from_level,
+                to_level,
+                volume,
+            } => format!(
+                "{:.3},tier_drain,{job},from={from_level};to={};volume={volume}",
+                at.as_secs(),
+                to_level.map_or("pfs".to_string(), |l| l.to_string())
+            ),
+            TraceEvent::TierSpill {
+                at,
+                job,
+                level,
+                volume,
+            } => format!(
+                "{:.3},tier_spill,{job},level={level};volume={volume}",
+                at.as_secs()
             ),
             TraceEvent::Failure {
                 at,
@@ -326,6 +400,43 @@ mod tests {
         assert!(lines[4].contains("checkpoint_durable"));
         assert!(lines[5].contains("failure"));
         assert!(lines[5].contains("node=3"));
+    }
+
+    #[test]
+    fn tier_event_rows() {
+        let absorb = TraceEvent::TierAbsorb {
+            at: Time::from_secs(10.0),
+            job: JobId(4),
+            level: 0,
+            volume: Bytes::from_tb(1.0),
+        };
+        assert!(absorb.to_csv_row().contains("tier_absorb"));
+        assert!(absorb.to_csv_row().contains("level=0"));
+        assert_eq!(absorb.job(), Some(JobId(4)));
+        let hop = TraceEvent::TierDrain {
+            at: Time::from_secs(11.0),
+            job: JobId(4),
+            from_level: 0,
+            to_level: Some(1),
+            volume: Bytes::from_tb(1.0),
+        };
+        assert!(hop.to_csv_row().contains("from=0;to=1"));
+        let last = TraceEvent::TierDrain {
+            at: Time::from_secs(12.0),
+            job: JobId(4),
+            from_level: 1,
+            to_level: None,
+            volume: Bytes::from_tb(1.0),
+        };
+        assert!(last.to_csv_row().contains("to=pfs"));
+        let spill = TraceEvent::TierSpill {
+            at: Time::from_secs(13.0),
+            job: JobId(4),
+            level: 2,
+            volume: Bytes::from_tb(1.0),
+        };
+        assert!(spill.to_csv_row().contains("tier_spill"));
+        assert_eq!(spill.at(), Time::from_secs(13.0));
     }
 
     #[test]

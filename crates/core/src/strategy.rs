@@ -46,12 +46,23 @@ pub enum IoDiscipline {
     /// candidate minimizing expected waste, Equations (1)–(2)
     /// (Section 3.5). Checkpoint requests follow the Daly period.
     LeastWaste,
+    /// Level-aware extension for multi-level storage hierarchies
+    /// (Section 8): a checkpoint the hierarchy can absorb starts
+    /// immediately — no PFS token round-trip, since the absorb never
+    /// touches the shared file system — while blocking I/O, background
+    /// drains, and checkpoints the hierarchy rejects serialize FCFS as in
+    /// `Ordered-NB`. Without a configured hierarchy this degrades exactly
+    /// to `Ordered-NB`.
+    Tiered,
 }
 
 impl IoDiscipline {
     /// True when jobs keep computing while their checkpoint request waits.
     pub fn checkpoint_is_non_blocking(self) -> bool {
-        matches!(self, IoDiscipline::OrderedNb | IoDiscipline::LeastWaste)
+        matches!(
+            self,
+            IoDiscipline::OrderedNb | IoDiscipline::LeastWaste | IoDiscipline::Tiered
+        )
     }
 
     /// True when the PFS is used exclusively (token-based serialization).
@@ -66,6 +77,7 @@ impl IoDiscipline {
             IoDiscipline::Ordered => "Ordered",
             IoDiscipline::OrderedNb => "Ordered-NB",
             IoDiscipline::LeastWaste => "Least-Waste",
+            IoDiscipline::Tiered => "Tiered",
         }
     }
 }
@@ -111,6 +123,16 @@ impl Strategy {
         Strategy {
             discipline: IoDiscipline::LeastWaste,
             policy: CheckpointPolicy::Daly,
+        }
+    }
+
+    /// `Tiered` (level-aware hierarchy fast path) with the given policy.
+    /// Meaningful with [`SimConfig::with_tiers`](crate::SimConfig::with_tiers);
+    /// without tiers it behaves exactly like `Ordered-NB`.
+    pub fn tiered(policy: CheckpointPolicy) -> Self {
+        Strategy {
+            discipline: IoDiscipline::Tiered,
+            policy,
         }
     }
 
@@ -179,10 +201,24 @@ mod tests {
         assert!(IoDiscipline::Ordered.is_exclusive());
         assert!(IoDiscipline::OrderedNb.is_exclusive());
         assert!(IoDiscipline::LeastWaste.is_exclusive());
+        assert!(IoDiscipline::Tiered.is_exclusive());
         assert!(!IoDiscipline::Oblivious.checkpoint_is_non_blocking());
         assert!(!IoDiscipline::Ordered.checkpoint_is_non_blocking());
         assert!(IoDiscipline::OrderedNb.checkpoint_is_non_blocking());
         assert!(IoDiscipline::LeastWaste.checkpoint_is_non_blocking());
+        assert!(IoDiscipline::Tiered.checkpoint_is_non_blocking());
+    }
+
+    #[test]
+    fn tiered_names() {
+        assert_eq!(
+            Strategy::tiered(CheckpointPolicy::Daly).name(),
+            "Tiered-Daly"
+        );
+        assert_eq!(
+            Strategy::tiered(CheckpointPolicy::fixed_hourly()).name(),
+            "Tiered-Fixed"
+        );
     }
 
     #[test]

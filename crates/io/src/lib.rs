@@ -20,7 +20,11 @@
 //!   disciplines (*Ordered*, *Ordered-NB*, *Least-Waste*): FCFS pop for the
 //!   ordered strategies, arbitrary argmin selection for Least-Waste.
 //! * [`burst`] — a two-tier burst-buffer extension (paper Section 8,
-//!   future work).
+//!   future work), kept as the minimal single-tier reference model.
+//! * [`hierarchy`] — the N-tier generalization: a [`StorageHierarchy`] of
+//!   stacked tiers (node-local → burst buffer → campaign storage → PFS)
+//!   with admission control, deterministic spill, and background drain
+//!   cascades, driven by the same passive timestamp protocol.
 //!
 //! # Example: two equal jobs share the PFS
 //!
@@ -40,10 +44,12 @@
 //! ```
 
 pub mod burst;
+pub mod hierarchy;
 pub mod interference;
 pub mod pfs;
 pub mod queue;
 
+pub use hierarchy::{DrainHop, Placement, StorageHierarchy, Tier, TierSpec, TierStats};
 pub use interference::{DegradedShare, EqualShare, InterferenceModel, LinearShare};
 pub use pfs::{CompletedTransfer, Pfs, PfsStats, TransferId};
 pub use queue::{PendingRequest, RequestId, RequestQueue};

@@ -6,7 +6,11 @@
 //!   provided as an extension for ablation studies.
 //! * [`steady_state_waste`] — Eq. (3): the fraction of a job's node-time
 //!   lost to resilience when checkpointing with period `P`.
+//! * [`per_level_commit_costs`] / [`per_level_daly_periods`] — the
+//!   multi-level extension (paper Section 8): per-tier commit costs of a
+//!   storage hierarchy and the corresponding per-level Young/Daly periods.
 
+use crate::units::{Bandwidth, Bytes};
 use coopckpt_des::Duration;
 
 /// First-order optimal checkpoint period `P = √(2 µ C)` (Young 1974 /
@@ -68,6 +72,94 @@ pub fn steady_state_waste(c: Duration, r: Duration, p: Duration, mtbf: Duration)
     assert!(p.is_positive(), "period must be positive, got {p}");
     assert!(mtbf.is_positive(), "MTBF must be positive, got {mtbf}");
     c.as_secs() / p.as_secs() + (p.as_secs() / 2.0 + r.as_secs()) / mtbf.as_secs()
+}
+
+/// The commit cost of a `volume`-byte checkpoint at every level of a
+/// storage hierarchy, shallow to deep: `C_ℓ = volume / bw_ℓ`.
+///
+/// `write_bws[ℓ]` is the effective write bandwidth the job sees into level
+/// `ℓ` (for node-local tiers, pass the per-node bandwidth already
+/// multiplied by the job's node count). The last entry is conventionally
+/// the PFS itself, so the returned slice covers the full spectrum from
+/// "absorb into the fastest tier" to "commit straight to the file system".
+///
+/// ```
+/// use coopckpt_model::{per_level_commit_costs, Bandwidth, Bytes};
+///
+/// // 10 TB checkpoint; node-local at 500 GB/s, burst buffer at 200 GB/s,
+/// // PFS at 40 GB/s.
+/// let costs = per_level_commit_costs(
+///     Bytes::from_tb(10.0),
+///     &[
+///         Bandwidth::from_gbps(500.0),
+///         Bandwidth::from_gbps(200.0),
+///         Bandwidth::from_gbps(40.0),
+///     ],
+/// );
+/// assert_eq!(costs.len(), 3);
+/// assert!((costs[0].as_secs() - 20.0).abs() < 1e-9);
+/// assert!((costs[2].as_secs() - 250.0).abs() < 1e-9);
+/// ```
+///
+/// # Panics
+///
+/// Panics when any bandwidth is non-positive or the volume is invalid.
+pub fn per_level_commit_costs(volume: Bytes, write_bws: &[Bandwidth]) -> Vec<Duration> {
+    assert!(
+        volume.is_valid() && !volume.is_zero(),
+        "checkpoint volume must be positive, got {volume}"
+    );
+    write_bws
+        .iter()
+        .map(|&bw| {
+            assert!(
+                bw.is_valid() && !bw.is_zero(),
+                "tier write bandwidth must be positive, got {bw}"
+            );
+            volume.transfer_time(bw)
+        })
+        .collect()
+}
+
+/// Per-level Young/Daly periods for a multi-level checkpoint hierarchy:
+/// `P_ℓ = √(2 µ_ℓ C_ℓ)` for each level `ℓ`.
+///
+/// In a multi-level scheme (à la FTI/VeloC), a level-`ℓ` checkpoint guards
+/// against the failure classes that only level `ℓ` (or deeper) survives, so
+/// `level_mtbfs[ℓ]` is the MTBF of *those* failures: fast shallow levels
+/// checkpoint often against frequent soft failures, while expensive deep
+/// levels run rarely against node loss. With a single failure class (this
+/// paper's model), pass the same job MTBF at every level and the deeper,
+/// costlier levels simply get longer periods.
+///
+/// ```
+/// use coopckpt_des::Duration;
+/// use coopckpt_model::per_level_daly_periods;
+///
+/// let costs = [Duration::from_secs(20.0), Duration::from_secs(250.0)];
+/// let mtbfs = [Duration::from_hours(6.0), Duration::from_hours(60.0)];
+/// let periods = per_level_daly_periods(&costs, &mtbfs);
+/// // Shallow tier: sqrt(2 * 21600 * 20) = 929.5 s; deep tier much longer.
+/// assert!((periods[0].as_secs() - 929.5).abs() < 0.1);
+/// assert!(periods[1] > periods[0]);
+/// ```
+///
+/// # Panics
+///
+/// Panics when the slices differ in length or any entry is non-positive.
+pub fn per_level_daly_periods(costs: &[Duration], level_mtbfs: &[Duration]) -> Vec<Duration> {
+    assert_eq!(
+        costs.len(),
+        level_mtbfs.len(),
+        "one MTBF per hierarchy level required ({} costs, {} MTBFs)",
+        costs.len(),
+        level_mtbfs.len()
+    );
+    costs
+        .iter()
+        .zip(level_mtbfs)
+        .map(|(&c, &mtbf)| young_daly_period(c, mtbf))
+        .collect()
 }
 
 #[cfg(test)]
@@ -133,6 +225,33 @@ mod tests {
                 "waste at {factor}x period ({w}) should exceed optimum ({w_star})"
             );
         }
+    }
+
+    #[test]
+    fn per_level_costs_scale_inversely_with_bandwidth() {
+        let costs = per_level_commit_costs(
+            Bytes::from_tb(1.0),
+            &[Bandwidth::from_gbps(100.0), Bandwidth::from_gbps(25.0)],
+        );
+        assert!((costs[0].as_secs() - 10.0).abs() < 1e-9);
+        assert!((costs[1].as_secs() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_level_periods_follow_sqrt_of_cost() {
+        let mu = Duration::from_secs(1e6);
+        let periods = per_level_daly_periods(
+            &[Duration::from_secs(100.0), Duration::from_secs(400.0)],
+            &[mu, mu],
+        );
+        // 4x the cost -> 2x the period.
+        assert!((periods[1].as_secs() / periods[0].as_secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one MTBF per hierarchy level")]
+    fn per_level_periods_reject_mismatched_lengths() {
+        per_level_daly_periods(&[Duration::from_secs(1.0)], &[]);
     }
 
     #[test]

@@ -25,7 +25,10 @@ pub mod platform;
 pub mod units;
 
 pub use app::{AppClass, ClassId, JobId, JobSpec};
-pub use ckpt::{daly_period_high_order, steady_state_waste, young_daly_period};
+pub use ckpt::{
+    daly_period_high_order, per_level_commit_costs, per_level_daly_periods, steady_state_waste,
+    young_daly_period,
+};
 pub use coopckpt_des::{Duration, Time};
 pub use platform::{Platform, PlatformError};
 pub use units::{Bandwidth, Bytes};

@@ -10,7 +10,8 @@
 mod common;
 
 use common::{
-    steady_classes, steady_platform, BOUND_LOWER_FRAC, BOUND_UPPER_FACTOR, BOUND_UPPER_SLACK,
+    steady_classes, steady_mean_waste, steady_platform, BOUND_LOWER_FRAC, BOUND_UPPER_FACTOR,
+    BOUND_UPPER_SLACK,
 };
 use coopckpt::prelude::*;
 use coopckpt_theory::{lower_bound, ClassParams};
@@ -30,9 +31,7 @@ fn least_waste_agrees_with_theorem1_bound() {
         "Theorem 1 bound must be a meaningful waste ratio, got {bound}"
     );
 
-    let config = SimConfig::new(platform, classes, Strategy::least_waste())
-        .with_span(Duration::from_days(10.0));
-    let waste = run_many(&config, &MonteCarloConfig::new(8)).mean();
+    let waste = steady_mean_waste(20.0, 3.0, Strategy::least_waste());
 
     assert!(
         waste > bound * BOUND_LOWER_FRAC,

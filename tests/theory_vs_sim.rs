@@ -1,12 +1,18 @@
 //! The simulated waste of the cooperative strategies should approach the
 //! Section-4 analytic lower bound in steady state — the paper's headline
 //! validation (Least-Waste "reaches the theoretical performance", §6.1).
+//!
+//! All Monte-Carlo means go through `common::steady_mean_waste`, which
+//! memoizes per operating point: the suite's assertions deliberately probe
+//! overlapping points (20 GB/s × 3 y appears in three checks, 500 GB/s ×
+//! 3 y in two), so the expensive simulated instances are shared instead of
+//! re-run per check.
 
 mod common;
 
 use common::{
-    steady_classes as classes, steady_platform as platform, BOUND_LOWER_FRAC, BOUND_UPPER_FACTOR,
-    BOUND_UPPER_SLACK,
+    steady_classes as classes, steady_mean_waste, steady_platform as platform, BOUND_LOWER_FRAC,
+    BOUND_UPPER_FACTOR, BOUND_UPPER_SLACK,
 };
 use coopckpt::prelude::*;
 use coopckpt_theory::{lower_bound, unconstrained_periods, ClassParams};
@@ -17,11 +23,6 @@ fn bound_for(p: &Platform, cls: &[AppClass]) -> f64 {
         .map(|c| ClassParams::from_app_class(c, p))
         .collect();
     lower_bound(p, &params).waste
-}
-
-fn mean_waste(cfg: &SimConfig, n: usize) -> f64 {
-    let mc = MonteCarloConfig::new(n);
-    run_many(cfg, &mc).mean()
 }
 
 #[test]
@@ -37,9 +38,7 @@ fn simulated_waste_never_beats_the_bound_significantly() {
         Strategy::ordered_nb(CheckpointPolicy::Daly),
         Strategy::least_waste(),
     ] {
-        let cfg =
-            SimConfig::new(p.clone(), cls.clone(), strategy).with_span(Duration::from_days(10.0));
-        let waste = mean_waste(&cfg, 8);
+        let waste = steady_mean_waste(20.0, 3.0, strategy);
         assert!(
             waste > bound * BOUND_LOWER_FRAC,
             "{}: mean simulated waste {waste} sits far below the bound {bound}",
@@ -52,12 +51,10 @@ fn simulated_waste_never_beats_the_bound_significantly() {
 fn cooperative_strategies_track_the_bound_when_unconstrained() {
     // Ample bandwidth: the bound reduces to per-job Young/Daly waste and
     // the non-blocking strategies should land within a modest factor.
-    let p = platform(500.0, 5.0);
+    let p = platform(500.0, 3.0);
     let cls = classes(&p);
     let bound = bound_for(&p, &cls);
-    let cfg = SimConfig::new(p.clone(), cls.clone(), Strategy::least_waste())
-        .with_span(Duration::from_days(10.0));
-    let waste = mean_waste(&cfg, 8);
+    let waste = steady_mean_waste(500.0, 3.0, Strategy::least_waste());
     assert!(
         waste < bound * BOUND_UPPER_FACTOR + BOUND_UPPER_SLACK,
         "Least-Waste waste {waste} should track the unconstrained bound {bound}"
@@ -68,13 +65,14 @@ fn cooperative_strategies_track_the_bound_when_unconstrained() {
 fn bound_tightens_with_bandwidth_and_sim_follows() {
     let mut last_bound = f64::INFINITY;
     let mut last_sim = f64::INFINITY;
-    for bw in [10.0, 40.0, 200.0] {
+    // 20 and 500 GB/s are shared with the two tests above: the memoized
+    // instances are simulated once per binary run, whichever test gets
+    // there first.
+    for bw in [20.0, 80.0, 500.0] {
         let p = platform(bw, 3.0);
         let cls = classes(&p);
         let bound = bound_for(&p, &cls);
-        let cfg = SimConfig::new(p.clone(), cls.clone(), Strategy::least_waste())
-            .with_span(Duration::from_days(8.0));
-        let sim = mean_waste(&cfg, 5);
+        let sim = steady_mean_waste(bw, 3.0, Strategy::least_waste());
         assert!(
             bound <= last_bound + 1e-12,
             "bound must fall with bandwidth"
