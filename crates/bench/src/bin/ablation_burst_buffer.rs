@@ -7,14 +7,17 @@
 //! admission control on capacity) and measures the waste reduction at the
 //! scarce-bandwidth operating point of Figure 2.
 //!
+//! Each variant is the shared base [`Scenario`] with only its
+//! `burst_buffer` field swapped, and results flow through the same
+//! [`Report`] writers as the CLI (`--csv <path>` / `--json <path>`).
+//!
 //! ```sh
-//! cargo run --release -p coopckpt-bench --bin ablation_burst_buffer
+//! cargo run --release -p coopckpt-bench --bin ablation_burst_buffer [-- --json out.json]
 //! ```
 
 use coopckpt::prelude::*;
 use coopckpt::sim::BurstBufferSpec;
-use coopckpt_bench::{banner, emit, BenchScale};
-use coopckpt_stats::Table;
+use coopckpt_bench::{banner, cielo_scenario, emit_report, BenchScale};
 
 fn main() {
     let scale = BenchScale::from_env();
@@ -23,8 +26,8 @@ fn main() {
         &scale,
     );
 
-    let platform = coopckpt_workload::cielo().with_bandwidth(Bandwidth::from_gbps(40.0));
-    let classes = coopckpt_workload::classes_for(&platform);
+    let base = cielo_scenario(40.0, &scale).with_name("ablation-burst-buffer");
+    let platform = base.resolve_platform().expect("cielo preset is valid");
 
     // Buffer variants: none; half the platform memory at 1 GB/s per node;
     // 2x platform memory at 4 GB/s per node (ample NVRAM).
@@ -46,31 +49,30 @@ fn main() {
         ),
     ];
 
-    let mut t = Table::new([
-        "strategy",
-        "no burst buffer",
-        "0.5x mem, 1 GB/s/node",
-        "2x mem, 4 GB/s/node",
-    ]);
+    let mut report = Report::new("ablation_burst_buffer", Some(base.clone()));
+    report.note(
+        "waste ratio; the drain still contends on the PFS, so gains shrink when it saturates",
+    );
+    let table = report.section(
+        "waste_by_buffer",
+        ["strategy".to_string()]
+            .into_iter()
+            .chain(variants.iter().map(|(label, _)| label.to_string())),
+    );
     for strategy in [
         Strategy::oblivious(CheckpointPolicy::Daly),
         Strategy::ordered(CheckpointPolicy::Daly),
         Strategy::ordered_nb(CheckpointPolicy::Daly),
         Strategy::least_waste(),
     ] {
-        let mut cells = vec![strategy.name()];
+        let mut cells = vec![Cell::text(strategy.name())];
         for (_, bb) in &variants {
-            let mut cfg =
-                SimConfig::new(platform.clone(), classes.clone(), strategy).with_span(scale.span);
-            if let Some(spec) = bb {
-                cfg = cfg.with_burst_buffer(*spec);
-            }
-            cells.push(format!("{:.4}", run_many(&cfg, &scale.mc()).mean()));
+            let mut sc = base.clone().with_strategy(strategy);
+            sc.burst_buffer = *bb;
+            let config = sc.into_config().expect("bench scenario is valid");
+            cells.push(Cell::f4(run_many(&config, &sc.mc()).mean()));
         }
-        t.row(cells);
+        table.row(cells);
     }
-    emit(&t);
-    println!(
-        "\n(waste ratio; the drain still contends on the PFS, so gains shrink when it saturates)"
-    );
+    emit_report(&report);
 }

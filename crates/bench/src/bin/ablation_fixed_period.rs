@@ -7,13 +7,16 @@
 //! scarce bandwidth, and (b) how the non-blocking discipline flattens the
 //! penalty (Figure 2's "Ordered-NB-Fixed performs comparably" observation).
 //!
+//! Each variant is the shared base [`Scenario`] with only its strategy
+//! swapped, and results flow through the same [`Report`] writers as the
+//! CLI (`--csv <path>` / `--json <path>`).
+//!
 //! ```sh
-//! cargo run --release -p coopckpt-bench --bin ablation_fixed_period
+//! cargo run --release -p coopckpt-bench --bin ablation_fixed_period [-- --json out.json]
 //! ```
 
 use coopckpt::prelude::*;
-use coopckpt_bench::{banner, emit, BenchScale};
-use coopckpt_stats::Table;
+use coopckpt_bench::{banner, cielo_scenario, emit_report, BenchScale};
 
 fn main() {
     let scale = BenchScale::from_env();
@@ -22,9 +25,7 @@ fn main() {
         &scale,
     );
 
-    let platform = coopckpt_workload::cielo().with_bandwidth(Bandwidth::from_gbps(40.0));
-    let classes = coopckpt_workload::classes_for(&platform);
-
+    let base = cielo_scenario(40.0, &scale).with_name("ablation-fixed-period");
     let policies: Vec<(String, CheckpointPolicy)> = [0.5, 1.0, 2.0, 4.0]
         .iter()
         .map(|&h| {
@@ -39,16 +40,17 @@ fn main() {
         )))
         .collect();
 
-    let mut t = Table::new(["period", "Oblivious", "Ordered-NB"]);
+    let mut report = Report::new("ablation_fixed_period", Some(base.clone()));
+    report.note("waste ratio; the Daly row is the adaptive reference");
+    let table = report.section("waste_by_period", ["period", "Oblivious", "Ordered-NB"]);
     for (label, policy) in &policies {
-        let mut cells = vec![label.clone()];
+        let mut cells = vec![Cell::text(label.clone())];
         for strategy in [Strategy::oblivious(*policy), Strategy::ordered_nb(*policy)] {
-            let cfg =
-                SimConfig::new(platform.clone(), classes.clone(), strategy).with_span(scale.span);
-            cells.push(format!("{:.4}", run_many(&cfg, &scale.mc()).mean()));
+            let sc = base.clone().with_strategy(strategy);
+            let config = sc.into_config().expect("bench scenario is valid");
+            cells.push(Cell::f4(run_many(&config, &sc.mc()).mean()));
         }
-        t.row(cells);
+        table.row(cells);
     }
-    emit(&t);
-    println!("\n(waste ratio; the Daly row is the adaptive reference)");
+    emit_report(&report);
 }

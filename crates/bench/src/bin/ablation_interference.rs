@@ -12,14 +12,17 @@
 //! they keep a single stream active — while Oblivious degrades further,
 //! widening the cooperative advantage.
 //!
+//! Each variant is the shared base [`Scenario`] with only its interference
+//! mode swapped, and results flow through the same [`Report`] writers as
+//! the CLI (`--csv <path>` / `--json <path>`).
+//!
 //! ```sh
-//! cargo run --release -p coopckpt-bench --bin ablation_interference
+//! cargo run --release -p coopckpt-bench --bin ablation_interference [-- --json out.json]
 //! ```
 
 use coopckpt::prelude::*;
 use coopckpt::sim::InterferenceKind;
-use coopckpt_bench::{banner, emit, BenchScale};
-use coopckpt_stats::Table;
+use coopckpt_bench::{banner, cielo_scenario, emit_report, BenchScale};
 
 fn main() {
     let scale = BenchScale::from_env();
@@ -28,34 +31,34 @@ fn main() {
         &scale,
     );
 
-    let platform = coopckpt_workload::cielo().with_bandwidth(Bandwidth::from_gbps(40.0));
-    let classes = coopckpt_workload::classes_for(&platform);
+    let base = cielo_scenario(40.0, &scale).with_name("ablation-interference");
     let models = [
-        ("linear", InterferenceKind::Linear),
-        ("degraded(0.2)", InterferenceKind::Degraded(0.2)),
-        ("degraded(0.5)", InterferenceKind::Degraded(0.5)),
-        ("equal-share", InterferenceKind::Equal),
+        InterferenceKind::Linear,
+        InterferenceKind::Degraded(0.2),
+        InterferenceKind::Degraded(0.5),
+        InterferenceKind::Equal,
     ];
 
-    let mut t = Table::new([
-        "strategy",
-        "linear",
-        "degraded(0.2)",
-        "degraded(0.5)",
-        "equal-share",
-    ]);
-    for strategy in Strategy::all_seven() {
-        let mut cells = vec![strategy.name()];
-        for (_, kind) in &models {
-            let cfg = SimConfig::new(platform.clone(), classes.clone(), strategy)
-                .with_span(scale.span)
-                .with_interference(*kind);
-            cells.push(format!("{:.4}", run_many(&cfg, &scale.mc()).mean()));
-        }
-        t.row(cells);
-    }
-    emit(&t);
-    println!(
-        "\n(waste ratio; token-based strategies serialize I/O and are insensitive to the model)"
+    let mut report = Report::new("ablation_interference", Some(base.clone()));
+    report
+        .note("waste ratio; token-based strategies serialize I/O and are insensitive to the model");
+    let table = report.section(
+        "waste_by_model",
+        ["strategy".to_string()]
+            .into_iter()
+            .chain(models.iter().map(InterferenceKind::spec_name)),
     );
+    for strategy in Strategy::all_seven() {
+        let mut cells = vec![Cell::text(strategy.name())];
+        for kind in &models {
+            let sc = base
+                .clone()
+                .with_strategy(strategy)
+                .with_interference(*kind);
+            let config = sc.into_config().expect("bench scenario is valid");
+            cells.push(Cell::f4(run_many(&config, &sc.mc()).mean()));
+        }
+        table.row(cells);
+    }
+    emit_report(&report);
 }

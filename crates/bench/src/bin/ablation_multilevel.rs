@@ -9,17 +9,23 @@
 //! point of Figure 2, including the level-aware `Tiered` discipline that
 //! skips the PFS token for absorbable checkpoints.
 //!
+//! The whole experiment is one declarative [`Scenario`] with a `tiers`
+//! sweep axis, executed by the same [`run_scenario`] front door as the
+//! CLI — the equivalent file is
+//! `{"platform": {"preset": "cielo", "bandwidth_gbps": 40}, "sweep":
+//! {"axis": "tiers", "values": [0, 1, 2, 3]}}`.
+//!
 //! The run ends by checking the headline claim: at equal PFS bandwidth, a
 //! 3-tier hierarchy strictly reduces the blocking `Ordered-Daly` waste
 //! relative to the PFS-only baseline.
 //!
 //! ```sh
-//! cargo run --release -p coopckpt-bench --bin ablation_multilevel
+//! cargo run --release -p coopckpt-bench --bin ablation_multilevel [-- --json out.json]
 //! ```
 
-use coopckpt::experiments::waste_vs_tier_count;
+use coopckpt::experiments::run_scenario;
 use coopckpt::prelude::*;
-use coopckpt_bench::{banner, emit, sweep_table, BenchScale};
+use coopckpt_bench::{banner, cielo_scenario, emit_report, BenchScale};
 
 fn main() {
     let scale = BenchScale::from_env();
@@ -28,28 +34,33 @@ fn main() {
         &scale,
     );
 
-    let platform = coopckpt_workload::cielo().with_bandwidth(Bandwidth::from_gbps(40.0));
-    let classes = coopckpt_workload::classes_for(&platform);
-    let template = SimConfig::new(platform, classes, Strategy::least_waste()).with_span(scale.span);
-
-    let strategies = [
-        Strategy::oblivious(CheckpointPolicy::Daly),
-        Strategy::ordered(CheckpointPolicy::Daly),
-        Strategy::ordered_nb(CheckpointPolicy::Daly),
-        Strategy::least_waste(),
-        Strategy::tiered(CheckpointPolicy::Daly),
-    ];
-    let tier_counts = [0usize, 1, 2, 3];
-    let points = waste_vs_tier_count(&template, &tier_counts, &strategies, &scale.mc());
-    emit(&sweep_table("tiers", &points));
+    let mut scenario = cielo_scenario(40.0, &scale).with_name("ablation-multilevel");
+    scenario.sweep = Some(Sweep {
+        axis: SweepAxis::Tiers,
+        values: vec![0.0, 1.0, 2.0, 3.0],
+    });
+    let report = run_scenario(&scenario).expect("bench scenario is valid");
+    emit_report(&report);
 
     // The acceptance claim: 3 tiers beat PFS-only for the blocking
     // discipline at equal PFS bandwidth.
-    let mean_of = |series: &str, x: f64| {
-        points
+    let sweep = report
+        .sections
+        .iter()
+        .find(|s| s.name == "sweep")
+        .expect("sweep reports carry a sweep section");
+    let mean_of = |series: &str, x: f64| -> f64 {
+        sweep
+            .rows
             .iter()
-            .find(|p| p.series == series && p.x == x)
-            .map(|p| p.stats.mean)
+            .find(|row| match (&row[0], &row[1]) {
+                (Cell::Float { value, .. }, Cell::Text(s)) => *value == x && s == series,
+                _ => false,
+            })
+            .and_then(|row| match &row[2] {
+                Cell::Float { value, .. } => Some(*value),
+                _ => None,
+            })
             .expect("sweep covers this point")
     };
     let baseline = mean_of("Ordered-Daly", 0.0);

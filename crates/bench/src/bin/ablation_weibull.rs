@@ -10,14 +10,17 @@
 //! but the cooperative ranking is preserved — the heuristic does not rely
 //! on the memoryless property.
 //!
+//! Each variant is the shared base [`Scenario`] with only its failure law
+//! swapped, and results flow through the same [`Report`] writers as the
+//! CLI (`--csv <path>` / `--json <path>`).
+//!
 //! ```sh
-//! cargo run --release -p coopckpt-bench --bin ablation_weibull
+//! cargo run --release -p coopckpt-bench --bin ablation_weibull [-- --json out.json]
 //! ```
 
 use coopckpt::prelude::*;
 use coopckpt::sim::FailureModel;
-use coopckpt_bench::{banner, emit, BenchScale};
-use coopckpt_stats::Table;
+use coopckpt_bench::{banner, cielo_scenario, emit_report, BenchScale};
 
 fn main() {
     let scale = BenchScale::from_env();
@@ -26,25 +29,29 @@ fn main() {
         &scale,
     );
 
-    let platform = coopckpt_workload::cielo().with_bandwidth(Bandwidth::from_gbps(40.0));
-    let classes = coopckpt_workload::classes_for(&platform);
+    let base = cielo_scenario(40.0, &scale).with_name("ablation-weibull");
     let laws = [
-        ("weibull k=0.7", FailureModel::Weibull(0.7)),
-        ("exponential", FailureModel::Exponential),
-        ("weibull k=1.5", FailureModel::Weibull(1.5)),
+        FailureModel::Weibull(0.7),
+        FailureModel::Exponential,
+        FailureModel::Weibull(1.5),
     ];
 
-    let mut t = Table::new(["strategy", "weibull k=0.7", "exponential", "weibull k=1.5"]);
+    let mut report = Report::new("ablation_weibull", Some(base.clone()));
+    report.note("waste ratio; k=1 equals the exponential law");
+    let table = report.section(
+        "waste_by_law",
+        ["strategy".to_string()]
+            .into_iter()
+            .chain(laws.iter().map(FailureModel::spec_name)),
+    );
     for strategy in Strategy::all_seven() {
-        let mut cells = vec![strategy.name()];
-        for (_, law) in &laws {
-            let cfg = SimConfig::new(platform.clone(), classes.clone(), strategy)
-                .with_span(scale.span)
-                .with_failures(*law);
-            cells.push(format!("{:.4}", run_many(&cfg, &scale.mc()).mean()));
+        let mut cells = vec![Cell::text(strategy.name())];
+        for law in &laws {
+            let sc = base.clone().with_strategy(strategy).with_failures(*law);
+            let config = sc.into_config().expect("bench scenario is valid");
+            cells.push(Cell::f4(run_many(&config, &sc.mc()).mean()));
         }
-        t.row(cells);
+        table.row(cells);
     }
-    emit(&t);
-    println!("\n(waste ratio; k=1 equals the exponential law)");
+    emit_report(&report);
 }

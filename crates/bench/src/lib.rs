@@ -41,6 +41,27 @@ impl BenchScale {
     pub fn mc(&self) -> MonteCarloConfig {
         MonteCarloConfig::new(self.samples).with_threads(self.threads)
     }
+
+    /// Stamps the scale's span/samples/threads onto a scenario.
+    pub fn apply(&self, mut scenario: Scenario) -> Scenario {
+        scenario.span = self.span;
+        scenario.samples = self.samples;
+        scenario.threads = self.threads;
+        scenario
+    }
+}
+
+/// The ablations' shared operating point as a declarative [`Scenario`]:
+/// the Cielo preset at the given bandwidth (scarce 40 GB/s in most
+/// ablations), 2-year node MTBF, APEX workload, at this scale.
+pub fn cielo_scenario(bandwidth_gbps: f64, scale: &BenchScale) -> Scenario {
+    let mut sc = Scenario::default();
+    sc.platform = PlatformSpec::Preset {
+        name: "cielo".to_string(),
+        bandwidth: Some(Bandwidth::from_gbps(bandwidth_gbps)),
+        node_mtbf: None,
+    };
+    scale.apply(sc)
 }
 
 fn env_parse<T: std::str::FromStr + Copy>(key: &str, default: T) -> T {
@@ -79,13 +100,40 @@ pub fn emit(table: &Table) {
     while let Some(a) = args.next() {
         if a == "--csv" {
             if let Some(path) = args.next() {
-                if let Err(e) = std::fs::write(&path, table.to_csv()) {
-                    eprintln!("warning: could not write {path}: {e}");
-                } else {
-                    eprintln!("# CSV written to {path}");
-                }
+                write_or_warn(&path, table.to_csv(), "CSV");
             }
         }
+    }
+}
+
+/// Prints a [`Report`] as text and honours optional `--csv <path>` and
+/// `--json <path>` arguments, so every ablation binary shares the CLI's
+/// writers.
+pub fn emit_report(report: &Report) {
+    print!("{}", report.to_text());
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--csv" => {
+                if let Some(path) = args.next() {
+                    write_or_warn(&path, report.to_csv(), "CSV");
+                }
+            }
+            "--json" => {
+                if let Some(path) = args.next() {
+                    write_or_warn(&path, report.to_json().pretty(), "JSON");
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn write_or_warn(path: &str, content: String, what: &str) {
+    if let Err(e) = std::fs::write(path, content) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        eprintln!("# {what} written to {path}");
     }
 }
 
@@ -118,6 +166,22 @@ mod tests {
         let mc = s.mc();
         assert_eq!(mc.samples, 7);
         assert_eq!(mc.threads, 2);
+    }
+
+    #[test]
+    fn cielo_scenario_carries_the_scale() {
+        let s = BenchScale {
+            samples: 9,
+            span: Duration::from_days(2.0),
+            threads: 3,
+        };
+        let sc = cielo_scenario(40.0, &s);
+        assert_eq!(sc.samples, 9);
+        assert_eq!(sc.threads, 3);
+        assert_eq!(sc.span, Duration::from_days(2.0));
+        let p = sc.resolve_platform().unwrap();
+        assert_eq!(p.name, "Cielo");
+        assert_eq!(p.pfs_bandwidth, Bandwidth::from_gbps(40.0));
     }
 
     #[test]

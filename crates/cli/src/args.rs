@@ -30,6 +30,13 @@ pub enum ArgError {
         /// Target type description.
         expected: &'static str,
     },
+    /// A flag the subcommand does not know (typo protection).
+    UnknownFlag {
+        /// The offending flag name.
+        flag: String,
+        /// The nearest known flag, when one is plausibly close.
+        suggestion: Option<String>,
+    },
 }
 
 impl std::fmt::Display for ArgError {
@@ -41,8 +48,46 @@ impl std::fmt::Display for ArgError {
                 value,
                 expected,
             } => write!(f, "flag --{flag}: cannot parse '{value}' as {expected}"),
+            ArgError::UnknownFlag { flag, suggestion } => {
+                write!(f, "unknown flag --{flag}")?;
+                if let Some(s) = suggestion {
+                    write!(f, " (did you mean --{s}?)")?;
+                }
+                Ok(())
+            }
         }
     }
+}
+
+/// Edit distance between two flag names (classic two-row Levenshtein).
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The closest candidate to `flag`, when close enough to be a plausible
+/// typo (distance ≤ 2, or ≤ a third of the flag's length, or a
+/// prefix/extension of a known flag).
+pub fn nearest_flag(flag: &str, known: &[&str]) -> Option<String> {
+    known
+        .iter()
+        .map(|k| (levenshtein(flag, k), *k))
+        .min_by_key(|(d, k)| (*d, *k))
+        .filter(|(d, k)| {
+            *d <= 2 || *d * 3 <= flag.len() || k.starts_with(flag) || flag.starts_with(k)
+        })
+        .map(|(_, k)| k.to_string())
 }
 
 impl std::error::Error for ArgError {}
@@ -87,11 +132,6 @@ impl Args {
         self.flags.contains_key(flag)
     }
 
-    /// String flag with default.
-    pub fn get_or(&self, flag: &str, default: &str) -> String {
-        self.get(flag).unwrap_or(default).to_string()
-    }
-
     /// Typed flag with default.
     pub fn get_parsed_or<T: std::str::FromStr>(
         &self,
@@ -107,6 +147,23 @@ impl Args {
                 expected,
             }),
         }
+    }
+
+    /// Verifies every given flag is in `known`, rejecting typos with the
+    /// nearest known flag as a suggestion (`--tires` → "did you mean
+    /// --tiers?") instead of silently ignoring them.
+    pub fn check_known(&self, known: &[&str]) -> Result<(), ArgError> {
+        let mut flags: Vec<&String> = self.flags.keys().collect();
+        flags.sort(); // deterministic reporting when several flags are wrong
+        for flag in flags {
+            if !known.contains(&flag.as_str()) {
+                return Err(ArgError::UnknownFlag {
+                    flag: flag.clone(),
+                    suggestion: nearest_flag(flag, known),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Comma-separated list of floats, e.g. `--values 40,80,160`.
@@ -145,7 +202,7 @@ mod tests {
         let a = Args::parse(["x", "--n", "5"]).unwrap();
         assert_eq!(a.get_parsed_or("n", 1usize, "int").unwrap(), 5);
         assert_eq!(a.get_parsed_or("m", 7usize, "int").unwrap(), 7);
-        assert_eq!(a.get_or("name", "dflt"), "dflt");
+        assert_eq!(a.get("name"), None);
     }
 
     #[test]
@@ -194,5 +251,58 @@ mod tests {
         let a = Args::parse(Vec::<String>::new()).unwrap();
         assert!(a.command.is_none());
         assert!(a.positionals.is_empty());
+    }
+
+    #[test]
+    fn unknown_flag_suggests_the_nearest_known_flag() {
+        let known = &["tiers", "samples", "seed", "format", "span-days"];
+        let a = Args::parse(["run", "--tires", "3"]).unwrap();
+        match a.check_known(known) {
+            Err(ArgError::UnknownFlag { flag, suggestion }) => {
+                assert_eq!(flag, "tires");
+                assert_eq!(suggestion.as_deref(), Some("tiers"));
+            }
+            other => panic!("expected UnknownFlag, got {other:?}"),
+        }
+        let msg = a.check_known(known).unwrap_err().to_string();
+        assert!(msg.contains("--tires"), "{msg}");
+        assert!(msg.contains("did you mean --tiers"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_flag_without_a_plausible_neighbour_has_no_suggestion() {
+        let known = &["tiers", "samples"];
+        let a = Args::parse(["run", "--chrysanthemum", "3"]).unwrap();
+        match a.check_known(known) {
+            Err(ArgError::UnknownFlag { flag, suggestion }) => {
+                assert_eq!(flag, "chrysanthemum");
+                assert_eq!(suggestion, None);
+            }
+            other => panic!("expected UnknownFlag, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn known_flags_pass_the_check() {
+        let known = &["tiers", "samples", "help"];
+        let a = Args::parse(["run", "--tiers", "3", "--help"]).unwrap();
+        assert_eq!(a.check_known(known), Ok(()));
+        // Shorthand prefixes of a known flag are suggested too.
+        let a = Args::parse(["run", "--sample", "9"]).unwrap();
+        match a.check_known(known) {
+            Err(ArgError::UnknownFlag { suggestion, .. }) => {
+                assert_eq!(suggestion.as_deref(), Some("samples"));
+            }
+            other => panic!("expected UnknownFlag, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("tires", "tiers"), 2);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
     }
 }

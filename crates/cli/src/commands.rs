@@ -1,9 +1,13 @@
 //! Subcommand implementations.
+//!
+//! Every subcommand compiles its flags into a single [`Scenario`] (the
+//! declarative spec; `--scenario <file.json>` loads one directly and the
+//! remaining flags override its fields) and emits its results through the
+//! unified [`Report`] type, so text, CSV and JSON output share one writer.
 
 use crate::args::Args;
+use coopckpt::experiments::run_scenario;
 use coopckpt::prelude::*;
-use coopckpt::sim::{FailureModel, InterferenceKind};
-use coopckpt_stats::Table;
 use coopckpt_theory::{lower_bound, ClassParams};
 use coopckpt_workload::{classes_for, APEX_SPECS};
 
@@ -19,15 +23,18 @@ COMMANDS:
   table1      Print the APEX workload (paper Table 1) with derived
               checkpoint costs and Daly periods.
   theory      Evaluate the Section-4 lower bound (Theorem 1).
-  run         Monte-Carlo simulate one strategy at one operating point.
-  sweep       Sweep bandwidth, MTBF or tier depth across strategies (CSV).
-  workload    Generate and dump one randomized job mix (CSV).
-  trace       Simulate one instance and dump its execution trace (CSV).
+  run         Execute one scenario: Monte-Carlo simulate one strategy at
+              one operating point (or the file's sweep, if it has one).
+  sweep       Sweep bandwidth, MTBF or tier depth across strategies.
+  workload    Generate and dump one randomized job mix.
+  trace       Simulate one instance and dump its execution trace.
   help        Show this message.
 
 Run `coopckpt <command> --help` for per-command flags and examples.
 
 COMMON FLAGS:
+  --scenario <file.json>         load a declarative scenario file; the
+                                 remaining flags override its fields
   --platform cielo|prospective   target machine          [cielo]
   --bandwidth <GB/s>             PFS bandwidth override
   --mtbf-years <years>           node MTBF override
@@ -41,11 +48,12 @@ COMMON FLAGS:
                                                           [least-waste]
   --interference linear|degraded:<a>|equal               [linear]
   --failures exponential|weibull:<k>|none                [exponential]
-  --format text|csv                                      [text]
+  --format text|csv|json                                 [text]
 
 EXAMPLES:
+  coopckpt run --scenario scenarios/cielo_baseline.json --format json
   coopckpt trace --strategy least-waste --span-days 2 --bandwidth 40
-  coopckpt theory --bandwidth 40
+  coopckpt theory --bandwidth 40 --format json
   coopckpt run --strategy ordered-nb-daly --bandwidth 40 --samples 20
   coopckpt run --strategy tiered --tiers 3 --bandwidth 40
   coopckpt sweep --axis bandwidth --values 40,80,120,160 --samples 50
@@ -54,16 +62,20 @@ EXAMPLES:
 
 /// `coopckpt run --help`
 pub const RUN_HELP: &str = "\
-coopckpt run — Monte-Carlo simulate one strategy at one operating point
+coopckpt run — execute one scenario (Monte-Carlo at one operating point)
 
 USAGE:
-  coopckpt run [--strategy <name>] [--tiers <n>] [--flag value]...
+  coopckpt run [--scenario <file.json>] [--strategy <name>] [--flag value]...
 
 Runs `--samples` randomized instances (seeds `--seed`..) of the selected
-strategy and prints candlestick statistics (mean, deciles, quartiles,
-median) of the platform waste ratio.
+strategy and reports candlestick statistics (mean, deciles, quartiles,
+median) of the platform waste ratio plus utilization and event-count
+summaries. When the scenario file declares a sweep axis, `run` executes
+the whole sweep (so every checked-in scenario runs with this one
+subcommand).
 
 FLAGS:
+  --scenario <file>    load a scenario file; flags below override fields
   --strategy <name>    oblivious-fixed|oblivious-daly|ordered-fixed|
                        ordered-daly|ordered-nb-fixed|ordered-nb-daly|
                        least-waste|tiered|tiered-fixed   [least-waste]
@@ -78,12 +90,13 @@ FLAGS:
   --seed <n>           base seed                          [1]
   --interference linear|degraded:<a>|equal                [linear]
   --failures exponential|weibull:<k>|none                 [exponential]
-  --format text|csv                                       [text]
+  --format text|csv|json                                  [text]
 
 EXAMPLES:
+  coopckpt run --scenario scenarios/cielo_baseline.json --format json
   coopckpt run --strategy least-waste --bandwidth 40 --samples 20
   coopckpt run --strategy tiered --tiers 3 --bandwidth 40 --samples 20
-  coopckpt run --strategy ordered-daly --tiers 1 --span-days 7
+  coopckpt run --scenario scenarios/weibull_ablation.json --samples 50
 ";
 
 /// `coopckpt sweep --help`
@@ -100,6 +113,7 @@ The `bandwidth` and `mtbf` axes add the Theorem 1 bound as a
 absorbs legitimately beat the PFS-priced bound).
 
 FLAGS:
+  --scenario <file>    load a scenario file; flags below override fields
   --axis <name>        bandwidth (GB/s, Fig. 1) | mtbf (years, Fig. 2) |
                        tiers (hierarchy depth)             [bandwidth]
   --values a,b,c       swept values
@@ -113,6 +127,7 @@ EXAMPLES:
   coopckpt sweep --axis bandwidth --values 40,80,120,160 --samples 50
   coopckpt sweep --axis mtbf --values 2,5,10,20,50 --bandwidth 40
   coopckpt sweep --axis tiers --values 0,1,2,3 --bandwidth 40 --format csv
+  coopckpt sweep --scenario scenarios/cielo_baseline.json --axis mtbf
 ";
 
 /// `coopckpt trace --help`
@@ -120,24 +135,27 @@ pub const TRACE_HELP: &str = "\
 coopckpt trace — simulate one instance and dump its execution trace
 
 USAGE:
-  coopckpt trace [--strategy <name>] [--tiers <n>] [--flag value]...
+  coopckpt trace [--scenario <file.json>] [--strategy <name>] [--flag value]...
 
-Prints one CSV row per lifecycle event (`t_secs,event,job,detail`) to
-stdout and a one-line summary to stderr. Events: job_started, io_started,
-io_completed, checkpoint_durable, tier_absorb, tier_drain, tier_spill,
-failure, job_completed.
+Prints one row per lifecycle event (`t_secs,event,job,detail`) to stdout
+and a one-line summary to stderr (the summary joins the report as notes
+under `--format json`). Events: job_started, io_started, io_completed,
+checkpoint_durable, tier_absorb, tier_drain, tier_spill, failure,
+job_completed.
 
 FLAGS:
+  --scenario <file>    load a scenario file; flags below override fields
   --strategy <name>    as in `coopckpt run --help`        [least-waste]
   --tiers <n>          storage-hierarchy depth            [0]
   --seed <n>           instance seed                      [1]
+  --format text|csv|json                                  [csv]
   --platform, --bandwidth, --mtbf-years, --span-days, --interference,
   --failures as in `coopckpt run --help`
 
 EXAMPLES:
   coopckpt trace --strategy least-waste --span-days 2 --bandwidth 40
   coopckpt trace --strategy tiered --tiers 3 --span-days 2 > trace.csv
-  coopckpt trace --seed 7 --failures weibull:0.7 --span-days 2
+  coopckpt trace --seed 7 --failures weibull:0.7 --span-days 2 --format json
 ";
 
 /// The help text for a subcommand, when it has a dedicated page.
@@ -150,277 +168,316 @@ pub fn help_for(command: &str) -> Option<&'static str> {
     }
 }
 
+/// Flags shared by every scenario-driven subcommand.
+const SCENARIO_FLAGS: &[&str] = &[
+    "scenario",
+    "platform",
+    "bandwidth",
+    "mtbf-years",
+    "span-days",
+    "samples",
+    "seed",
+    "threads",
+    "strategy",
+    "interference",
+    "failures",
+    "tiers",
+    "format",
+    "help",
+];
+
+const SWEEP_FLAGS: &[&str] = &[
+    "scenario",
+    "platform",
+    "bandwidth",
+    "mtbf-years",
+    "span-days",
+    "samples",
+    "seed",
+    "threads",
+    "interference",
+    "failures",
+    "tiers",
+    "axis",
+    "values",
+    "format",
+    "help",
+];
+
+const PLATFORM_FLAGS: &[&str] = &[
+    "scenario",
+    "platform",
+    "bandwidth",
+    "mtbf-years",
+    "format",
+    "help",
+];
+
+const WORKLOAD_FLAGS: &[&str] = &[
+    "scenario",
+    "platform",
+    "bandwidth",
+    "mtbf-years",
+    "span-days",
+    "seed",
+    "format",
+    "help",
+];
+
+/// Every dispatchable subcommand (used to distinguish "unknown command"
+/// from "unknown flag" errors).
+pub const COMMANDS: &[&str] = &[
+    "table1", "theory", "run", "sweep", "workload", "trace", "help",
+];
+
+/// The flags a subcommand accepts, for typo detection
+/// ([`Args::check_known`]).
+pub fn known_flags(command: &str) -> &'static [&'static str] {
+    match command {
+        "run" | "trace" => SCENARIO_FLAGS,
+        "sweep" => SWEEP_FLAGS,
+        "table1" | "theory" => PLATFORM_FLAGS,
+        "workload" => WORKLOAD_FLAGS,
+        _ => &["help"],
+    }
+}
+
 /// Boxed error for command results.
 pub type CmdResult = Result<(), Box<dyn std::error::Error>>;
 
-fn platform_from(args: &Args) -> Result<Platform, Box<dyn std::error::Error>> {
-    let mut p = match args.get_or("platform", "cielo").as_str() {
-        "cielo" => coopckpt_workload::cielo(),
-        "prospective" => coopckpt_workload::prospective(),
-        other => return Err(format!("unknown platform '{other}'").into()),
+/// Compiles the command line into a [`Scenario`]: `--scenario <file>`
+/// loads the base spec (defaults otherwise) and every other flag
+/// overrides the matching field.
+fn scenario_from(args: &Args) -> Result<Scenario, Box<dyn std::error::Error>> {
+    let mut sc = match args.get("scenario") {
+        Some(path) => Scenario::load(path)?,
+        None => Scenario::default(),
     };
-    if let Some(bw) = args.get("bandwidth") {
-        let gbps: f64 = bw.parse().map_err(|_| format!("bad --bandwidth '{bw}'"))?;
-        p = p.with_bandwidth(Bandwidth::from_gbps(gbps));
+    if let Some(name) = args.get("platform") {
+        sc.platform = match sc.platform {
+            // Keep any bandwidth/MTBF overrides from the file; only the
+            // preset itself is switched.
+            PlatformSpec::Preset {
+                bandwidth,
+                node_mtbf,
+                ..
+            } => PlatformSpec::Preset {
+                name: name.to_string(),
+                bandwidth,
+                node_mtbf,
+            },
+            PlatformSpec::Custom(_) => PlatformSpec::Preset {
+                name: name.to_string(),
+                bandwidth: None,
+                node_mtbf: None,
+            },
+        };
     }
-    if let Some(m) = args.get("mtbf-years") {
-        let years: f64 = m.parse().map_err(|_| format!("bad --mtbf-years '{m}'"))?;
-        p = p.with_node_mtbf(Duration::from_years(years));
-    }
-    Ok(p)
-}
-
-fn strategy_from(args: &Args) -> Result<Strategy, Box<dyn std::error::Error>> {
-    let name = args.get_or("strategy", "least-waste").to_lowercase();
-    let s = match name.as_str() {
-        "oblivious-fixed" => Strategy::oblivious(CheckpointPolicy::fixed_hourly()),
-        "oblivious-daly" => Strategy::oblivious(CheckpointPolicy::Daly),
-        "ordered-fixed" => Strategy::ordered(CheckpointPolicy::fixed_hourly()),
-        "ordered-daly" => Strategy::ordered(CheckpointPolicy::Daly),
-        "ordered-nb-fixed" => Strategy::ordered_nb(CheckpointPolicy::fixed_hourly()),
-        "ordered-nb-daly" => Strategy::ordered_nb(CheckpointPolicy::Daly),
-        "least-waste" => Strategy::least_waste(),
-        "tiered" | "tiered-daly" => Strategy::tiered(CheckpointPolicy::Daly),
-        "tiered-fixed" => Strategy::tiered(CheckpointPolicy::fixed_hourly()),
-        other => return Err(format!("unknown strategy '{other}'").into()),
-    };
-    Ok(s)
-}
-
-fn interference_from(args: &Args) -> Result<InterferenceKind, Box<dyn std::error::Error>> {
-    let raw = args.get_or("interference", "linear");
-    if raw == "linear" {
-        return Ok(InterferenceKind::Linear);
-    }
-    if raw == "equal" {
-        return Ok(InterferenceKind::Equal);
-    }
-    if let Some(alpha) = raw.strip_prefix("degraded:") {
-        let a: f64 = alpha
+    if let Some(raw) = args.get("bandwidth") {
+        let gbps: f64 = raw
             .parse()
-            .map_err(|_| format!("bad degraded exponent '{alpha}'"))?;
-        return Ok(InterferenceKind::Degraded(a));
+            .map_err(|_| format!("bad --bandwidth '{raw}'"))?;
+        let bw = Bandwidth::from_gbps(gbps);
+        match &mut sc.platform {
+            PlatformSpec::Preset { bandwidth, .. } => *bandwidth = Some(bw),
+            PlatformSpec::Custom(p) => *p = p.with_bandwidth(bw),
+        }
     }
-    Err(format!("unknown interference model '{raw}'").into())
-}
-
-fn failures_from(args: &Args) -> Result<FailureModel, Box<dyn std::error::Error>> {
-    let raw = args.get_or("failures", "exponential");
-    if raw == "exponential" {
-        return Ok(FailureModel::Exponential);
-    }
-    if raw == "none" {
-        return Ok(FailureModel::None);
-    }
-    if let Some(shape) = raw.strip_prefix("weibull:") {
-        let k: f64 = shape
+    if let Some(raw) = args.get("mtbf-years") {
+        let years: f64 = raw
             .parse()
-            .map_err(|_| format!("bad Weibull shape '{shape}'"))?;
-        return Ok(FailureModel::Weibull(k));
+            .map_err(|_| format!("bad --mtbf-years '{raw}'"))?;
+        let mtbf = Duration::from_years(years);
+        match &mut sc.platform {
+            PlatformSpec::Preset { node_mtbf, .. } => *node_mtbf = Some(mtbf),
+            PlatformSpec::Custom(p) => *p = p.with_node_mtbf(mtbf),
+        }
     }
-    Err(format!("unknown failure model '{raw}'").into())
+    if let Some(days) = args.get("span-days") {
+        let d: f64 = days
+            .parse()
+            .map_err(|_| format!("bad --span-days '{days}'"))?;
+        sc.span = Duration::from_days(d);
+    }
+    sc.samples = args.get_parsed_or("samples", sc.samples, "an integer")?;
+    sc.seed = args.get_parsed_or("seed", sc.seed, "an integer")?;
+    sc.threads = args.get_parsed_or("threads", sc.threads, "an integer")?;
+    if let Some(name) = args.get("strategy") {
+        sc.strategy = name.parse::<Strategy>()?;
+    }
+    if let Some(raw) = args.get("interference") {
+        sc.interference = raw.parse::<coopckpt::sim::InterferenceKind>()?;
+    }
+    if let Some(raw) = args.get("failures") {
+        sc.failures = raw.parse::<coopckpt::sim::FailureModel>()?;
+    }
+    if let Some(raw) = args.get("tiers") {
+        let depth: usize = raw.parse().map_err(|_| format!("bad --tiers '{raw}'"))?;
+        sc.tiers = TiersSpec::Geometric(depth);
+    }
+    Ok(sc)
 }
 
-fn config_from(args: &Args, strategy: Strategy) -> Result<SimConfig, Box<dyn std::error::Error>> {
-    let platform = platform_from(args)?;
-    let classes = classes_for(&platform);
-    let span: f64 = args.get_parsed_or("span-days", 14.0, "a number of days")?;
-    Ok(SimConfig::new(platform, classes, strategy)
-        .with_span(Duration::from_days(span))
-        .with_interference(interference_from(args)?)
-        .with_failures(failures_from(args)?))
+/// The requested output format (`--format text|csv|json`).
+fn format_from(
+    args: &Args,
+    default: OutputFormat,
+) -> Result<OutputFormat, Box<dyn std::error::Error>> {
+    match args.get("format") {
+        None => Ok(default),
+        Some(raw) => Ok(raw.parse::<OutputFormat>()?),
+    }
 }
 
-fn emit(table: &Table, args: &Args) {
-    match args.get_or("format", "text").as_str() {
-        "csv" => print!("{}", table.to_csv()),
-        _ => print!("{}", table.to_text()),
-    }
+/// Prints a report in the requested format.
+fn emit(report: &Report, args: &Args) -> CmdResult {
+    print!("{}", report.render(format_from(args, OutputFormat::Text)?));
+    Ok(())
 }
 
 /// `coopckpt table1`
 pub fn table1(args: &Args) -> CmdResult {
-    let platform = platform_from(args)?;
-    let mut t = Table::new([
-        "workflow",
-        "share_%",
-        "work_h",
-        "cores",
-        "nodes",
-        "input",
-        "output",
-        "ckpt",
-        "C_secs",
-        "P_daly_min",
-    ]);
+    let sc = scenario_from(args)?;
+    let platform = sc.resolve_platform()?;
+    let mut report = Report::new("table1", Some(sc.clone()));
+    report.note(platform.to_string());
+    let classes = report.section(
+        "classes",
+        [
+            "workflow",
+            "share_pct",
+            "work_h",
+            "cores",
+            "nodes",
+            "input_gb",
+            "output_gb",
+            "ckpt_gb",
+            "c_secs",
+            "p_daly_min",
+        ],
+    );
     for (spec, class) in APEX_SPECS.iter().zip(classes_for(&platform)) {
-        t.row([
-            spec.name.to_string(),
-            format!("{}", spec.workload_pct),
-            format!("{}", spec.work_hours),
-            format!("{}", spec.cores),
-            format!("{}", class.q_nodes),
-            format!("{}", class.input_bytes),
-            format!("{}", class.output_bytes),
-            format!("{}", class.ckpt_bytes),
-            format!(
-                "{:.1}",
-                class.ckpt_duration(platform.pfs_bandwidth).as_secs()
-            ),
-            format!("{:.1}", class.daly_period(&platform).as_secs() / 60.0),
+        classes.row([
+            Cell::text(spec.name),
+            Cell::float(spec.workload_pct, 0),
+            Cell::float(spec.work_hours, 1),
+            Cell::Int(spec.cores as i64),
+            Cell::Int(class.q_nodes as i64),
+            Cell::float(class.input_bytes.as_gb(), 1),
+            Cell::float(class.output_bytes.as_gb(), 1),
+            Cell::float(class.ckpt_bytes.as_gb(), 1),
+            Cell::float(class.ckpt_duration(platform.pfs_bandwidth).as_secs(), 1),
+            Cell::float(class.daly_period(&platform).as_secs() / 60.0, 1),
         ]);
     }
-    println!("{platform}");
-    emit(&t, args);
-    Ok(())
+    emit(&report, args)
 }
 
 /// `coopckpt theory`
 pub fn theory(args: &Args) -> CmdResult {
-    let platform = platform_from(args)?;
-    let classes = classes_for(&platform);
+    let sc = scenario_from(args)?;
+    let platform = sc.resolve_platform()?;
+    let classes = sc.resolve_classes(&platform);
     let params: Vec<ClassParams> = classes
         .iter()
         .map(|c| ClassParams::from_app_class(c, &platform))
         .collect();
     let lb = lower_bound(&platform, &params);
-    println!("{platform}");
-    println!(
-        "lambda = {:.6e}   I/O fraction = {:.4}   waste = {:.4}   efficiency = {:.4}",
-        lb.lambda,
-        lb.io_fraction,
-        lb.waste,
-        lb.efficiency()
-    );
-    let mut t = Table::new(["class", "P_daly_min", "P_opt_min", "stretched"]);
+
+    let mut report = Report::new("theory", Some(sc.clone()));
+    report.note(platform.to_string());
+    report
+        .section("bound", ["lambda", "io_fraction", "waste", "efficiency"])
+        .row([
+            Cell::float(lb.lambda, 9),
+            Cell::f4(lb.io_fraction),
+            Cell::f4(lb.waste),
+            Cell::f4(lb.efficiency()),
+        ]);
+    let periods = report.section("periods", ["class", "p_daly_min", "p_opt_min", "stretched"]);
     for ((cp, period), class) in params.iter().zip(&lb.periods).zip(&classes) {
         let daly = coopckpt_theory::period_for_lambda(&platform, cp, 0.0);
-        t.row([
-            class.name.clone(),
-            format!("{:.1}", daly.as_secs() / 60.0),
-            format!("{:.1}", period.as_secs() / 60.0),
-            format!("{:.2}x", period.as_secs() / daly.as_secs()),
+        periods.row([
+            Cell::text(class.name.clone()),
+            Cell::float(daly.as_secs() / 60.0, 1),
+            Cell::float(period.as_secs() / 60.0, 1),
+            Cell::float(period.as_secs() / daly.as_secs(), 2),
         ]);
     }
-    emit(&t, args);
-    Ok(())
+    emit(&report, args)
 }
 
-/// Installs `--tiers <n>` (a geometric hierarchy scaled to the platform)
-/// on a config; 0 tiers is the identity.
-fn apply_tiers(
-    args: &Args,
-    mut config: SimConfig,
-) -> Result<SimConfig, Box<dyn std::error::Error>> {
-    let tiers: usize = args.get_parsed_or("tiers", 0, "a tier count")?;
-    if tiers > 0 {
-        let stack = geometric_tiers(&config.platform, tiers);
-        config = config.with_tiers(stack);
-    }
-    Ok(config)
-}
-
-/// `coopckpt run`
+/// `coopckpt run` — the scenario front door: a single operating point, or
+/// the file's sweep when one is declared.
 pub fn run(args: &Args) -> CmdResult {
-    let strategy = strategy_from(args)?;
-    let config = apply_tiers(args, config_from(args, strategy)?)?;
-    let samples: usize = args.get_parsed_or("samples", 10, "an integer")?;
-    let seed: u64 = args.get_parsed_or("seed", 1, "an integer")?;
-    let mc = MonteCarloConfig::new(samples).with_base_seed(seed);
-    let stats = run_many(&config, &mc).candlestick();
-    let mut t = Table::new(["strategy", "mean", "d1", "q1", "median", "q3", "d9", "n"]);
-    t.row([
-        strategy.name(),
-        format!("{:.4}", stats.mean),
-        format!("{:.4}", stats.d1),
-        format!("{:.4}", stats.q1),
-        format!("{:.4}", stats.median),
-        format!("{:.4}", stats.q3),
-        format!("{:.4}", stats.d9),
-        format!("{}", stats.n),
-    ]);
-    println!("{}", config.platform);
-    emit(&t, args);
-    Ok(())
+    let sc = scenario_from(args)?;
+    let report = run_scenario(&sc)?;
+    emit(&report, args)
 }
 
 /// `coopckpt sweep`
 pub fn sweep(args: &Args) -> CmdResult {
-    let axis = args.get_or("axis", "bandwidth");
-    let samples: usize = args.get_parsed_or("samples", 10, "an integer")?;
-    let seed: u64 = args.get_parsed_or("seed", 1, "an integer")?;
-    let mc = MonteCarloConfig::new(samples).with_base_seed(seed);
-    let template = config_from(args, Strategy::least_waste())?;
-    let strategies = Strategy::all_seven();
-
-    let points = match axis.as_str() {
-        "bandwidth" => {
-            let values = args
-                .get_f64_list("values")?
-                .unwrap_or_else(|| vec![40.0, 60.0, 80.0, 100.0, 120.0, 140.0, 160.0]);
-            coopckpt::experiments::waste_vs_bandwidth(&template, &values, &strategies, &mc)
-        }
-        "mtbf" => {
-            let values = args
-                .get_f64_list("values")?
-                .unwrap_or_else(|| vec![2.0, 4.0, 10.0, 20.0, 50.0]);
-            coopckpt::experiments::waste_vs_mtbf(&template, &values, &strategies, &mc)
-        }
-        "tiers" => {
-            let values = args
-                .get_f64_list("values")?
-                .unwrap_or_else(|| vec![0.0, 1.0, 2.0, 3.0]);
-            let counts: Vec<usize> = values
-                .iter()
-                .map(|&v| {
-                    if v >= 0.0 && v.fract() == 0.0 {
-                        Ok(v as usize)
-                    } else {
-                        Err(format!(
-                            "tier counts must be non-negative integers, got {v}"
-                        ))
-                    }
+    let mut sc = scenario_from(args)?;
+    if let Some(raw) = args.get("axis") {
+        let axis: SweepAxis = raw.parse()?;
+        match &mut sc.sweep {
+            Some(sweep) if sweep.axis == axis => {}
+            slot => {
+                *slot = Some(Sweep {
+                    axis,
+                    values: axis.default_values(),
                 })
-                .collect::<Result<_, _>>()?;
-            let mut strategies = strategies.to_vec();
-            strategies.push(Strategy::tiered(CheckpointPolicy::Daly));
-            coopckpt::experiments::waste_vs_tier_count(&template, &counts, &strategies, &mc)
+            }
         }
-        other => return Err(format!("unknown sweep axis '{other}' (bandwidth|mtbf|tiers)").into()),
-    };
-
-    let mut t = Table::new(["x", "series", "mean", "d1", "q1", "q3", "d9", "n"]);
-    for p in points {
-        t.row([
-            format!("{}", p.x),
-            p.series,
-            format!("{:.4}", p.stats.mean),
-            format!("{:.4}", p.stats.d1),
-            format!("{:.4}", p.stats.q1),
-            format!("{:.4}", p.stats.q3),
-            format!("{:.4}", p.stats.d9),
-            format!("{}", p.stats.n),
-        ]);
     }
-    emit(&t, args);
-    Ok(())
+    if sc.sweep.is_none() {
+        sc.sweep = Some(Sweep {
+            axis: SweepAxis::Bandwidth,
+            values: SweepAxis::Bandwidth.default_values(),
+        });
+    }
+    if let Some(values) = args.get_f64_list("values")? {
+        sc.sweep.as_mut().expect("ensured above").values = values;
+    }
+    let report = run_scenario(&sc)?;
+    emit(&report, args)
 }
 
 /// `coopckpt trace`
 pub fn trace(args: &Args) -> CmdResult {
-    let strategy = strategy_from(args)?;
-    let config = apply_tiers(args, config_from(args, strategy)?)?.with_trace();
-    let seed: u64 = args.get_parsed_or("seed", 1, "an integer")?;
-    let result = coopckpt::run_simulation(&config, seed);
-    let trace = result.trace.expect("trace was requested");
-    print!("{}", trace.to_csv());
-    eprintln!(
-        "# {} events; waste ratio {:.4}; {} checkpoints; {} failures on jobs",
+    let sc = scenario_from(args)?;
+    let config = sc.into_config()?.with_trace();
+    let result = coopckpt::run_simulation(&config, sc.seed);
+    let trace = result.trace.as_ref().expect("trace was requested");
+    let summary = format!(
+        "{} events; waste ratio {:.4}; {} checkpoints; {} failures on jobs",
         trace.len(),
         result.waste_ratio,
         result.checkpoints_committed,
         result.failures_hitting_jobs
     );
+    // Traces default to their historical raw-CSV form; `--format json`
+    // wraps the same rows in the structured report.
+    match format_from(args, OutputFormat::Csv)? {
+        OutputFormat::Text | OutputFormat::Csv => {
+            print!("{}", trace.to_csv());
+            eprintln!("# {summary}");
+        }
+        OutputFormat::Json => {
+            let mut report = Report::new("trace", Some(sc.clone()));
+            report.note(summary);
+            let events = report.section("events", ["t_secs", "event", "job", "detail"]);
+            for event in trace.events() {
+                events.row([
+                    Cell::float(event.at().as_secs(), 3),
+                    Cell::text(event.label()),
+                    Cell::text(event.job_column()),
+                    Cell::text(event.detail()),
+                ]);
+            }
+            emit(&report, args)?;
+        }
+    }
     Ok(())
 }
 
@@ -428,32 +485,21 @@ pub fn trace(args: &Args) -> CmdResult {
 pub fn workload(args: &Args) -> CmdResult {
     use coopckpt_failure::Xoshiro256pp;
     use coopckpt_workload::generator::WorkloadSpec;
-    let platform = platform_from(args)?;
-    let classes = classes_for(&platform);
-    let span: f64 = args.get_parsed_or("span-days", 60.0, "a number of days")?;
-    let seed: u64 = args.get_parsed_or("seed", 1, "an integer")?;
-    let spec = WorkloadSpec::new(classes.clone()).with_min_span(Duration::from_days(span));
-    let mut rng = Xoshiro256pp::seed_from_u64(seed);
-    let jobs = spec.generate(&platform, &mut rng);
-    let mut t = Table::new([
-        "job", "class", "nodes", "work_h", "input", "output", "ckpt", "priority",
-    ]);
-    for j in &jobs {
-        t.row([
-            format!("{}", j.id),
-            classes[j.class.0].name.clone(),
-            format!("{}", j.q_nodes),
-            format!("{:.2}", j.work.as_hours()),
-            format!("{}", j.input_bytes),
-            format!("{}", j.output_bytes),
-            format!("{}", j.ckpt_bytes),
-            format!("{}", j.priority),
-        ]);
+    let mut sc = scenario_from(args)?;
+    if args.get("span-days").is_none() && args.get("scenario").is_none() {
+        // Historical default: dump a platform-sized 60-day mix.
+        sc.span = Duration::from_days(60.0);
     }
-    emit(&t, args);
+    let platform = sc.resolve_platform()?;
+    let classes = sc.resolve_classes(&platform);
+    let spec = WorkloadSpec::new(classes.clone()).with_min_span(sc.span);
+    let mut rng = Xoshiro256pp::seed_from_u64(sc.seed);
+    let jobs = spec.generate(&platform, &mut rng);
+
+    let mut report = Report::new("workload", Some(sc.clone()));
     let shares = spec.achieved_shares(&jobs);
-    eprintln!(
-        "# {} jobs; achieved shares: {}",
+    report.note(format!(
+        "{} jobs; achieved shares: {}",
         jobs.len(),
         shares
             .iter()
@@ -461,29 +507,66 @@ pub fn workload(args: &Args) -> CmdResult {
             .map(|(s, c)| format!("{} {:.1}%", c.name, 100.0 * s))
             .collect::<Vec<_>>()
             .join(", ")
+    ));
+    let table = report.section(
+        "jobs",
+        [
+            "job",
+            "class",
+            "nodes",
+            "work_h",
+            "input_gb",
+            "output_gb",
+            "ckpt_gb",
+            "priority",
+        ],
     );
-    Ok(())
+    for j in &jobs {
+        table.row([
+            Cell::Int(j.id.0 as i64),
+            Cell::text(classes[j.class.0].name.clone()),
+            Cell::Int(j.q_nodes as i64),
+            Cell::float(j.work.as_hours(), 2),
+            Cell::float(j.input_bytes.as_gb(), 1),
+            Cell::float(j.output_bytes.as_gb(), 1),
+            Cell::float(j.ckpt_bytes.as_gb(), 1),
+            Cell::Int(j.priority),
+        ]);
+    }
+    emit(&report, args)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use coopckpt::sim::{FailureModel, InterferenceKind};
 
     fn args(tokens: &[&str]) -> Args {
         Args::parse(tokens.iter().copied()).expect("valid test args")
     }
 
     #[test]
-    fn platform_selection_and_overrides() {
-        let p = platform_from(&args(&["x"])).unwrap();
-        assert_eq!(p.name, "Cielo");
-        let p = platform_from(&args(&["x", "--platform", "prospective"])).unwrap();
-        assert_eq!(p.name, "Prospective");
-        let p = platform_from(&args(&["x", "--bandwidth", "40", "--mtbf-years", "5"])).unwrap();
+    fn default_scenario_matches_cli_defaults() {
+        let sc = scenario_from(&args(&["run"])).unwrap();
+        assert_eq!(sc, Scenario::default());
+        let cfg = sc.into_config().unwrap();
+        assert_eq!(cfg.platform.name, "Cielo");
+        assert_eq!(cfg.span, Duration::from_days(14.0));
+    }
+
+    #[test]
+    fn platform_flags_override() {
+        let sc = scenario_from(&args(&["x", "--platform", "prospective"])).unwrap();
+        assert_eq!(sc.resolve_platform().unwrap().name, "Prospective");
+        let sc = scenario_from(&args(&["x", "--bandwidth", "40", "--mtbf-years", "5"])).unwrap();
+        let p = sc.resolve_platform().unwrap();
         assert_eq!(p.pfs_bandwidth, Bandwidth::from_gbps(40.0));
         assert_eq!(p.node_mtbf, Duration::from_years(5.0));
-        assert!(platform_from(&args(&["x", "--platform", "nope"])).is_err());
-        assert!(platform_from(&args(&["x", "--bandwidth", "fast"])).is_err());
+        assert!(scenario_from(&args(&["x", "--platform", "nope"]))
+            .unwrap()
+            .resolve_platform()
+            .is_err());
+        assert!(scenario_from(&args(&["x", "--bandwidth", "fast"])).is_err());
     }
 
     #[test]
@@ -500,68 +583,143 @@ mod tests {
             ("tiered-daly", "Tiered-Daly"),
             ("tiered-fixed", "Tiered-Fixed"),
         ] {
-            let s = strategy_from(&args(&["x", "--strategy", name])).unwrap();
-            assert_eq!(s.name(), expect);
+            let sc = scenario_from(&args(&["x", "--strategy", name])).unwrap();
+            assert_eq!(sc.strategy.name(), expect);
         }
-        assert!(strategy_from(&args(&["x", "--strategy", "magic"])).is_err());
+        assert!(scenario_from(&args(&["x", "--strategy", "magic"])).is_err());
     }
 
     #[test]
-    fn interference_parsing() {
-        assert_eq!(
-            interference_from(&args(&["x"])).unwrap(),
-            InterferenceKind::Linear
-        );
-        assert_eq!(
-            interference_from(&args(&["x", "--interference", "equal"])).unwrap(),
-            InterferenceKind::Equal
-        );
-        match interference_from(&args(&["x", "--interference", "degraded:0.3"])).unwrap() {
-            InterferenceKind::Degraded(a) => assert!((a - 0.3).abs() < 1e-12),
-            other => panic!("expected degraded, got {other:?}"),
-        }
-        assert!(interference_from(&args(&["x", "--interference", "degraded:x"])).is_err());
-        assert!(interference_from(&args(&["x", "--interference", "chaotic"])).is_err());
-    }
-
-    #[test]
-    fn failure_parsing() {
-        assert_eq!(
-            failures_from(&args(&["x"])).unwrap(),
-            FailureModel::Exponential
-        );
-        assert_eq!(
-            failures_from(&args(&["x", "--failures", "none"])).unwrap(),
-            FailureModel::None
-        );
-        match failures_from(&args(&["x", "--failures", "weibull:0.7"])).unwrap() {
-            FailureModel::Weibull(k) => assert!((k - 0.7).abs() < 1e-12),
-            other => panic!("expected weibull, got {other:?}"),
-        }
-        assert!(failures_from(&args(&["x", "--failures", "weibull:k"])).is_err());
-    }
-
-    #[test]
-    fn config_assembly() {
-        let cfg = config_from(
-            &args(&["x", "--span-days", "7", "--bandwidth", "40"]),
-            Strategy::least_waste(),
-        )
+    fn model_flags_override() {
+        let sc = scenario_from(&args(&[
+            "x",
+            "--interference",
+            "degraded:0.3",
+            "--failures",
+            "weibull:0.7",
+        ]))
         .unwrap();
-        assert_eq!(cfg.span, Duration::from_days(7.0));
-        assert_eq!(cfg.platform.pfs_bandwidth, Bandwidth::from_gbps(40.0));
-        assert_eq!(cfg.classes.len(), 4);
+        assert_eq!(sc.interference, InterferenceKind::Degraded(0.3));
+        assert_eq!(sc.failures, FailureModel::Weibull(0.7));
+        assert!(scenario_from(&args(&["x", "--interference", "chaotic"])).is_err());
+        assert!(scenario_from(&args(&["x", "--failures", "weibull:k"])).is_err());
+    }
+
+    #[test]
+    fn sampling_and_span_flags_override() {
+        let sc = scenario_from(&args(&[
+            "x",
+            "--span-days",
+            "7",
+            "--samples",
+            "33",
+            "--seed",
+            "5",
+        ]))
+        .unwrap();
+        assert_eq!(sc.span, Duration::from_days(7.0));
+        assert_eq!(sc.samples, 33);
+        assert_eq!(sc.seed, 5);
     }
 
     #[test]
     fn tiers_flag_installs_a_hierarchy() {
-        let base = config_from(&args(&["x"]), Strategy::least_waste()).unwrap();
-        let cfg = apply_tiers(&args(&["x", "--tiers", "3"]), base.clone()).unwrap();
+        let sc = scenario_from(&args(&["x", "--tiers", "3"])).unwrap();
+        let cfg = sc.into_config().unwrap();
         assert_eq!(cfg.tiers.len(), 3);
         assert_eq!(cfg.tiers[1].name, "burst-buffer");
-        let cfg = apply_tiers(&args(&["x"]), base.clone()).unwrap();
+        let cfg = scenario_from(&args(&["x"])).unwrap().into_config().unwrap();
         assert!(cfg.tiers.is_empty());
-        assert!(apply_tiers(&args(&["x", "--tiers", "many"]), base).is_err());
+        assert!(scenario_from(&args(&["x", "--tiers", "many"])).is_err());
+    }
+
+    #[test]
+    fn scenario_file_loads_and_flags_override_it() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("coopckpt_cli_test_scenario.json");
+        std::fs::write(
+            &path,
+            r#"{
+                "name": "from-file",
+                "platform": {"preset": "cielo", "bandwidth_gbps": 40},
+                "strategy": "ordered-daly",
+                "span_days": 7,
+                "samples": 5,
+                "seed": 3
+            }"#,
+        )
+        .unwrap();
+        let p = path.to_str().unwrap();
+
+        let sc = scenario_from(&args(&["run", "--scenario", p])).unwrap();
+        assert_eq!(sc.name.as_deref(), Some("from-file"));
+        assert_eq!(sc.strategy.name(), "Ordered-Daly");
+        assert_eq!(sc.samples, 5);
+        assert_eq!(
+            sc.resolve_platform().unwrap().pfs_bandwidth,
+            Bandwidth::from_gbps(40.0)
+        );
+
+        // Flags override file fields; untouched fields survive.
+        let sc = scenario_from(&args(&[
+            "run",
+            "--scenario",
+            p,
+            "--strategy",
+            "least-waste",
+            "--samples",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(sc.strategy, Strategy::least_waste());
+        assert_eq!(sc.samples, 2);
+        assert_eq!(sc.seed, 3);
+        assert_eq!(sc.span, Duration::from_days(7.0));
+
+        // Switching presets keeps the file's bandwidth override.
+        let sc = scenario_from(&args(&[
+            "run",
+            "--scenario",
+            p,
+            "--platform",
+            "prospective",
+        ]))
+        .unwrap();
+        let platform = sc.resolve_platform().unwrap();
+        assert_eq!(platform.name, "Prospective");
+        assert_eq!(platform.pfs_bandwidth, Bandwidth::from_gbps(40.0));
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_scenario_file_is_an_error() {
+        assert!(scenario_from(&args(&["run", "--scenario", "/no/such.json"])).is_err());
+    }
+
+    #[test]
+    fn format_selection() {
+        assert_eq!(
+            format_from(&args(&["x"]), OutputFormat::Text).unwrap(),
+            OutputFormat::Text
+        );
+        assert_eq!(
+            format_from(&args(&["x", "--format", "json"]), OutputFormat::Text).unwrap(),
+            OutputFormat::Json
+        );
+        assert!(format_from(&args(&["x", "--format", "yaml"]), OutputFormat::Text).is_err());
+    }
+
+    #[test]
+    fn every_subcommand_knows_its_flags() {
+        for cmd in ["run", "sweep", "trace", "table1", "theory", "workload"] {
+            let known = known_flags(cmd);
+            assert!(known.contains(&"scenario"), "{cmd} must accept --scenario");
+            assert!(known.contains(&"format"), "{cmd} must accept --format");
+            assert!(known.contains(&"help"), "{cmd} must accept --help");
+        }
+        assert!(known_flags("sweep").contains(&"axis"));
+        assert!(!known_flags("table1").contains(&"strategy"));
     }
 
     #[test]
@@ -574,7 +732,12 @@ mod tests {
             let page = help_for(cmd).expect("dedicated help page");
             assert!(page.contains(needle), "{cmd} help should mention {needle}");
             assert!(page.starts_with(&format!("coopckpt {cmd}")));
+            assert!(
+                page.contains("--scenario"),
+                "{cmd} help should mention --scenario"
+            );
         }
         assert!(help_for("table1").is_none());
+        assert!(USAGE.contains("--format text|csv|json"));
     }
 }

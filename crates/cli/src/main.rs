@@ -4,10 +4,14 @@
 //! ```text
 //! coopckpt table1                              # the APEX workload table
 //! coopckpt theory  [--platform cielo] [--bandwidth 40] [--mtbf-years 2]
-//! coopckpt run     [--strategy least-waste] [--samples 10] [--span-days 14] ...
+//! coopckpt run     [--scenario file.json] [--strategy least-waste] ...
 //! coopckpt sweep   --axis bandwidth --values 40,80,120,160 ...
 //! coopckpt workload [--seed 1] [--span-days 60]
 //! ```
+//!
+//! Every subcommand compiles its flags into a declarative `Scenario`
+//! (`--scenario <file.json>` loads one; the remaining flags override its
+//! fields) and reports through one writer: `--format text|csv|json`.
 
 mod args;
 mod commands;
@@ -31,6 +35,18 @@ fn main() {
             .unwrap_or(commands::USAGE);
         println!("{page}");
         return;
+    }
+    // Reject typo'd flags (with a nearest-flag suggestion) instead of
+    // silently ignoring them — but only for recognized commands, so a
+    // misspelled command is reported as such, not as an unknown flag.
+    if let Some(cmd) = parsed.command.as_deref() {
+        if commands::COMMANDS.contains(&cmd) {
+            if let Err(e) = parsed.check_known(commands::known_flags(cmd)) {
+                eprintln!("error: {e}");
+                eprintln!("run `coopckpt {cmd} --help` for the accepted flags");
+                std::process::exit(2);
+            }
+        }
     }
     let outcome = match parsed.command.as_deref() {
         Some("table1") => commands::table1(&parsed),

@@ -16,9 +16,11 @@
 //!   tiers scaled to the platform by
 //!   [`geometric_tiers`].
 
-use crate::montecarlo::{run_many, MonteCarloConfig};
-use crate::sim::{geometric_tiers, SimConfig};
-use crate::strategy::Strategy;
+use crate::montecarlo::{run_all, run_many, MonteCarloConfig};
+use crate::report::{candlestick_cells, Cell, Report, CANDLESTICK_COLUMNS};
+use crate::scenario::{Scenario, ScenarioError, Sweep, SweepAxis};
+use crate::sim::{geometric_tiers, SimConfig, SimResult};
+use crate::strategy::{CheckpointPolicy, Strategy};
 use coopckpt_des::Duration;
 use coopckpt_model::{AppClass, Bandwidth, Platform};
 use coopckpt_stats::Candlestick;
@@ -142,6 +144,125 @@ pub fn waste_vs_tier_count(
         }
     }
     points
+}
+
+/// Executes one sweep descriptor against a template config: every paper
+/// strategy at every swept value (plus the `Tiered` discipline on the
+/// `tiers` axis, and the Theorem 1 bound on the axes it is valid for).
+pub fn sweep_points(
+    template: &SimConfig,
+    sweep: &Sweep,
+    mc: &MonteCarloConfig,
+) -> Result<Vec<SweepPoint>, ScenarioError> {
+    let strategies = Strategy::all_seven();
+    match sweep.axis {
+        SweepAxis::Bandwidth => Ok(waste_vs_bandwidth(template, &sweep.values, &strategies, mc)),
+        SweepAxis::Mtbf => Ok(waste_vs_mtbf(template, &sweep.values, &strategies, mc)),
+        SweepAxis::Tiers => {
+            let counts = crate::scenario::validate_tier_counts(&sweep.values)?;
+            let mut strategies = strategies.to_vec();
+            strategies.push(Strategy::tiered(CheckpointPolicy::Daly));
+            Ok(waste_vs_tier_count(template, &counts, &strategies, mc))
+        }
+    }
+}
+
+/// The standard sweep table: one row per `(x, series)` with candlestick
+/// columns, appended to `report` as a `"sweep"` section.
+pub fn sweep_section(report: &mut Report, x_label: &str, points: &[SweepPoint]) {
+    let section = report.section(
+        "sweep",
+        [x_label, "series"].into_iter().chain(CANDLESTICK_COLUMNS),
+    );
+    for p in points {
+        section.row(
+            [Cell::Float {
+                value: p.x,
+                precision: if p.x.fract() == 0.0 { 0 } else { 2 },
+            }]
+            .into_iter()
+            .chain([Cell::text(p.series.clone())])
+            .chain(candlestick_cells(&p.stats)),
+        );
+    }
+}
+
+/// Runs a [`Scenario`] end to end and returns the unified [`Report`]:
+///
+/// * without a sweep — `samples` Monte-Carlo instances of the scenario's
+///   strategy, reported as waste candlesticks plus utilization and
+///   counter summaries;
+/// * with a sweep — the full strategy roster at every swept value (see
+///   [`sweep_points`]).
+pub fn run_scenario(scenario: &Scenario) -> Result<Report, ScenarioError> {
+    if scenario.samples == 0 {
+        // Caught here (not just in JSON parsing) so flag-built scenarios
+        // error cleanly instead of tripping the thread pool's assert.
+        return Err(ScenarioError::Invalid {
+            field: "samples".to_string(),
+            message: "at least one sample required".to_string(),
+        });
+    }
+    let config = scenario.into_config()?;
+    let mc = scenario.mc();
+    let command = if scenario.sweep.is_some() {
+        "sweep"
+    } else {
+        "run"
+    };
+    let mut report = Report::new(command, Some(scenario.clone()));
+    if let Some(name) = &scenario.name {
+        report.note(format!("scenario: {name}"));
+    }
+    report.note(config.platform.to_string());
+
+    match &scenario.sweep {
+        Some(sweep) => {
+            let points = sweep_points(&config, sweep, &mc)?;
+            sweep_section(&mut report, sweep.axis.as_str(), &points);
+        }
+        None => {
+            let results = run_all(&config, &mc);
+            let metric = |f: fn(&SimResult) -> f64| -> Vec<f64> { results.iter().map(f).collect() };
+            let waste = Candlestick::from_samples(&metric(|r| r.waste_ratio));
+            report
+                .section("waste", ["strategy"].into_iter().chain(CANDLESTICK_COLUMNS))
+                .row(
+                    [Cell::text(config.strategy.name())]
+                        .into_iter()
+                        .chain(candlestick_cells(&waste)),
+                );
+            let summary = report.section("summary", ["metric", "mean", "min", "max"]);
+            for (label, values, precision) in [
+                ("utilization", metric(|r| r.utilization), 4),
+                ("efficiency", metric(|r| r.efficiency), 4),
+                (
+                    "checkpoints_committed",
+                    metric(|r| r.checkpoints_committed as f64),
+                    1,
+                ),
+                ("failures_total", metric(|r| r.failures_total as f64), 1),
+                (
+                    "failures_hitting_jobs",
+                    metric(|r| r.failures_hitting_jobs as f64),
+                    1,
+                ),
+                ("jobs_completed", metric(|r| r.jobs_completed as f64), 1),
+                ("restarts", metric(|r| r.restarts as f64), 1),
+            ] {
+                let mean = values.iter().sum::<f64>() / values.len() as f64;
+                let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+                let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                summary.row([
+                    Cell::text(label),
+                    Cell::float(mean, precision),
+                    Cell::float(min, precision),
+                    Cell::float(max, precision),
+                ]);
+            }
+        }
+    }
+    Ok(report)
 }
 
 /// Figure 3: the minimum aggregate bandwidth (GB/s) at which `strategy`
@@ -310,6 +431,55 @@ mod tests {
         // blocking strategy.
         let ordered: Vec<&SweepPoint> = pts.iter().filter(|p| p.series == "Ordered-Daly").collect();
         assert!(ordered[1].stats.mean <= ordered[0].stats.mean + 1e-9);
+    }
+
+    #[test]
+    fn run_scenario_single_point_report() {
+        let t = template();
+        let mut sc = Scenario::from_config(&t).with_sampling(2, 1);
+        sc.name = Some("unit".to_string());
+        let report = run_scenario(&sc).unwrap();
+        assert_eq!(report.command, "run");
+        assert_eq!(report.sections.len(), 2);
+        assert_eq!(report.sections[0].name, "waste");
+        assert_eq!(report.sections[1].name, "summary");
+        assert_eq!(report.sections[0].rows.len(), 1);
+        // The waste row matches a direct Monte-Carlo run at equal seeds.
+        let direct = run_many(&t, &sc.mc()).candlestick();
+        match &report.sections[0].rows[0][1] {
+            Cell::Float { value, .. } => assert_eq!(*value, direct.mean),
+            other => panic!("expected a float mean, got {other:?}"),
+        }
+        assert!(report.notes.iter().any(|n| n.contains("unit")));
+    }
+
+    #[test]
+    fn run_scenario_sweep_report() {
+        let t = template();
+        let mut sc = Scenario::from_config(&t).with_sampling(1, 1);
+        sc.sweep = Some(Sweep {
+            axis: SweepAxis::Bandwidth,
+            values: vec![2.0, 8.0],
+        });
+        let report = run_scenario(&sc).unwrap();
+        assert_eq!(report.command, "sweep");
+        assert_eq!(report.sections.len(), 1);
+        let sweep = &report.sections[0];
+        assert_eq!(sweep.name, "sweep");
+        // Two x-values × (seven strategies + the analytic bound).
+        assert_eq!(sweep.rows.len(), 2 * 8);
+        assert_eq!(sweep.columns[0], "bandwidth");
+    }
+
+    #[test]
+    fn fractional_tier_sweep_is_rejected() {
+        let t = template();
+        let mut sc = Scenario::from_config(&t);
+        sc.sweep = Some(Sweep {
+            axis: SweepAxis::Tiers,
+            values: vec![0.5],
+        });
+        assert!(run_scenario(&sc).is_err());
     }
 
     #[test]

@@ -40,16 +40,26 @@
 //! ```
 
 pub mod experiments;
+pub mod json;
 pub mod montecarlo;
+pub mod report;
+pub mod scenario;
 pub mod sim;
 pub mod strategy;
 
+pub use report::{Cell, OutputFormat, Report, Section};
+pub use scenario::{PlatformSpec, Scenario, ScenarioError, Sweep, SweepAxis, TiersSpec};
 pub use sim::{geometric_tiers, run_simulation, SimConfig, SimResult, TierSpec};
 pub use strategy::{CheckpointPolicy, IoDiscipline, Strategy};
 
 /// Convenience re-exports for downstream users.
 pub mod prelude {
-    pub use crate::montecarlo::{run_many, MonteCarloConfig};
+    pub use crate::experiments::run_scenario;
+    pub use crate::montecarlo::{run_all, run_many, MonteCarloConfig};
+    pub use crate::report::{Cell, OutputFormat, Report, Section};
+    pub use crate::scenario::{
+        PlatformSpec, Scenario, ScenarioError, Sweep, SweepAxis, TiersSpec, WorkloadSource,
+    };
     pub use crate::sim::{geometric_tiers, run_simulation, SimConfig, SimResult, TierSpec};
     pub use crate::strategy::{CheckpointPolicy, IoDiscipline, Strategy};
     pub use coopckpt_des::{Duration, Time};

@@ -53,30 +53,31 @@ impl MonteCarloConfig {
     }
 }
 
-/// Runs `mc.samples` instances of `config` and returns `metric` evaluated
-/// on each result, ordered by seed (deterministic across thread counts).
-pub fn run_many_by<F>(config: &SimConfig, mc: &MonteCarloConfig, metric: F) -> Samples
+/// The shared thread-pool core: runs `mc.samples` instances and returns
+/// `map` applied to each result, ordered by seed (deterministic across
+/// thread counts and scheduling).
+fn run_map<T, F>(config: &SimConfig, mc: &MonteCarloConfig, map: F) -> Vec<T>
 where
-    F: Fn(&SimResult) -> f64 + Sync,
+    T: Send,
+    F: Fn(SimResult) -> T + Sync,
 {
     assert!(mc.samples > 0, "at least one sample required");
     let n = mc.samples;
     let threads = mc.effective_threads(n);
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<(usize, f64)>> = Mutex::new(Vec::with_capacity(n));
+    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
-                let mut local: Vec<(usize, f64)> = Vec::new();
+                let mut local: Vec<(usize, T)> = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
                     let seed = mc.base_seed + i as u64;
-                    let result = run_simulation(config, seed);
-                    local.push((i, metric(&result)));
+                    local.push((i, map(run_simulation(config, seed))));
                 }
                 results.lock().extend(local);
             });
@@ -88,10 +89,27 @@ where
     collected.into_iter().map(|(_, v)| v).collect()
 }
 
+/// Runs `mc.samples` instances of `config` and returns `metric` evaluated
+/// on each result, ordered by seed (deterministic across thread counts).
+pub fn run_many_by<F>(config: &SimConfig, mc: &MonteCarloConfig, metric: F) -> Samples
+where
+    F: Fn(&SimResult) -> f64 + Sync,
+{
+    run_map(config, mc, |r| metric(&r)).into_iter().collect()
+}
+
 /// Runs `mc.samples` instances and returns their waste ratios (the paper's
 /// headline metric), ordered by seed.
 pub fn run_many(config: &SimConfig, mc: &MonteCarloConfig) -> Samples {
     run_many_by(config, mc, |r| r.waste_ratio)
+}
+
+/// Runs `mc.samples` instances and returns the full [`SimResult`] per
+/// instance, ordered by seed. Used when a report needs more than one
+/// metric (waste *and* utilization *and* counters) without paying for the
+/// simulations twice.
+pub fn run_all(config: &SimConfig, mc: &MonteCarloConfig) -> Vec<SimResult> {
+    run_map(config, mc, |r| r)
 }
 
 #[cfg(test)]
@@ -151,6 +169,19 @@ mod tests {
         // Overlapping seeds produce overlapping values.
         let c = run_many(&cfg, &MonteCarloConfig::new(4).with_base_seed(2));
         assert_eq!(a.values()[1..], c.values()[..3]);
+    }
+
+    #[test]
+    fn run_all_matches_run_many() {
+        let cfg = config();
+        let mc = MonteCarloConfig::new(5);
+        let full = run_all(&cfg, &mc);
+        let wastes = run_many(&cfg, &mc);
+        assert_eq!(full.len(), 5);
+        for (r, &w) in full.iter().zip(wastes.values()) {
+            assert_eq!(r.waste_ratio, w);
+            assert!(r.utilization > 0.0);
+        }
     }
 
     #[test]

@@ -1,0 +1,387 @@
+//! The unified result type: one machine-readable `Report` out.
+//!
+//! Every front end (CLI subcommands, experiment sweeps, bench ablations)
+//! produces a [`Report`]: the scenario echo plus one or more tabular
+//! [`Section`]s of typed [`Cell`]s. A report renders to three formats via
+//! [`Report::render`]:
+//!
+//! * **text** — aligned tables for terminals (via [`coopckpt_stats::Table`]),
+//! * **csv** — RFC-4180-ish rows for plotting pipelines,
+//! * **json** — the full structured document, including the scenario echo
+//!   with raw (unrounded) numeric values, via [`crate::json`].
+//!
+//! Text and CSV cells are formatted with a per-cell precision; JSON always
+//! carries the raw `f64`, so downstream tooling never loses digits to
+//! display rounding.
+
+use crate::json::Json;
+use crate::scenario::Scenario;
+use coopckpt_stats::{Candlestick, Table};
+use std::fmt;
+
+/// Output format selection (`--format` on every CLI subcommand).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Aligned tables for terminals.
+    #[default]
+    Text,
+    /// Comma-separated values.
+    Csv,
+    /// The full structured report.
+    Json,
+}
+
+impl std::str::FromStr for OutputFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<OutputFormat, String> {
+        match s {
+            "text" => Ok(OutputFormat::Text),
+            "csv" => Ok(OutputFormat::Csv),
+            "json" => Ok(OutputFormat::Json),
+            other => Err(format!("unknown format '{other}' (text|csv|json)")),
+        }
+    }
+}
+
+/// One typed table cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// Free-form text.
+    Text(String),
+    /// A float rendered with fixed precision in text/CSV, raw in JSON.
+    Float {
+        /// The raw value.
+        value: f64,
+        /// Digits after the decimal point in text/CSV renderings.
+        precision: usize,
+    },
+    /// An integer count.
+    Int(i64),
+}
+
+impl Cell {
+    /// A float cell with the report's conventional 4-digit precision.
+    pub fn f4(value: f64) -> Cell {
+        Cell::Float {
+            value,
+            precision: 4,
+        }
+    }
+
+    /// A float cell with explicit precision.
+    pub fn float(value: f64, precision: usize) -> Cell {
+        Cell::Float { value, precision }
+    }
+
+    /// A text cell.
+    pub fn text(s: impl Into<String>) -> Cell {
+        Cell::Text(s.into())
+    }
+
+    /// An integer cell.
+    pub fn int(v: impl Into<i64>) -> Cell {
+        Cell::Int(v.into())
+    }
+
+    /// The display string used by text and CSV renderings.
+    pub fn display(&self) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Float { value, precision } => format!("{value:.precision$}"),
+            Cell::Int(v) => format!("{v}"),
+        }
+    }
+
+    /// The raw JSON value.
+    pub fn json(&self) -> Json {
+        match self {
+            Cell::Text(s) => Json::str(s.clone()),
+            Cell::Float { value, .. } => Json::Num(*value),
+            Cell::Int(v) => Json::Num(*v as f64),
+        }
+    }
+}
+
+/// One named table inside a report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Section {
+    /// Section name (e.g. `"waste"`, `"sweep"`, `"classes"`).
+    pub name: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows; every row has `columns.len()` cells.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl Section {
+    /// Creates an empty section with the given columns.
+    pub fn new(
+        name: impl Into<String>,
+        columns: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Section {
+        Section {
+            name: name.into(),
+            columns: columns.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row width differs from the column count.
+    pub fn row(&mut self, cells: impl IntoIterator<Item = Cell>) -> &mut Section {
+        let row: Vec<Cell> = cells.into_iter().collect();
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "section '{}': row has {} cells, {} columns",
+            self.name,
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// The section as a renderable [`Table`].
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(self.columns.iter().map(String::as_str));
+        for row in &self.rows {
+            t.row(row.iter().map(Cell::display));
+        }
+        t
+    }
+
+    fn json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(self.name.clone())),
+            (
+                "columns",
+                Json::Arr(self.columns.iter().map(|c| Json::str(c.clone())).collect()),
+            ),
+            (
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|row| Json::Arr(row.iter().map(Cell::json).collect()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The standard candlestick column set used by waste statistics.
+pub const CANDLESTICK_COLUMNS: [&str; 7] = ["mean", "d1", "q1", "median", "q3", "d9", "n"];
+
+/// The candlestick cells matching [`CANDLESTICK_COLUMNS`].
+pub fn candlestick_cells(stats: &Candlestick) -> impl Iterator<Item = Cell> {
+    [
+        Cell::f4(stats.mean),
+        Cell::f4(stats.d1),
+        Cell::f4(stats.q1),
+        Cell::f4(stats.median),
+        Cell::f4(stats.q3),
+        Cell::f4(stats.d9),
+        Cell::Int(stats.n as i64),
+    ]
+    .into_iter()
+}
+
+/// One experiment's complete, format-agnostic result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Which front door produced it (`"run"`, `"sweep"`, `"table1"`, ...).
+    pub command: String,
+    /// The scenario echo (config + seeds), when the producer had one.
+    pub scenario: Option<Scenario>,
+    /// Free-form annotation lines (provenance, caveats). Rendered as `#`
+    /// comments in text/CSV and as a `notes` array in JSON.
+    pub notes: Vec<String>,
+    /// The tabular payload.
+    pub sections: Vec<Section>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(command: impl Into<String>, scenario: Option<Scenario>) -> Report {
+        Report {
+            command: command.into(),
+            scenario,
+            notes: Vec::new(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Appends an annotation line.
+    pub fn note(&mut self, line: impl Into<String>) -> &mut Report {
+        self.notes.push(line.into());
+        self
+    }
+
+    /// Appends a section and returns a handle to fill it.
+    pub fn section(
+        &mut self,
+        name: impl Into<String>,
+        columns: impl IntoIterator<Item = impl Into<String>>,
+    ) -> &mut Section {
+        self.sections.push(Section::new(name, columns));
+        self.sections.last_mut().expect("just pushed")
+    }
+
+    /// Renders in the requested format.
+    pub fn render(&self, format: OutputFormat) -> String {
+        match format {
+            OutputFormat::Text => self.to_text(),
+            OutputFormat::Csv => self.to_csv(),
+            OutputFormat::Json => self.to_json().pretty(),
+        }
+    }
+
+    /// Aligned-text rendering: `#` note lines, then each section (with a
+    /// `== name ==` heading when there is more than one).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for note in &self.notes {
+            out.push_str(&format!("# {note}\n"));
+        }
+        for (i, section) in self.sections.iter().enumerate() {
+            if i > 0 {
+                out.push('\n');
+            }
+            if self.sections.len() > 1 {
+                out.push_str(&format!("== {} ==\n", section.name));
+            }
+            out.push_str(&section.table().to_text());
+        }
+        out
+    }
+
+    /// CSV rendering: `#` note lines, then one table per section,
+    /// prefixed by a `# name` comment row when there is more than one
+    /// section.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for note in &self.notes {
+            out.push_str(&format!("# {note}\n"));
+        }
+        for (i, section) in self.sections.iter().enumerate() {
+            if i > 0 {
+                out.push('\n');
+            }
+            if self.sections.len() > 1 {
+                out.push_str(&format!("# {}\n", section.name));
+            }
+            out.push_str(&section.table().to_csv());
+        }
+        out
+    }
+
+    /// The full structured document (command, scenario echo, notes,
+    /// sections with raw numeric values).
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![("command".to_string(), Json::str(self.command.clone()))];
+        if let Some(sc) = &self.scenario {
+            pairs.push(("scenario".to_string(), sc.to_json()));
+        }
+        if !self.notes.is_empty() {
+            pairs.push((
+                "notes".to_string(),
+                Json::Arr(self.notes.iter().map(|n| Json::str(n.clone())).collect()),
+            ));
+        }
+        pairs.push((
+            "sections".to_string(),
+            Json::Arr(self.sections.iter().map(Section::json).collect()),
+        ));
+        Json::Obj(pairs)
+    }
+}
+
+impl fmt::Display for Report {
+    /// Text rendering.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        let mut r = Report::new("run", Some(Scenario::default().with_name("demo")));
+        r.note("Cielo at 40 GB/s");
+        r.section("waste", ["strategy", "mean", "n"]).row([
+            Cell::text("Least-Waste"),
+            Cell::f4(0.123456),
+            Cell::Int(10),
+        ]);
+        r
+    }
+
+    #[test]
+    fn text_rendering_formats_cells() {
+        let text = sample_report().to_text();
+        assert!(text.starts_with("# Cielo at 40 GB/s\n"));
+        assert!(text.contains("Least-Waste"));
+        assert!(text.contains("0.1235"), "{text}");
+        // Single-section reports skip the heading.
+        assert!(!text.contains("== waste =="));
+    }
+
+    #[test]
+    fn multi_section_text_has_headings() {
+        let mut r = sample_report();
+        r.section("summary", ["k", "v"])
+            .row([Cell::text("jobs"), Cell::Int(5)]);
+        let text = r.to_text();
+        assert!(text.contains("== waste =="));
+        assert!(text.contains("== summary =="));
+        let csv = r.to_csv();
+        assert!(csv.contains("# waste\n"));
+        assert!(csv.contains("# summary\n"));
+    }
+
+    #[test]
+    fn csv_rendering_keeps_notes_as_comments() {
+        let csv = sample_report().to_csv();
+        assert!(csv.starts_with("# Cielo at 40 GB/s\nstrategy,mean,n\n"));
+        assert!(csv.contains("Least-Waste,0.1235,10\n"));
+        // Single-section reports skip the section-name comment.
+        assert!(!csv.contains("# waste"));
+    }
+
+    #[test]
+    fn json_rendering_keeps_raw_values() {
+        let r = sample_report();
+        let json = r.to_json();
+        let sections = json.get("sections").unwrap().as_array().unwrap();
+        let rows = sections[0].get("rows").unwrap().as_array().unwrap();
+        let mean = rows[0].as_array().unwrap()[1].as_f64().unwrap();
+        assert_eq!(mean, 0.123456, "JSON must not round to display precision");
+        assert!(json.get("scenario").is_some());
+        assert_eq!(json.get("command").and_then(Json::as_str), Some("run"));
+        // The rendering parses back.
+        assert_eq!(Json::parse(&r.render(OutputFormat::Json)).unwrap(), json);
+    }
+
+    #[test]
+    fn format_parsing() {
+        assert_eq!("text".parse::<OutputFormat>().unwrap(), OutputFormat::Text);
+        assert_eq!("csv".parse::<OutputFormat>().unwrap(), OutputFormat::Csv);
+        assert_eq!("json".parse::<OutputFormat>().unwrap(), OutputFormat::Json);
+        assert!("yaml".parse::<OutputFormat>().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn mismatched_row_width_panics() {
+        let mut s = Section::new("x", ["a", "b"]);
+        s.row([Cell::Int(1)]);
+    }
+}

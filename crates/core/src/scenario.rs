@@ -1,0 +1,1466 @@
+//! The declarative scenario API: one serializable spec for a whole
+//! experiment.
+//!
+//! Every result in the paper is an *instantiation* — a platform crossed
+//! with a workload, a strategy, a failure law, an interference mode, a
+//! storage hierarchy and a seed. A [`Scenario`] captures one such
+//! operating point (plus an optional sweep axis) as plain data with
+//! hand-rolled JSON parse/serialize (see [`crate::json`]), so experiments
+//! live in versionable files instead of shell one-liners:
+//!
+//! ```json
+//! {
+//!   "name": "cielo-baseline",
+//!   "platform": {"preset": "cielo", "bandwidth_gbps": 40.0},
+//!   "workload": "apex",
+//!   "strategy": "least-waste",
+//!   "failures": "exponential",
+//!   "span_days": 14,
+//!   "samples": 10,
+//!   "seed": 1
+//! }
+//! ```
+//!
+//! The spec converts losslessly to and from the low-level [`SimConfig`]
+//! builder ([`Scenario::into_config`] / [`Scenario::from_config`]), so a
+//! scenario-driven run is bit-identical to the equivalent hand-built run
+//! at the same seed. [`crate::experiments::run_scenario`] executes a
+//! scenario end to end and returns a [`Report`](crate::report::Report).
+//!
+//! # Units
+//!
+//! Hand-written files may use human units (`bandwidth_gbps`,
+//! `span_days`, `mtbf_years`, `capacity_gb`, ...). Canonical
+//! serialization ([`Scenario::to_json`]) always emits raw SI base units
+//! (`bandwidth_bytes_per_sec`, `span_secs`, `capacity_bytes`, ...) with
+//! shortest-round-trip floats, so `parse(serialize(s)) == s` exactly for
+//! every representable scenario.
+
+use crate::json::{Json, JsonError};
+use crate::montecarlo::MonteCarloConfig;
+use crate::sim::{
+    geometric_tiers, BurstBufferSpec, FailureModel, InterferenceKind, SimConfig, TierSpec,
+};
+use crate::strategy::Strategy;
+use coopckpt_des::Duration;
+use coopckpt_model::{AppClass, Bandwidth, Bytes, Platform};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Errors raised while loading, parsing or validating a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The document is not valid JSON.
+    Json(JsonError),
+    /// The scenario file could not be read.
+    Io {
+        /// Offending path.
+        path: PathBuf,
+        /// OS error message.
+        message: String,
+    },
+    /// The document is valid JSON but not a valid scenario.
+    Invalid {
+        /// Dotted field path (e.g. `platform.bandwidth_gbps`), or `""`
+        /// for document-level problems.
+        field: String,
+        /// What is wrong.
+        message: String,
+    },
+}
+
+impl ScenarioError {
+    fn invalid(field: impl Into<String>, message: impl Into<String>) -> ScenarioError {
+        ScenarioError::Invalid {
+            field: field.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Json(e) => write!(f, "{e}"),
+            ScenarioError::Io { path, message } => {
+                write!(f, "cannot read scenario {}: {message}", path.display())
+            }
+            ScenarioError::Invalid { field, message } if field.is_empty() => {
+                write!(f, "invalid scenario: {message}")
+            }
+            ScenarioError::Invalid { field, message } => {
+                write!(f, "invalid scenario field '{field}': {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<JsonError> for ScenarioError {
+    fn from(e: JsonError) -> Self {
+        ScenarioError::Json(e)
+    }
+}
+
+/// Which machine the scenario runs on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformSpec {
+    /// A named preset (`"cielo"` or `"prospective"`) with optional
+    /// bandwidth/MTBF overrides — the form every CLI flag combination
+    /// compiles to.
+    Preset {
+        /// Preset name.
+        name: String,
+        /// PFS bandwidth override.
+        bandwidth: Option<Bandwidth>,
+        /// Node MTBF override.
+        node_mtbf: Option<Duration>,
+    },
+    /// A fully spelled-out platform.
+    Custom(Platform),
+}
+
+/// Where the application classes come from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSource {
+    /// The LANL APEX workload (paper Table 1) instantiated on the
+    /// platform via [`coopckpt_workload::classes_for`].
+    Apex,
+    /// Explicit application classes.
+    Custom(Vec<AppClass>),
+}
+
+/// Upper bound on geometric hierarchy depth. Real deployments stage
+/// through a handful of levels; far past this, `geometric_tiers`'
+/// exponential capacity scaling overflows `f64` anyway, so absurd depths
+/// (typos, hostile files) are rejected instead of allocating per-level
+/// state.
+pub const MAX_TIER_DEPTH: usize = 16;
+
+/// The checkpoint storage hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TiersSpec {
+    /// `k` standard tiers scaled to the platform via
+    /// [`geometric_tiers`] (`0` = the paper's PFS-only base platform).
+    Geometric(usize),
+    /// An explicit tier stack, shallow to deep.
+    Explicit(Vec<TierSpec>),
+}
+
+impl TiersSpec {
+    /// True for the PFS-only base platform.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            TiersSpec::Geometric(k) => *k == 0,
+            TiersSpec::Explicit(t) => t.is_empty(),
+        }
+    }
+}
+
+/// The axis a sweep varies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepAxis {
+    /// Aggregate PFS bandwidth in GB/s (paper Figure 1).
+    Bandwidth,
+    /// Node MTBF in years (paper Figure 2).
+    Mtbf,
+    /// Storage-hierarchy depth (beyond the paper).
+    Tiers,
+}
+
+impl SweepAxis {
+    /// The spec string (`"bandwidth"`, `"mtbf"`, `"tiers"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SweepAxis::Bandwidth => "bandwidth",
+            SweepAxis::Mtbf => "mtbf",
+            SweepAxis::Tiers => "tiers",
+        }
+    }
+
+    /// Default swept values when a sweep names only the axis.
+    pub fn default_values(self) -> Vec<f64> {
+        match self {
+            SweepAxis::Bandwidth => vec![40.0, 60.0, 80.0, 100.0, 120.0, 140.0, 160.0],
+            SweepAxis::Mtbf => vec![2.0, 4.0, 10.0, 20.0, 50.0],
+            SweepAxis::Tiers => vec![0.0, 1.0, 2.0, 3.0],
+        }
+    }
+}
+
+impl std::str::FromStr for SweepAxis {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<SweepAxis, String> {
+        match s {
+            "bandwidth" => Ok(SweepAxis::Bandwidth),
+            "mtbf" => Ok(SweepAxis::Mtbf),
+            "tiers" => Ok(SweepAxis::Tiers),
+            other => Err(format!(
+                "unknown sweep axis '{other}' (bandwidth|mtbf|tiers)"
+            )),
+        }
+    }
+}
+
+/// An optional sweep: vary one axis, simulate every strategy per point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep {
+    /// The varied axis.
+    pub axis: SweepAxis,
+    /// The swept values (never empty).
+    pub values: Vec<f64>,
+}
+
+/// One declarative experiment: the single front door to the simulator.
+///
+/// See the [module docs](self) for the JSON schema and
+/// [`crate::experiments::run_scenario`] for execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Optional human-readable label, echoed in reports.
+    pub name: Option<String>,
+    /// The machine.
+    pub platform: PlatformSpec,
+    /// The application classes.
+    pub workload: WorkloadSource,
+    /// The strategy under test (ignored by sweeps, which run the paper's
+    /// whole strategy roster per point).
+    pub strategy: Strategy,
+    /// How concurrent streams share the PFS.
+    pub interference: InterferenceKind,
+    /// Failure injection model.
+    pub failures: FailureModel,
+    /// Checkpoint storage hierarchy.
+    pub tiers: TiersSpec,
+    /// Simulated span per instance.
+    pub span: Duration,
+    /// Monte-Carlo instances (seeds `seed..seed + samples`).
+    pub samples: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Worker threads (0 = one per core). Does not affect results.
+    pub threads: usize,
+    /// Optional sweep axis.
+    pub sweep: Option<Sweep>,
+    /// Measurement-margin override (None = derived from the span as in
+    /// [`SimConfig::with_span`]).
+    pub measure_margin: Option<Duration>,
+    /// Override for [`SimConfig::regular_io_chunks`].
+    pub regular_io_chunks: Option<usize>,
+    /// Override for [`SimConfig::workload_slack`].
+    pub workload_slack: Option<f64>,
+    /// Optional single burst-buffer tier (the pre-hierarchy API).
+    pub burst_buffer: Option<BurstBufferSpec>,
+}
+
+impl Default for Scenario {
+    /// The CLI's defaults: Cielo, APEX workload, Least-Waste, linear
+    /// interference, exponential failures, no tiers, 14-day span, 10
+    /// samples from seed 1.
+    fn default() -> Scenario {
+        Scenario {
+            name: None,
+            platform: PlatformSpec::Preset {
+                name: "cielo".to_string(),
+                bandwidth: None,
+                node_mtbf: None,
+            },
+            workload: WorkloadSource::Apex,
+            strategy: Strategy::least_waste(),
+            interference: InterferenceKind::Linear,
+            failures: FailureModel::Exponential,
+            tiers: TiersSpec::Geometric(0),
+            span: Duration::from_days(14.0),
+            samples: 10,
+            seed: 1,
+            threads: 0,
+            sweep: None,
+            measure_margin: None,
+            regular_io_chunks: None,
+            workload_slack: None,
+            burst_buffer: None,
+        }
+    }
+}
+
+impl Scenario {
+    /// Parses a scenario from JSON text.
+    pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
+        Scenario::from_json(&Json::parse(text)?)
+    }
+
+    /// Loads a scenario from a JSON file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Scenario, ScenarioError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| ScenarioError::Io {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        })?;
+        Scenario::parse(&text)
+    }
+
+    /// Builder: sets the label.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Builder: overrides the strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Builder: overrides the failure model.
+    pub fn with_failures(mut self, failures: FailureModel) -> Self {
+        self.failures = failures;
+        self
+    }
+
+    /// Builder: overrides the interference model.
+    pub fn with_interference(mut self, interference: InterferenceKind) -> Self {
+        self.interference = interference;
+        self
+    }
+
+    /// Builder: overrides the span.
+    pub fn with_span(mut self, span: Duration) -> Self {
+        self.span = span;
+        self
+    }
+
+    /// Builder: overrides samples and base seed.
+    pub fn with_sampling(mut self, samples: usize, seed: u64) -> Self {
+        self.samples = samples;
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: installs a geometric hierarchy of the given depth.
+    pub fn with_tier_depth(mut self, levels: usize) -> Self {
+        self.tiers = TiersSpec::Geometric(levels);
+        self
+    }
+
+    /// Resolves the platform description (preset + overrides, or custom).
+    pub fn resolve_platform(&self) -> Result<Platform, ScenarioError> {
+        match &self.platform {
+            PlatformSpec::Preset {
+                name,
+                bandwidth,
+                node_mtbf,
+            } => {
+                let mut p = match name.as_str() {
+                    "cielo" => coopckpt_workload::cielo(),
+                    "prospective" => coopckpt_workload::prospective(),
+                    other => {
+                        return Err(ScenarioError::invalid(
+                            "platform.preset",
+                            format!("unknown platform '{other}' (cielo|prospective)"),
+                        ))
+                    }
+                };
+                if let Some(bw) = bandwidth {
+                    p = p.with_bandwidth(*bw);
+                }
+                if let Some(mtbf) = node_mtbf {
+                    p = p.with_node_mtbf(*mtbf);
+                }
+                p.validate()
+                    .map_err(|e| ScenarioError::invalid("platform", e.to_string()))?;
+                Ok(p)
+            }
+            PlatformSpec::Custom(p) => {
+                p.validate()
+                    .map_err(|e| ScenarioError::invalid("platform", e.to_string()))?;
+                Ok(p.clone())
+            }
+        }
+    }
+
+    /// The application classes on the given platform.
+    pub fn resolve_classes(&self, platform: &Platform) -> Vec<AppClass> {
+        match &self.workload {
+            WorkloadSource::Apex => coopckpt_workload::classes_for(platform),
+            WorkloadSource::Custom(classes) => classes.clone(),
+        }
+    }
+
+    /// Compiles the spec into the low-level [`SimConfig`] builder. The
+    /// conversion is lossless: it takes exactly the same construction path
+    /// as hand-built configs, so a scenario-driven run is bit-identical to
+    /// the equivalent builder-driven run at equal seed.
+    pub fn into_config(&self) -> Result<SimConfig, ScenarioError> {
+        if !(self.span.is_finite() && self.span.is_positive()) {
+            return Err(ScenarioError::invalid("span_secs", "span must be positive"));
+        }
+        let platform = self.resolve_platform()?;
+        let classes = self.resolve_classes(&platform);
+        if classes.is_empty() {
+            return Err(ScenarioError::invalid(
+                "workload.classes",
+                "at least one application class required",
+            ));
+        }
+        let mut config = SimConfig::new(platform, classes, self.strategy)
+            .with_span(self.span)
+            .with_interference(self.interference)
+            .with_failures(self.failures);
+        match &self.tiers {
+            TiersSpec::Geometric(0) => {}
+            TiersSpec::Geometric(k) if *k > MAX_TIER_DEPTH => {
+                return Err(ScenarioError::invalid(
+                    "tiers",
+                    format!("hierarchy depth {k} exceeds the maximum of {MAX_TIER_DEPTH}"),
+                ));
+            }
+            TiersSpec::Geometric(k) => {
+                let stack = geometric_tiers(&config.platform, *k);
+                config = config.with_tiers(stack);
+            }
+            TiersSpec::Explicit(tiers) => {
+                config = config.with_tiers(tiers.clone());
+            }
+        }
+        if let Some(margin) = self.measure_margin {
+            if margin * 2.0 >= self.span {
+                return Err(ScenarioError::invalid(
+                    "measure_margin_secs",
+                    "margins must leave a non-empty measurement window",
+                ));
+            }
+            config.measure_margin = margin;
+        }
+        if let Some(chunks) = self.regular_io_chunks {
+            config.regular_io_chunks = chunks;
+        }
+        if let Some(slack) = self.workload_slack {
+            if !(slack.is_finite() && slack > 0.0) {
+                return Err(ScenarioError::invalid(
+                    "workload_slack",
+                    "workload slack must be positive",
+                ));
+            }
+            config.workload_slack = slack;
+        }
+        if let Some(bb) = self.burst_buffer {
+            config = config.with_burst_buffer(bb);
+        }
+        Ok(config)
+    }
+
+    /// The inverse of [`Scenario::into_config`]: wraps a hand-built config
+    /// as a scenario (custom platform + explicit classes/tiers, all
+    /// overrides pinned), with default sampling. `record_trace` is a
+    /// run-mode flag, not part of the spec, and is not carried over.
+    pub fn from_config(config: &SimConfig) -> Scenario {
+        Scenario {
+            name: None,
+            platform: PlatformSpec::Custom(config.platform.clone()),
+            workload: WorkloadSource::Custom(config.classes.clone()),
+            strategy: config.strategy,
+            interference: config.interference,
+            failures: config.failures,
+            tiers: if config.tiers.is_empty() {
+                TiersSpec::Geometric(0)
+            } else {
+                TiersSpec::Explicit(config.tiers.clone())
+            },
+            span: config.span,
+            measure_margin: Some(config.measure_margin),
+            regular_io_chunks: Some(config.regular_io_chunks),
+            workload_slack: Some(config.workload_slack),
+            burst_buffer: config.burst_buffer,
+            ..Scenario::default()
+        }
+    }
+
+    /// The Monte-Carlo configuration this scenario asks for.
+    pub fn mc(&self) -> MonteCarloConfig {
+        MonteCarloConfig::new(self.samples)
+            .with_base_seed(self.seed)
+            .with_threads(self.threads)
+    }
+
+    // ----- JSON serialization -------------------------------------------
+
+    /// Serializes to the canonical JSON form (raw base units, every
+    /// non-default field present). `Scenario::from_json(&s.to_json()) == s`
+    /// exactly.
+    pub fn to_json(&self) -> Json {
+        let mut pairs: Vec<(String, Json)> = Vec::new();
+        if let Some(name) = &self.name {
+            pairs.push(("name".into(), Json::str(name.clone())));
+        }
+        pairs.push(("platform".into(), platform_to_json(&self.platform)));
+        pairs.push((
+            "workload".into(),
+            match &self.workload {
+                WorkloadSource::Apex => Json::str("apex"),
+                WorkloadSource::Custom(classes) => Json::obj([(
+                    "classes",
+                    Json::Arr(classes.iter().map(class_to_json).collect()),
+                )]),
+            },
+        ));
+        pairs.push(("strategy".into(), Json::str(self.strategy.spec_name())));
+        pairs.push((
+            "interference".into(),
+            Json::str(self.interference.spec_name()),
+        ));
+        pairs.push(("failures".into(), Json::str(self.failures.spec_name())));
+        pairs.push((
+            "tiers".into(),
+            match &self.tiers {
+                TiersSpec::Geometric(k) => Json::Num(*k as f64),
+                TiersSpec::Explicit(tiers) => Json::Arr(tiers.iter().map(tier_to_json).collect()),
+            },
+        ));
+        pairs.push(("span_secs".into(), Json::Num(self.span.as_secs())));
+        pairs.push(("samples".into(), Json::Num(self.samples as f64)));
+        // Seeds above 2^53 would be silently rounded as JSON numbers;
+        // emit them as decimal strings so the round trip stays exact.
+        pairs.push((
+            "seed".into(),
+            if self.seed <= (1 << 53) {
+                Json::Num(self.seed as f64)
+            } else {
+                Json::str(self.seed.to_string())
+            },
+        ));
+        if self.threads != 0 {
+            pairs.push(("threads".into(), Json::Num(self.threads as f64)));
+        }
+        if let Some(margin) = self.measure_margin {
+            pairs.push(("measure_margin_secs".into(), Json::Num(margin.as_secs())));
+        }
+        if let Some(chunks) = self.regular_io_chunks {
+            pairs.push(("regular_io_chunks".into(), Json::Num(chunks as f64)));
+        }
+        if let Some(slack) = self.workload_slack {
+            pairs.push(("workload_slack".into(), Json::Num(slack)));
+        }
+        if let Some(bb) = &self.burst_buffer {
+            pairs.push((
+                "burst_buffer".into(),
+                Json::obj([
+                    ("capacity_bytes", Json::Num(bb.capacity.as_bytes())),
+                    (
+                        "write_bw_per_node_bytes_per_sec",
+                        Json::Num(bb.write_bw_per_node.as_bytes_per_sec()),
+                    ),
+                ]),
+            ));
+        }
+        if let Some(sweep) = &self.sweep {
+            pairs.push((
+                "sweep".into(),
+                Json::obj([
+                    ("axis", Json::str(sweep.axis.as_str())),
+                    (
+                        "values",
+                        Json::Arr(sweep.values.iter().map(|&v| Json::Num(v)).collect()),
+                    ),
+                ]),
+            ));
+        }
+        Json::Obj(pairs)
+    }
+
+    /// Pretty-printed canonical JSON (see [`Scenario::to_json`]).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().pretty()
+    }
+
+    /// Parses a scenario from a JSON value. Missing fields take the
+    /// [`Scenario::default`] values; unknown keys are rejected.
+    pub fn from_json(v: &Json) -> Result<Scenario, ScenarioError> {
+        let pairs = as_object(v, "")?;
+        check_keys(
+            pairs,
+            &[
+                "name",
+                "platform",
+                "workload",
+                "strategy",
+                "interference",
+                "failures",
+                "tiers",
+                "span_secs",
+                "span_days",
+                "samples",
+                "seed",
+                "threads",
+                "sweep",
+                "measure_margin_secs",
+                "measure_margin_days",
+                "regular_io_chunks",
+                "workload_slack",
+                "burst_buffer",
+            ],
+            "",
+        )?;
+        let mut sc = Scenario::default();
+        if let Some(name) = opt_str(pairs, "name")? {
+            sc.name = Some(name);
+        }
+        if let Some(p) = field(pairs, "platform") {
+            sc.platform = platform_from_json(p)?;
+        }
+        if let Some(w) = field(pairs, "workload") {
+            sc.workload = workload_from_json(w)?;
+        }
+        if let Some(s) = opt_str(pairs, "strategy")? {
+            sc.strategy = s
+                .parse()
+                .map_err(|e: String| ScenarioError::invalid("strategy", e))?;
+        }
+        if let Some(s) = opt_str(pairs, "interference")? {
+            sc.interference = s
+                .parse()
+                .map_err(|e: String| ScenarioError::invalid("interference", e))?;
+        }
+        if let Some(s) = opt_str(pairs, "failures")? {
+            sc.failures = s
+                .parse()
+                .map_err(|e: String| ScenarioError::invalid("failures", e))?;
+        }
+        if let Some(t) = field(pairs, "tiers") {
+            sc.tiers = tiers_from_json(t)?;
+        }
+        if let Some(span) = alt_duration(
+            pairs,
+            ("span_secs", Duration::from_secs as fn(f64) -> Duration),
+            ("span_days", Duration::from_days),
+        )? {
+            sc.span = span;
+        }
+        if let Some(samples) = opt_u64(pairs, "samples")? {
+            if samples == 0 {
+                return Err(ScenarioError::invalid("samples", "at least one sample"));
+            }
+            sc.samples = samples as usize;
+        }
+        if let Some(v) = field(pairs, "seed") {
+            // Numbers for everyday seeds; decimal strings keep seeds
+            // above 2^53 exact (the canonical serializer emits those).
+            sc.seed = match v {
+                Json::Str(s) => s.parse().map_err(|_| {
+                    ScenarioError::invalid("seed", "expected a non-negative integer")
+                })?,
+                other => other.as_u64().ok_or_else(|| {
+                    ScenarioError::invalid("seed", "expected a non-negative integer")
+                })?,
+            };
+        }
+        if let Some(threads) = opt_u64(pairs, "threads")? {
+            sc.threads = threads as usize;
+        }
+        sc.measure_margin = alt_duration(
+            pairs,
+            ("measure_margin_secs", Duration::from_secs),
+            ("measure_margin_days", Duration::from_days),
+        )?;
+        if let Some(chunks) = opt_u64(pairs, "regular_io_chunks")? {
+            sc.regular_io_chunks = Some(chunks as usize);
+        }
+        if let Some(slack) = opt_f64(pairs, "workload_slack")? {
+            sc.workload_slack = Some(slack);
+        }
+        if let Some(bb) = field(pairs, "burst_buffer") {
+            sc.burst_buffer = Some(burst_buffer_from_json(bb)?);
+        }
+        if let Some(sw) = field(pairs, "sweep") {
+            sc.sweep = Some(sweep_from_json(sw)?);
+        }
+        Ok(sc)
+    }
+}
+
+// ----- JSON helpers ------------------------------------------------------
+
+fn field<'a>(pairs: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn as_object<'a>(v: &'a Json, path: &str) -> Result<&'a [(String, Json)], ScenarioError> {
+    v.as_object()
+        .ok_or_else(|| ScenarioError::invalid(path, "expected a JSON object"))
+}
+
+fn check_keys(pairs: &[(String, Json)], known: &[&str], path: &str) -> Result<(), ScenarioError> {
+    for (k, _) in pairs {
+        if !known.contains(&k.as_str()) {
+            return Err(ScenarioError::invalid(
+                join(path, k),
+                format!("unknown key (known keys: {})", known.join(", ")),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn join(path: &str, key: &str) -> String {
+    if path.is_empty() {
+        key.to_string()
+    } else {
+        format!("{path}.{key}")
+    }
+}
+
+fn opt_f64(pairs: &[(String, Json)], key: &str) -> Result<Option<f64>, ScenarioError> {
+    opt_f64_at(pairs, key, "")
+}
+
+fn opt_f64_at(
+    pairs: &[(String, Json)],
+    key: &str,
+    path: &str,
+) -> Result<Option<f64>, ScenarioError> {
+    match field(pairs, key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| ScenarioError::invalid(join(path, key), "expected a number")),
+    }
+}
+
+fn req_f64(pairs: &[(String, Json)], key: &str, path: &str) -> Result<f64, ScenarioError> {
+    opt_f64_at(pairs, key, path)?
+        .ok_or_else(|| ScenarioError::invalid(join(path, key), "required field is missing"))
+}
+
+fn opt_u64(pairs: &[(String, Json)], key: &str) -> Result<Option<u64>, ScenarioError> {
+    opt_u64_at(pairs, key, "")
+}
+
+fn opt_u64_at(
+    pairs: &[(String, Json)],
+    key: &str,
+    path: &str,
+) -> Result<Option<u64>, ScenarioError> {
+    match field(pairs, key) {
+        None => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+            ScenarioError::invalid(join(path, key), "expected a non-negative integer")
+        }),
+    }
+}
+
+fn opt_str(pairs: &[(String, Json)], key: &str) -> Result<Option<String>, ScenarioError> {
+    opt_str_at(pairs, key, "")
+}
+
+fn opt_str_at(
+    pairs: &[(String, Json)],
+    key: &str,
+    path: &str,
+) -> Result<Option<String>, ScenarioError> {
+    match field(pairs, key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| ScenarioError::invalid(join(path, key), "expected a string")),
+    }
+}
+
+/// Reads a quantity that may be spelled in raw base units or a human
+/// alias (e.g. `bandwidth_bytes_per_sec` vs `bandwidth_gbps`), applying
+/// the matching constructor. Both at once is an error.
+fn alt_quantity<T>(
+    pairs: &[(String, Json)],
+    raw: (&str, impl Fn(f64) -> T),
+    human: (&str, impl Fn(f64) -> T),
+    path: &str,
+) -> Result<Option<T>, ScenarioError> {
+    let raw_v = opt_f64_at(pairs, raw.0, path)?;
+    let human_v = opt_f64_at(pairs, human.0, path)?;
+    match (raw_v, human_v) {
+        (Some(_), Some(_)) => Err(ScenarioError::invalid(
+            join(path, raw.0),
+            format!("give either {} or {}, not both", raw.0, human.0),
+        )),
+        (Some(v), None) => Ok(Some(raw.1(v))),
+        (None, Some(v)) => Ok(Some(human.1(v))),
+        (None, None) => Ok(None),
+    }
+}
+
+fn alt_duration(
+    pairs: &[(String, Json)],
+    raw: (&str, fn(f64) -> Duration),
+    human: (&str, fn(f64) -> Duration),
+) -> Result<Option<Duration>, ScenarioError> {
+    alt_quantity(pairs, raw, human, "")
+}
+
+fn platform_to_json(spec: &PlatformSpec) -> Json {
+    match spec {
+        PlatformSpec::Preset {
+            name,
+            bandwidth,
+            node_mtbf,
+        } => {
+            let mut pairs = vec![("preset".to_string(), Json::str(name.clone()))];
+            if let Some(bw) = bandwidth {
+                pairs.push((
+                    "bandwidth_bytes_per_sec".into(),
+                    Json::Num(bw.as_bytes_per_sec()),
+                ));
+            }
+            if let Some(mtbf) = node_mtbf {
+                pairs.push(("node_mtbf_secs".into(), Json::Num(mtbf.as_secs())));
+            }
+            Json::Obj(pairs)
+        }
+        PlatformSpec::Custom(p) => Json::obj([
+            ("name", Json::str(p.name.clone())),
+            ("nodes", Json::Num(p.nodes as f64)),
+            ("cores_per_node", Json::Num(p.cores_per_node as f64)),
+            ("mem_per_node_bytes", Json::Num(p.mem_per_node.as_bytes())),
+            (
+                "bandwidth_bytes_per_sec",
+                Json::Num(p.pfs_bandwidth.as_bytes_per_sec()),
+            ),
+            ("node_mtbf_secs", Json::Num(p.node_mtbf.as_secs())),
+        ]),
+    }
+}
+
+fn platform_from_json(v: &Json) -> Result<PlatformSpec, ScenarioError> {
+    // Bare string shorthand: "cielo" == {"preset": "cielo"}.
+    if let Some(name) = v.as_str() {
+        return Ok(PlatformSpec::Preset {
+            name: name.to_string(),
+            bandwidth: None,
+            node_mtbf: None,
+        });
+    }
+    let pairs = as_object(v, "platform")?;
+    let bandwidth = alt_quantity(
+        pairs,
+        (
+            "bandwidth_bytes_per_sec",
+            Bandwidth::new as fn(f64) -> Bandwidth,
+        ),
+        ("bandwidth_gbps", Bandwidth::from_gbps),
+        "platform",
+    )?;
+    let node_mtbf = alt_quantity(
+        pairs,
+        ("node_mtbf_secs", Duration::from_secs as fn(f64) -> Duration),
+        ("mtbf_years", Duration::from_years),
+        "platform",
+    )?;
+    if field(pairs, "preset").is_some() {
+        check_keys(
+            pairs,
+            &[
+                "preset",
+                "bandwidth_bytes_per_sec",
+                "bandwidth_gbps",
+                "node_mtbf_secs",
+                "mtbf_years",
+            ],
+            "platform",
+        )?;
+        let name = opt_str_at(pairs, "preset", "platform")?.expect("present by check");
+        Ok(PlatformSpec::Preset {
+            name,
+            bandwidth,
+            node_mtbf,
+        })
+    } else {
+        check_keys(
+            pairs,
+            &[
+                "name",
+                "nodes",
+                "cores_per_node",
+                "mem_per_node_bytes",
+                "mem_per_node_gb",
+                "bandwidth_bytes_per_sec",
+                "bandwidth_gbps",
+                "node_mtbf_secs",
+                "mtbf_years",
+            ],
+            "platform",
+        )?;
+        let name = opt_str_at(pairs, "name", "platform")?.ok_or_else(|| {
+            ScenarioError::invalid("platform.name", "required for custom platforms")
+        })?;
+        let nodes = opt_u64_at(pairs, "nodes", "platform")?
+            .ok_or_else(|| ScenarioError::invalid("platform.nodes", "required field is missing"))?;
+        let cores = opt_u64_at(pairs, "cores_per_node", "platform")?.unwrap_or(1);
+        let mem = alt_quantity(
+            pairs,
+            ("mem_per_node_bytes", Bytes::new as fn(f64) -> Bytes),
+            ("mem_per_node_gb", Bytes::from_gb),
+            "platform",
+        )?
+        .ok_or_else(|| {
+            ScenarioError::invalid("platform.mem_per_node_gb", "required field is missing")
+        })?;
+        let bandwidth = bandwidth.ok_or_else(|| {
+            ScenarioError::invalid("platform.bandwidth_gbps", "required field is missing")
+        })?;
+        let node_mtbf = node_mtbf.ok_or_else(|| {
+            ScenarioError::invalid("platform.mtbf_years", "required field is missing")
+        })?;
+        let platform = Platform::new(
+            name,
+            nodes as usize,
+            cores as usize,
+            mem,
+            bandwidth,
+            node_mtbf,
+        )
+        .map_err(|e| ScenarioError::invalid("platform", e.to_string()))?;
+        Ok(PlatformSpec::Custom(platform))
+    }
+}
+
+fn workload_from_json(v: &Json) -> Result<WorkloadSource, ScenarioError> {
+    if let Some(s) = v.as_str() {
+        return match s {
+            "apex" => Ok(WorkloadSource::Apex),
+            other => Err(ScenarioError::invalid(
+                "workload",
+                format!("unknown workload '{other}' (apex, or an object with classes)"),
+            )),
+        };
+    }
+    let pairs = as_object(v, "workload")?;
+    check_keys(pairs, &["classes"], "workload")?;
+    let classes_v = field(pairs, "classes")
+        .ok_or_else(|| ScenarioError::invalid("workload.classes", "required field is missing"))?;
+    let items = classes_v
+        .as_array()
+        .ok_or_else(|| ScenarioError::invalid("workload.classes", "expected an array"))?;
+    if items.is_empty() {
+        return Err(ScenarioError::invalid(
+            "workload.classes",
+            "at least one application class required",
+        ));
+    }
+    let classes = items
+        .iter()
+        .enumerate()
+        .map(|(i, c)| class_from_json(c, &format!("workload.classes[{i}]")))
+        .collect::<Result<Vec<AppClass>, _>>()?;
+    Ok(WorkloadSource::Custom(classes))
+}
+
+fn class_to_json(c: &AppClass) -> Json {
+    Json::obj([
+        ("name", Json::str(c.name.clone())),
+        ("q_nodes", Json::Num(c.q_nodes as f64)),
+        ("walltime_secs", Json::Num(c.walltime.as_secs())),
+        ("resource_share", Json::Num(c.resource_share)),
+        ("input_bytes", Json::Num(c.input_bytes.as_bytes())),
+        ("output_bytes", Json::Num(c.output_bytes.as_bytes())),
+        ("ckpt_bytes", Json::Num(c.ckpt_bytes.as_bytes())),
+        ("regular_io_bytes", Json::Num(c.regular_io_bytes.as_bytes())),
+    ])
+}
+
+fn class_from_json(v: &Json, path: &str) -> Result<AppClass, ScenarioError> {
+    let pairs = as_object(v, path)?;
+    check_keys(
+        pairs,
+        &[
+            "name",
+            "q_nodes",
+            "walltime_secs",
+            "walltime_hours",
+            "resource_share",
+            "input_bytes",
+            "input_gb",
+            "output_bytes",
+            "output_gb",
+            "ckpt_bytes",
+            "ckpt_gb",
+            "regular_io_bytes",
+            "regular_io_gb",
+        ],
+        path,
+    )?;
+    let name = opt_str_at(pairs, "name", path)?
+        .ok_or_else(|| ScenarioError::invalid(join(path, "name"), "required field is missing"))?;
+    let q_nodes = opt_u64_at(pairs, "q_nodes", path)?.ok_or_else(|| {
+        ScenarioError::invalid(join(path, "q_nodes"), "required field is missing")
+    })?;
+    if q_nodes == 0 {
+        return Err(ScenarioError::invalid(
+            join(path, "q_nodes"),
+            "jobs must use at least one node",
+        ));
+    }
+    let walltime = alt_quantity(
+        pairs,
+        ("walltime_secs", Duration::from_secs as fn(f64) -> Duration),
+        ("walltime_hours", Duration::from_hours),
+        path,
+    )?
+    .ok_or_else(|| {
+        ScenarioError::invalid(join(path, "walltime_hours"), "required field is missing")
+    })?;
+    if !(walltime.is_finite() && walltime.is_positive()) {
+        return Err(ScenarioError::invalid(
+            join(path, "walltime_hours"),
+            "walltime must be positive",
+        ));
+    }
+    let resource_share = req_f64(pairs, "resource_share", path)?;
+    if !(resource_share.is_finite() && resource_share > 0.0 && resource_share <= 1.0) {
+        return Err(ScenarioError::invalid(
+            join(path, "resource_share"),
+            "resource share must be in (0, 1]",
+        ));
+    }
+    let volume = |raw_key: &str, gb_key: &str| -> Result<Option<Bytes>, ScenarioError> {
+        let v = alt_quantity(
+            pairs,
+            (raw_key, Bytes::new as fn(f64) -> Bytes),
+            (gb_key, Bytes::from_gb),
+            path,
+        )?;
+        if let Some(b) = v {
+            if !b.is_valid() {
+                return Err(ScenarioError::invalid(
+                    join(path, gb_key),
+                    "volumes must be finite and non-negative",
+                ));
+            }
+        }
+        Ok(v)
+    };
+    let require = |v: Option<Bytes>, gb_key: &str| -> Result<Bytes, ScenarioError> {
+        v.ok_or_else(|| ScenarioError::invalid(join(path, gb_key), "required field is missing"))
+    };
+    Ok(AppClass {
+        name,
+        q_nodes: q_nodes as usize,
+        walltime,
+        resource_share,
+        input_bytes: require(volume("input_bytes", "input_gb")?, "input_gb")?,
+        output_bytes: require(volume("output_bytes", "output_gb")?, "output_gb")?,
+        ckpt_bytes: require(volume("ckpt_bytes", "ckpt_gb")?, "ckpt_gb")?,
+        regular_io_bytes: volume("regular_io_bytes", "regular_io_gb")?.unwrap_or(Bytes::ZERO),
+    })
+}
+
+/// Validates a `tiers`-axis value list (integers in `0..=MAX_TIER_DEPTH`)
+/// and returns the depths — the single source of the rule for both the
+/// JSON parser and [`crate::experiments::sweep_points`].
+pub(crate) fn validate_tier_counts(values: &[f64]) -> Result<Vec<usize>, ScenarioError> {
+    values
+        .iter()
+        .map(|&v| {
+            if v >= 0.0 && v.fract() == 0.0 && v <= MAX_TIER_DEPTH as f64 {
+                Ok(v as usize)
+            } else {
+                Err(ScenarioError::invalid(
+                    "sweep.values",
+                    format!("tier counts must be integers in 0..={MAX_TIER_DEPTH}, got {v}"),
+                ))
+            }
+        })
+        .collect()
+}
+
+fn tiers_from_json(v: &Json) -> Result<TiersSpec, ScenarioError> {
+    if let Some(k) = v.as_u64() {
+        if k > MAX_TIER_DEPTH as u64 {
+            return Err(ScenarioError::invalid(
+                "tiers",
+                format!("hierarchy depth {k} exceeds the maximum of {MAX_TIER_DEPTH}"),
+            ));
+        }
+        return Ok(TiersSpec::Geometric(k as usize));
+    }
+    let items = v.as_array().ok_or_else(|| {
+        ScenarioError::invalid("tiers", "expected a tier count or an array of tier objects")
+    })?;
+    let tiers = items
+        .iter()
+        .enumerate()
+        .map(|(i, t)| tier_from_json(t, &format!("tiers[{i}]")))
+        .collect::<Result<Vec<TierSpec>, _>>()?;
+    Ok(TiersSpec::Explicit(tiers))
+}
+
+fn tier_to_json(t: &TierSpec) -> Json {
+    let mut pairs = vec![
+        ("name".to_string(), Json::str(t.name.clone())),
+        (
+            "capacity_bytes".to_string(),
+            Json::Num(t.capacity.as_bytes()),
+        ),
+        (
+            "write_bw_bytes_per_sec".to_string(),
+            Json::Num(t.write_bw.as_bytes_per_sec()),
+        ),
+    ];
+    if t.per_writer_node {
+        pairs.push(("per_writer_node".to_string(), Json::Bool(true)));
+    }
+    Json::Obj(pairs)
+}
+
+fn tier_from_json(v: &Json, path: &str) -> Result<TierSpec, ScenarioError> {
+    let pairs = as_object(v, path)?;
+    check_keys(
+        pairs,
+        &[
+            "name",
+            "capacity_bytes",
+            "capacity_gb",
+            "write_bw_bytes_per_sec",
+            "write_bw_gbps",
+            "per_writer_node",
+        ],
+        path,
+    )?;
+    let name = opt_str_at(pairs, "name", path)?
+        .ok_or_else(|| ScenarioError::invalid(join(path, "name"), "required field is missing"))?;
+    let capacity = alt_quantity(
+        pairs,
+        ("capacity_bytes", Bytes::new as fn(f64) -> Bytes),
+        ("capacity_gb", Bytes::from_gb),
+        path,
+    )?
+    .ok_or_else(|| {
+        ScenarioError::invalid(join(path, "capacity_gb"), "required field is missing")
+    })?;
+    let write_bw = alt_quantity(
+        pairs,
+        (
+            "write_bw_bytes_per_sec",
+            Bandwidth::new as fn(f64) -> Bandwidth,
+        ),
+        ("write_bw_gbps", Bandwidth::from_gbps),
+        path,
+    )?
+    .ok_or_else(|| {
+        ScenarioError::invalid(join(path, "write_bw_gbps"), "required field is missing")
+    })?;
+    if !(capacity.is_valid() && !capacity.is_zero() && write_bw.is_valid() && !write_bw.is_zero()) {
+        return Err(ScenarioError::invalid(
+            path,
+            "tier capacity and write bandwidth must be positive and finite",
+        ));
+    }
+    let per_writer_node = match field(pairs, "per_writer_node") {
+        None => false,
+        Some(b) => b.as_bool().ok_or_else(|| {
+            ScenarioError::invalid(join(path, "per_writer_node"), "expected a boolean")
+        })?,
+    };
+    Ok(if per_writer_node {
+        TierSpec::per_node(name, capacity, write_bw)
+    } else {
+        TierSpec::new(name, capacity, write_bw)
+    })
+}
+
+fn burst_buffer_from_json(v: &Json) -> Result<BurstBufferSpec, ScenarioError> {
+    let pairs = as_object(v, "burst_buffer")?;
+    check_keys(
+        pairs,
+        &[
+            "capacity_bytes",
+            "capacity_gb",
+            "write_bw_per_node_bytes_per_sec",
+            "write_bw_per_node_gbps",
+        ],
+        "burst_buffer",
+    )?;
+    let capacity = alt_quantity(
+        pairs,
+        ("capacity_bytes", Bytes::new as fn(f64) -> Bytes),
+        ("capacity_gb", Bytes::from_gb),
+        "burst_buffer",
+    )?
+    .ok_or_else(|| {
+        ScenarioError::invalid("burst_buffer.capacity_gb", "required field is missing")
+    })?;
+    let write_bw_per_node = alt_quantity(
+        pairs,
+        (
+            "write_bw_per_node_bytes_per_sec",
+            Bandwidth::new as fn(f64) -> Bandwidth,
+        ),
+        ("write_bw_per_node_gbps", Bandwidth::from_gbps),
+        "burst_buffer",
+    )?
+    .ok_or_else(|| {
+        ScenarioError::invalid(
+            "burst_buffer.write_bw_per_node_gbps",
+            "required field is missing",
+        )
+    })?;
+    Ok(BurstBufferSpec {
+        capacity,
+        write_bw_per_node,
+    })
+}
+
+fn sweep_from_json(v: &Json) -> Result<Sweep, ScenarioError> {
+    let pairs = as_object(v, "sweep")?;
+    check_keys(pairs, &["axis", "values"], "sweep")?;
+    let axis: SweepAxis = opt_str_at(pairs, "axis", "sweep")?
+        .ok_or_else(|| ScenarioError::invalid("sweep.axis", "required field is missing"))?
+        .parse()
+        .map_err(|e: String| ScenarioError::invalid("sweep.axis", e))?;
+    let values = match field(pairs, "values") {
+        None => axis.default_values(),
+        Some(v) => {
+            let items = v
+                .as_array()
+                .ok_or_else(|| ScenarioError::invalid("sweep.values", "expected an array"))?;
+            let values = items
+                .iter()
+                .map(|item| {
+                    item.as_f64()
+                        .ok_or_else(|| ScenarioError::invalid("sweep.values", "expected numbers"))
+                })
+                .collect::<Result<Vec<f64>, _>>()?;
+            if values.is_empty() {
+                return Err(ScenarioError::invalid(
+                    "sweep.values",
+                    "at least one swept value required",
+                ));
+            }
+            if axis == SweepAxis::Tiers {
+                validate_tier_counts(&values)?;
+            }
+            values
+        }
+    };
+    Ok(Sweep { axis, values })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::CheckpointPolicy;
+
+    #[test]
+    fn default_scenario_compiles_to_the_cli_default_config() {
+        let sc = Scenario::default();
+        let cfg = sc.into_config().unwrap();
+        assert_eq!(cfg.platform.name, "Cielo");
+        assert_eq!(cfg.classes.len(), 4);
+        assert_eq!(cfg.span, Duration::from_days(14.0));
+        assert_eq!(cfg.strategy, Strategy::least_waste());
+        assert!(cfg.tiers.is_empty());
+    }
+
+    #[test]
+    fn minimal_document_parses_with_defaults() {
+        let sc = Scenario::parse("{}").unwrap();
+        assert_eq!(sc, Scenario::default());
+        let sc = Scenario::parse(r#"{"platform": "prospective"}"#).unwrap();
+        assert_eq!(sc.resolve_platform().unwrap().name, "Prospective");
+    }
+
+    #[test]
+    fn human_units_match_the_cli_construction_path() {
+        let sc = Scenario::parse(
+            r#"{
+                "platform": {"preset": "cielo", "bandwidth_gbps": 40, "mtbf_years": 5},
+                "span_days": 7
+            }"#,
+        )
+        .unwrap();
+        let cfg = sc.into_config().unwrap();
+        assert_eq!(cfg.platform.pfs_bandwidth, Bandwidth::from_gbps(40.0));
+        assert_eq!(cfg.platform.node_mtbf, Duration::from_years(5.0));
+        assert_eq!(cfg.span, Duration::from_days(7.0));
+    }
+
+    #[test]
+    fn canonical_serialization_round_trips_exactly() {
+        let mut sc = Scenario::default()
+            .with_name("x")
+            .with_strategy(Strategy::tiered(CheckpointPolicy::fixed_hourly()))
+            .with_failures(FailureModel::Weibull(0.7))
+            .with_interference(InterferenceKind::Degraded(1.0 / 3.0))
+            .with_tier_depth(3)
+            .with_sampling(17, 99);
+        sc.sweep = Some(Sweep {
+            axis: SweepAxis::Mtbf,
+            values: vec![2.0, 50.0],
+        });
+        sc.workload_slack = Some(1.25);
+        let back = Scenario::parse(&sc.to_json_string()).unwrap();
+        assert_eq!(back, sc);
+    }
+
+    #[test]
+    fn from_config_into_config_is_lossless() {
+        let platform = Platform::new(
+            "lab",
+            64,
+            8,
+            Bytes::from_gb(16.0),
+            Bandwidth::from_gbps(10.0),
+            Duration::from_years(5.0),
+        )
+        .unwrap();
+        let classes = coopckpt_workload::classes_for(&platform);
+        let base = SimConfig::new(platform, classes, Strategy::ordered(CheckpointPolicy::Daly))
+            .with_span(Duration::from_days(9.0))
+            .with_failures(FailureModel::Weibull(0.8))
+            .with_interference(InterferenceKind::Equal);
+        let tiers = geometric_tiers(&base.platform, 2);
+        let base = base.with_tiers(tiers);
+
+        let sc = Scenario::from_config(&base);
+        let cfg = sc.into_config().unwrap();
+        assert_eq!(cfg.platform, base.platform);
+        assert_eq!(cfg.classes, base.classes);
+        assert_eq!(cfg.strategy, base.strategy);
+        assert_eq!(cfg.span, base.span);
+        assert_eq!(cfg.measure_margin, base.measure_margin);
+        assert_eq!(cfg.interference, base.interference);
+        assert_eq!(cfg.failures, base.failures);
+        assert_eq!(cfg.regular_io_chunks, base.regular_io_chunks);
+        assert_eq!(cfg.workload_slack, base.workload_slack);
+        assert_eq!(cfg.burst_buffer, base.burst_buffer);
+        assert_eq!(cfg.tiers, base.tiers);
+
+        // And the scenario itself survives a JSON hop.
+        let back = Scenario::parse(&sc.to_json_string()).unwrap();
+        assert_eq!(back, sc);
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected_with_the_known_list() {
+        let e = Scenario::parse(r#"{"tires": 3}"#).unwrap_err();
+        match e {
+            ScenarioError::Invalid { field, message } => {
+                assert_eq!(field, "tires");
+                assert!(message.contains("tiers"), "{message}");
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        assert!(Scenario::parse(r#"{"platform": {"preset": "cielo", "bw": 1}}"#).is_err());
+        assert!(Scenario::parse(r#"{"sweep": {"axis": "bandwidth", "vals": [1]}}"#).is_err());
+    }
+
+    #[test]
+    fn conflicting_unit_aliases_are_rejected() {
+        let e = Scenario::parse(r#"{"span_secs": 60, "span_days": 1}"#).unwrap_err();
+        assert!(e.to_string().contains("not both"), "{e}");
+    }
+
+    #[test]
+    fn validation_errors_carry_field_paths() {
+        for (doc, needle) in [
+            (r#"{"samples": 0}"#, "samples"),
+            (r#"{"strategy": "magic"}"#, "strategy"),
+            (r#"{"failures": "weibull:x"}"#, "failures"),
+            (r#"{"interference": "chaotic"}"#, "interference"),
+            (r#"{"platform": {"preset": "nope"}}"#, "platform"),
+            (r#"{"sweep": {"axis": "altitude"}}"#, "sweep.axis"),
+            (
+                r#"{"sweep": {"axis": "tiers", "values": [1.5]}}"#,
+                "sweep.values",
+            ),
+            (r#"{"workload": {"classes": []}}"#, "workload.classes"),
+            (r#"{"span_days": -1}"#, "span"),
+        ] {
+            let sc = Scenario::parse(doc);
+            let err = match sc {
+                Err(e) => e,
+                Ok(s) => s.into_config().expect_err(doc),
+            };
+            assert!(err.to_string().contains(needle), "{doc}: {err}");
+        }
+    }
+
+    #[test]
+    fn explicit_tiers_and_burst_buffer_parse() {
+        let sc = Scenario::parse(
+            r#"{
+                "tiers": [
+                    {"name": "local", "capacity_gb": 100, "write_bw_gbps": 2, "per_writer_node": true},
+                    {"name": "bb", "capacity_gb": 1000, "write_bw_gbps": 500}
+                ],
+                "burst_buffer": {"capacity_gb": 50, "write_bw_per_node_gbps": 1}
+            }"#,
+        )
+        .unwrap();
+        let TiersSpec::Explicit(tiers) = &sc.tiers else {
+            panic!("explicit tiers expected");
+        };
+        assert_eq!(tiers.len(), 2);
+        assert!(tiers[0].per_writer_node);
+        assert!(!tiers[1].per_writer_node);
+        assert_eq!(sc.burst_buffer.unwrap().capacity, Bytes::from_gb(50.0));
+        let back = Scenario::parse(&sc.to_json_string()).unwrap();
+        assert_eq!(back, sc);
+    }
+
+    #[test]
+    fn sweep_defaults_fill_in_axis_values() {
+        let sc = Scenario::parse(r#"{"sweep": {"axis": "mtbf"}}"#).unwrap();
+        let sweep = sc.sweep.unwrap();
+        assert_eq!(sweep.axis, SweepAxis::Mtbf);
+        assert_eq!(sweep.values, SweepAxis::Mtbf.default_values());
+    }
+
+    #[test]
+    fn huge_seeds_round_trip_exactly() {
+        let sc = Scenario::default().with_sampling(3, u64::MAX - 7);
+        let text = sc.to_json_string();
+        let back = Scenario::parse(&text).unwrap();
+        assert_eq!(back.seed, u64::MAX - 7);
+        assert_eq!(back, sc);
+        // Everyday seeds still serialize as plain numbers.
+        let sc = Scenario::default().with_sampling(3, 42);
+        assert!(sc.to_json_string().contains("\"seed\": 42"));
+        // Garbage seed strings are rejected.
+        assert!(Scenario::parse(r#"{"seed": "not-a-number"}"#).is_err());
+    }
+
+    #[test]
+    fn absurd_tier_depths_are_rejected() {
+        let e = Scenario::parse(r#"{"tiers": 9999999}"#).unwrap_err();
+        assert!(e.to_string().contains("maximum"), "{e}");
+        let e = Scenario::default()
+            .with_tier_depth(MAX_TIER_DEPTH + 1)
+            .into_config()
+            .unwrap_err();
+        assert!(e.to_string().contains("maximum"), "{e}");
+        let e =
+            Scenario::parse(r#"{"sweep": {"axis": "tiers", "values": [9999999]}}"#).unwrap_err();
+        assert!(e.to_string().contains("0..="), "{e}");
+        // The cap itself is fine.
+        assert!(Scenario::default()
+            .with_tier_depth(MAX_TIER_DEPTH)
+            .into_config()
+            .is_ok());
+    }
+
+    #[test]
+    fn geometric_tiers_compile_like_the_cli_flag() {
+        let sc = Scenario::default().with_tier_depth(3);
+        let cfg = sc.into_config().unwrap();
+        assert_eq!(cfg.tiers.len(), 3);
+        assert_eq!(cfg.tiers[1].name, "burst-buffer");
+    }
+
+    #[test]
+    fn load_reports_missing_files() {
+        let e = Scenario::load("/nonexistent/scenario.json").unwrap_err();
+        assert!(matches!(e, ScenarioError::Io { .. }));
+        assert!(e.to_string().contains("scenario"));
+    }
+}

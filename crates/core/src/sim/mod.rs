@@ -41,6 +41,46 @@ pub enum InterferenceKind {
     Equal,
 }
 
+impl InterferenceKind {
+    /// Canonical spec string, the inverse of the
+    /// [`FromStr`](std::str::FromStr) grammar:
+    /// `"linear"`, `"equal"`, or `"degraded:<alpha>"`.
+    pub fn spec_name(&self) -> String {
+        match self {
+            InterferenceKind::Linear => "linear".to_string(),
+            InterferenceKind::Equal => "equal".to_string(),
+            InterferenceKind::Degraded(a) => format!("degraded:{a}"),
+        }
+    }
+}
+
+impl std::str::FromStr for InterferenceKind {
+    type Err = String;
+
+    /// Parses `linear`, `equal`, or `degraded:<alpha>`.
+    fn from_str(s: &str) -> Result<InterferenceKind, String> {
+        match s {
+            "linear" => Ok(InterferenceKind::Linear),
+            "equal" => Ok(InterferenceKind::Equal),
+            other => {
+                if let Some(alpha) = other.strip_prefix("degraded:") {
+                    let a: f64 = alpha
+                        .parse()
+                        .map_err(|_| format!("bad degraded exponent '{alpha}'"))?;
+                    if !a.is_finite() {
+                        return Err(format!("degraded exponent must be finite, got '{alpha}'"));
+                    }
+                    Ok(InterferenceKind::Degraded(a))
+                } else {
+                    Err(format!(
+                        "unknown interference model '{other}' (linear|degraded:<a>|equal)"
+                    ))
+                }
+            }
+        }
+    }
+}
+
 /// Burst-buffer tier configuration (the paper's Section 8 extension).
 ///
 /// Checkpoints are absorbed by node-local burst buffers at
@@ -67,6 +107,46 @@ pub enum FailureModel {
     Weibull(f64),
     /// No failures (baseline / debugging).
     None,
+}
+
+impl FailureModel {
+    /// Canonical spec string, the inverse of the
+    /// [`FromStr`](std::str::FromStr) grammar:
+    /// `"exponential"`, `"none"`, or `"weibull:<shape>"`.
+    pub fn spec_name(&self) -> String {
+        match self {
+            FailureModel::Exponential => "exponential".to_string(),
+            FailureModel::None => "none".to_string(),
+            FailureModel::Weibull(k) => format!("weibull:{k}"),
+        }
+    }
+}
+
+impl std::str::FromStr for FailureModel {
+    type Err = String;
+
+    /// Parses `exponential`, `none`, or `weibull:<shape>`.
+    fn from_str(s: &str) -> Result<FailureModel, String> {
+        match s {
+            "exponential" => Ok(FailureModel::Exponential),
+            "none" => Ok(FailureModel::None),
+            other => {
+                if let Some(shape) = other.strip_prefix("weibull:") {
+                    let k: f64 = shape
+                        .parse()
+                        .map_err(|_| format!("bad Weibull shape '{shape}'"))?;
+                    if !(k.is_finite() && k > 0.0) {
+                        return Err(format!("Weibull shape must be positive, got '{shape}'"));
+                    }
+                    Ok(FailureModel::Weibull(k))
+                } else {
+                    Err(format!(
+                        "unknown failure model '{other}' (exponential|weibull:<k>|none)"
+                    ))
+                }
+            }
+        }
+    }
 }
 
 /// Full description of one simulation experiment.

@@ -178,89 +178,82 @@ impl TraceEvent {
         }
     }
 
-    /// Renders one CSV row: `t_secs,event,job,detail`.
-    pub fn to_csv_row(&self) -> String {
+    /// The event's kind label (the `event` column of the CSV form).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceEvent::JobStarted { .. } => "job_started",
+            TraceEvent::IoStarted { .. } => "io_started",
+            TraceEvent::IoCompleted { .. } => "io_completed",
+            TraceEvent::CheckpointDurable { .. } => "checkpoint_durable",
+            TraceEvent::TierAbsorb { .. } => "tier_absorb",
+            TraceEvent::TierDrain { .. } => "tier_drain",
+            TraceEvent::TierSpill { .. } => "tier_spill",
+            TraceEvent::Failure { .. } => "failure",
+            TraceEvent::JobCompleted { .. } => "job_completed",
+        }
+    }
+
+    /// The `job` column: the concerned job, or `-` for failures that
+    /// struck idle nodes.
+    pub fn job_column(&self) -> String {
+        self.job()
+            .map_or_else(|| "-".to_string(), |j| j.to_string())
+    }
+
+    /// The `detail` column: the event's remaining fields as
+    /// `key=value;...` pairs (empty for `job_completed`).
+    pub fn detail(&self) -> String {
         match self {
             TraceEvent::JobStarted {
-                at,
-                job,
-                nodes,
-                is_restart,
-            } => format!(
-                "{:.3},job_started,{job},nodes={nodes};restart={is_restart}",
-                at.as_secs()
-            ),
-            TraceEvent::IoStarted {
-                at,
-                job,
-                kind,
-                volume,
-            } => format!(
-                "{:.3},io_started,{job},kind={};volume={volume}",
-                at.as_secs(),
-                kind.label()
-            ),
+                nodes, is_restart, ..
+            } => format!("nodes={nodes};restart={is_restart}"),
+            TraceEvent::IoStarted { kind, volume, .. } => {
+                format!("kind={};volume={volume}", kind.label())
+            }
             TraceEvent::IoCompleted {
-                at,
-                job,
                 kind,
                 volume,
                 duration,
+                ..
             } => format!(
-                "{:.3},io_completed,{job},kind={};volume={volume};secs={:.3}",
-                at.as_secs(),
+                "kind={};volume={volume};secs={:.3}",
                 kind.label(),
                 duration.as_secs()
             ),
-            TraceEvent::CheckpointDurable { at, job, content } => format!(
-                "{:.3},checkpoint_durable,{job},content_hours={:.4}",
-                at.as_secs(),
-                content.as_hours()
-            ),
-            TraceEvent::TierAbsorb {
-                at,
-                job,
-                level,
-                volume,
-            } => format!(
-                "{:.3},tier_absorb,{job},level={level};volume={volume}",
-                at.as_secs()
-            ),
+            TraceEvent::CheckpointDurable { content, .. } => {
+                format!("content_hours={:.4}", content.as_hours())
+            }
+            TraceEvent::TierAbsorb { level, volume, .. } => {
+                format!("level={level};volume={volume}")
+            }
             TraceEvent::TierDrain {
-                at,
-                job,
                 from_level,
                 to_level,
                 volume,
+                ..
             } => format!(
-                "{:.3},tier_drain,{job},from={from_level};to={};volume={volume}",
-                at.as_secs(),
+                "from={from_level};to={};volume={volume}",
                 to_level.map_or("pfs".to_string(), |l| l.to_string())
             ),
-            TraceEvent::TierSpill {
-                at,
-                job,
-                level,
-                volume,
-            } => format!(
-                "{:.3},tier_spill,{job},level={level};volume={volume}",
-                at.as_secs()
-            ),
-            TraceEvent::Failure {
-                at,
-                node,
-                victim,
-                lost_work,
-            } => format!(
-                "{:.3},failure,{},node={node};lost_hours={:.4}",
-                at.as_secs(),
-                victim.map_or("-".to_string(), |j| j.to_string()),
-                lost_work.as_hours()
-            ),
-            TraceEvent::JobCompleted { at, job } => {
-                format!("{:.3},job_completed,{job},", at.as_secs())
+            TraceEvent::TierSpill { level, volume, .. } => {
+                format!("level={level};volume={volume}")
             }
+            TraceEvent::Failure {
+                node, lost_work, ..
+            } => format!("node={node};lost_hours={:.4}", lost_work.as_hours()),
+            TraceEvent::JobCompleted { .. } => String::new(),
         }
+    }
+
+    /// Renders one CSV row: `t_secs,event,job,detail`.
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{:.3},{},{},{}",
+            self.at().as_secs(),
+            self.label(),
+            self.job_column(),
+            self.detail()
+        )
     }
 }
 

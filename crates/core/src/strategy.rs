@@ -158,6 +158,99 @@ impl Strategy {
             d => format!("{}-{}", d.label(), self.policy.label()),
         }
     }
+
+    /// Canonical machine-readable spec name, the inverse of the
+    /// [`FromStr`](std::str::FromStr) grammar: `"least-waste"`, `"ordered-nb-daly"`,
+    /// `"tiered-fixed"` (the 1-hour default), or `"oblivious-fixed:1800s"`
+    /// for non-hourly fixed periods (raw seconds, so the round trip is
+    /// bit-exact).
+    pub fn spec_name(&self) -> String {
+        let disc = match self.discipline {
+            // The canonical constructor pins Least-Waste to Daly periods
+            // (paper footnote 4), but the fields are public, so a Fixed
+            // policy must still serialize faithfully.
+            IoDiscipline::LeastWaste if self.policy == CheckpointPolicy::Daly => {
+                return "least-waste".to_string()
+            }
+            IoDiscipline::LeastWaste => "least-waste",
+            IoDiscipline::Oblivious => "oblivious",
+            IoDiscipline::Ordered => "ordered",
+            IoDiscipline::OrderedNb => "ordered-nb",
+            IoDiscipline::Tiered => "tiered",
+        };
+        match self.policy {
+            CheckpointPolicy::Daly => format!("{disc}-daly"),
+            CheckpointPolicy::Fixed(d) if d == Duration::HOUR => format!("{disc}-fixed"),
+            CheckpointPolicy::Fixed(d) => format!("{disc}-fixed:{}s", d.as_secs()),
+        }
+    }
+}
+
+impl std::str::FromStr for Strategy {
+    type Err = String;
+
+    /// Parses a strategy spec name (the CLI `--strategy` grammar):
+    ///
+    /// * `least-waste` — the cooperative heuristic (always Daly periods);
+    /// * `<discipline>-daly` or `<discipline>-fixed` with discipline one of
+    ///   `oblivious`, `ordered`, `ordered-nb`, `tiered` (`fixed` is the
+    ///   paper's 1-hour default);
+    /// * `<discipline>-fixed:<period>` with `<period>` a number of hours
+    ///   (`2`, `0.5h`) or seconds (`1800s`);
+    /// * `tiered` alone as shorthand for `tiered-daly`.
+    fn from_str(s: &str) -> Result<Strategy, String> {
+        let s = s.to_lowercase();
+        if s == "least-waste" {
+            return Ok(Strategy::least_waste());
+        }
+        if s == "tiered" {
+            return Ok(Strategy::tiered(CheckpointPolicy::Daly));
+        }
+        // Longest prefix first, so `ordered-nb-daly` is not read as
+        // `ordered` + `nb-daly`.
+        for (prefix, disc) in [
+            ("least-waste", IoDiscipline::LeastWaste),
+            ("ordered-nb", IoDiscipline::OrderedNb),
+            ("oblivious", IoDiscipline::Oblivious),
+            ("ordered", IoDiscipline::Ordered),
+            ("tiered", IoDiscipline::Tiered),
+        ] {
+            let Some(rest) = s.strip_prefix(prefix).and_then(|r| r.strip_prefix('-')) else {
+                continue;
+            };
+            let policy = match rest {
+                "daly" => CheckpointPolicy::Daly,
+                "fixed" => CheckpointPolicy::fixed_hourly(),
+                _ => {
+                    let Some(period) = rest.strip_prefix("fixed:") else {
+                        return Err(format!("unknown checkpoint policy '{rest}' in '{s}'"));
+                    };
+                    let (number, unit_secs) = if let Some(p) = period.strip_suffix('s') {
+                        (p, 1.0)
+                    } else if let Some(p) = period.strip_suffix('h') {
+                        (p, 3600.0)
+                    } else {
+                        (period, 3600.0)
+                    };
+                    let v: f64 = number
+                        .parse()
+                        .map_err(|_| format!("bad fixed period '{period}' in '{s}'"))?;
+                    if !(v.is_finite() && v > 0.0) {
+                        return Err(format!("fixed period must be positive, got '{period}'"));
+                    }
+                    CheckpointPolicy::Fixed(Duration::from_secs(v * unit_secs))
+                }
+            };
+            return Ok(Strategy {
+                discipline: disc,
+                policy,
+            });
+        }
+        Err(format!(
+            "unknown strategy '{s}' (expected least-waste, or \
+             oblivious|ordered|ordered-nb|tiered with -daly, -fixed or -fixed:<period>)"
+        ))
+    }
 }
 
 impl std::fmt::Display for Strategy {
@@ -238,5 +331,70 @@ mod tests {
     fn display_matches_name() {
         let s = Strategy::ordered_nb(CheckpointPolicy::Daly);
         assert_eq!(format!("{s}"), s.name());
+    }
+
+    #[test]
+    fn spec_names_round_trip_through_from_str() {
+        let mut all = Strategy::all_seven().to_vec();
+        all.push(Strategy::tiered(CheckpointPolicy::Daly));
+        all.push(Strategy::tiered(CheckpointPolicy::fixed_hourly()));
+        all.push(Strategy::ordered(CheckpointPolicy::Fixed(
+            Duration::from_secs(1234.5),
+        )));
+        for s in all {
+            let name = s.spec_name();
+            let back: Strategy = name.parse().expect(&name);
+            assert_eq!(back, s, "{name}");
+        }
+    }
+
+    #[test]
+    fn from_str_accepts_cli_shorthands() {
+        for (input, expect) in [
+            ("least-waste", Strategy::least_waste()),
+            ("tiered", Strategy::tiered(CheckpointPolicy::Daly)),
+            (
+                "Ordered-NB-Daly",
+                Strategy::ordered_nb(CheckpointPolicy::Daly),
+            ),
+            (
+                "oblivious-fixed",
+                Strategy::oblivious(CheckpointPolicy::fixed_hourly()),
+            ),
+            (
+                "ordered-fixed:0.5h",
+                Strategy::ordered(CheckpointPolicy::Fixed(Duration::from_hours(0.5))),
+            ),
+            (
+                "ordered-fixed:1800s",
+                Strategy::ordered(CheckpointPolicy::Fixed(Duration::from_secs(1800.0))),
+            ),
+            (
+                "ordered-nb-fixed:2",
+                Strategy::ordered_nb(CheckpointPolicy::Fixed(Duration::from_hours(2.0))),
+            ),
+        ] {
+            assert_eq!(input.parse::<Strategy>().unwrap(), expect, "{input}");
+        }
+        assert!("magic".parse::<Strategy>().is_err());
+        assert!("ordered-sometimes".parse::<Strategy>().is_err());
+        assert!("ordered-fixed:-1".parse::<Strategy>().is_err());
+        assert!("least-waste-sometimes".parse::<Strategy>().is_err());
+    }
+
+    #[test]
+    fn least_waste_with_fixed_policy_survives_the_spec_round_trip() {
+        // The fields are public, so this off-canon combination is
+        // constructible; serialization must not silently turn it into
+        // Least-Waste + Daly.
+        let s = Strategy {
+            discipline: IoDiscipline::LeastWaste,
+            policy: CheckpointPolicy::Fixed(Duration::from_secs(1800.0)),
+        };
+        let name = s.spec_name();
+        assert_eq!(name, "least-waste-fixed:1800s");
+        assert_eq!(name.parse::<Strategy>().unwrap(), s);
+        // The canonical form stays short.
+        assert_eq!(Strategy::least_waste().spec_name(), "least-waste");
     }
 }
