@@ -55,11 +55,13 @@ impl BenchScale {
 /// the Cielo preset at the given bandwidth (scarce 40 GB/s in most
 /// ablations), 2-year node MTBF, APEX workload, at this scale.
 pub fn cielo_scenario(bandwidth_gbps: f64, scale: &BenchScale) -> Scenario {
-    let mut sc = Scenario::default();
-    sc.platform = PlatformSpec::Preset {
-        name: "cielo".to_string(),
-        bandwidth: Some(Bandwidth::from_gbps(bandwidth_gbps)),
-        node_mtbf: None,
+    let sc = Scenario {
+        platform: PlatformSpec::Preset {
+            name: "cielo".to_string(),
+            bandwidth: Some(Bandwidth::from_gbps(bandwidth_gbps)),
+            node_mtbf: None,
+        },
+        ..Scenario::default()
     };
     scale.apply(sc)
 }

@@ -48,6 +48,7 @@ COMMON FLAGS:
                                                           [least-waste]
   --interference linear|degraded:<a>|equal               [linear]
   --failures exponential|weibull:<k>|none                [exponential]
+  --power cielo|prospective|none                         [none]
   --format text|csv|json                                 [text]
 
 EXAMPLES:
@@ -56,8 +57,10 @@ EXAMPLES:
   coopckpt theory --bandwidth 40 --format json
   coopckpt run --strategy ordered-nb-daly --bandwidth 40 --samples 20
   coopckpt run --strategy tiered --tiers 3 --bandwidth 40
+  coopckpt run --scenario scenarios/energy_tradeoff.json --format json
   coopckpt sweep --axis bandwidth --values 40,80,120,160 --samples 50
   coopckpt sweep --axis tiers --values 0,1,2,3 --bandwidth 40
+  coopckpt sweep --axis power-ratio --power cielo --values 0.5,1,2,4
 ";
 
 /// `coopckpt run --help`
@@ -90,13 +93,19 @@ FLAGS:
   --seed <n>           base seed                          [1]
   --interference linear|degraded:<a>|equal                [linear]
   --failures exponential|weibull:<k>|none                 [exponential]
+  --power <model>      meter per-phase energy under a power model:
+                       cielo|prospective|none              [none]
   --format text|csv|json                                  [text]
+
+With `--power` (or a scenario `power` block) the report gains energy
+sections: the energy waste ratio, per-phase joules, and platform totals.
 
 EXAMPLES:
   coopckpt run --scenario scenarios/cielo_baseline.json --format json
   coopckpt run --strategy least-waste --bandwidth 40 --samples 20
   coopckpt run --strategy tiered --tiers 3 --bandwidth 40 --samples 20
   coopckpt run --scenario scenarios/weibull_ablation.json --samples 50
+  coopckpt run --scenario scenarios/energy_tradeoff.json --format json
 ";
 
 /// `coopckpt sweep --help`
@@ -104,22 +113,26 @@ pub const SWEEP_HELP: &str = "\
 coopckpt sweep — sweep one axis across all strategies (figures 1/2 data)
 
 USAGE:
-  coopckpt sweep --axis bandwidth|mtbf|tiers [--values a,b,c] [--flag value]...
+  coopckpt sweep --axis <axis> [--values a,b,c] [--flag value]...
 
 Simulates every strategy at each point of the swept axis and prints one
 row per (x, strategy) with candlestick statistics of the waste ratio.
 The `bandwidth` and `mtbf` axes add the Theorem 1 bound as a
-'Theoretical Model' series; the `tiers` axis has no analytic bound (fast
-absorbs legitimately beat the PFS-priced bound).
+'Theoretical Model' series; the other axes have no analytic bound. The
+`power-ratio` axis sweeps the checkpoint/compute draw ratio and reports
+the *energy* waste ratio (Aupy et al. time-vs-energy trade-off).
 
 FLAGS:
   --scenario <file>    load a scenario file; flags below override fields
   --axis <name>        bandwidth (GB/s, Fig. 1) | mtbf (years, Fig. 2) |
-                       tiers (hierarchy depth)             [bandwidth]
+                       tiers (hierarchy depth) | weibull-shape |
+                       power-ratio (energy metric)         [bandwidth]
   --values a,b,c       swept values
-                       [bandwidth: 40..160; mtbf: 2..50; tiers: 0..3]
+                       [bandwidth: 40..160; mtbf: 2..50; tiers: 0..3;
+                        weibull-shape: 0.5..2; power-ratio: 0.25..4]
   --samples <n>        Monte-Carlo instances per point     [10]
   --seed <n>           base seed                           [1]
+  --power <model>      base power model for power-ratio    [cielo]
   --platform, --bandwidth, --mtbf-years, --span-days, --interference,
   --failures, --format as in `coopckpt run --help`
 
@@ -127,6 +140,8 @@ EXAMPLES:
   coopckpt sweep --axis bandwidth --values 40,80,120,160 --samples 50
   coopckpt sweep --axis mtbf --values 2,5,10,20,50 --bandwidth 40
   coopckpt sweep --axis tiers --values 0,1,2,3 --bandwidth 40 --format csv
+  coopckpt sweep --axis weibull-shape --values 0.5,0.7,1,1.5 --bandwidth 40
+  coopckpt sweep --axis power-ratio --power cielo --bandwidth 40
   coopckpt sweep --scenario scenarios/cielo_baseline.json --axis mtbf
 ";
 
@@ -148,6 +163,8 @@ FLAGS:
   --strategy <name>    as in `coopckpt run --help`        [least-waste]
   --tiers <n>          storage-hierarchy depth            [0]
   --seed <n>           instance seed                      [1]
+  --power <model>      meter energy; the summary line gains the
+                       instance's energy waste ratio      [none]
   --format text|csv|json                                  [csv]
   --platform, --bandwidth, --mtbf-years, --span-days, --interference,
   --failures as in `coopckpt run --help`
@@ -182,6 +199,7 @@ const SCENARIO_FLAGS: &[&str] = &[
     "interference",
     "failures",
     "tiers",
+    "power",
     "format",
     "help",
 ];
@@ -198,6 +216,7 @@ const SWEEP_FLAGS: &[&str] = &[
     "interference",
     "failures",
     "tiers",
+    "power",
     "axis",
     "values",
     "format",
@@ -314,6 +333,15 @@ fn scenario_from(args: &Args) -> Result<Scenario, Box<dyn std::error::Error>> {
     if let Some(raw) = args.get("tiers") {
         let depth: usize = raw.parse().map_err(|_| format!("bad --tiers '{raw}'"))?;
         sc.tiers = TiersSpec::Geometric(depth);
+    }
+    if let Some(raw) = args.get("power") {
+        sc.power =
+            match raw {
+                "none" => None,
+                name => Some(PowerModel::preset(name).ok_or_else(|| {
+                    format!("unknown power model '{name}' (cielo|prospective|none)")
+                })?),
+            };
     }
     Ok(sc)
 }
@@ -449,13 +477,20 @@ pub fn trace(args: &Args) -> CmdResult {
     let config = sc.into_config()?.with_trace();
     let result = coopckpt::run_simulation(&config, sc.seed);
     let trace = result.trace.as_ref().expect("trace was requested");
-    let summary = format!(
+    let mut summary = format!(
         "{} events; waste ratio {:.4}; {} checkpoints; {} failures on jobs",
         trace.len(),
         result.waste_ratio,
         result.checkpoints_committed,
         result.failures_hitting_jobs
     );
+    if let Some(energy) = &result.energy {
+        summary.push_str(&format!(
+            "; energy waste ratio {:.4} ({:.3} GJ total)",
+            energy.energy_waste_ratio,
+            energy.total_joules / 1e9
+        ));
+    }
     // Traces default to their historical raw-CSV form; `--format json`
     // wraps the same rows in the structured report.
     match format_from(args, OutputFormat::Csv)? {
@@ -634,6 +669,34 @@ mod tests {
     }
 
     #[test]
+    fn power_flag_selects_a_model() {
+        let sc = scenario_from(&args(&["x", "--power", "cielo"])).unwrap();
+        assert_eq!(sc.power, Some(PowerModel::cielo()));
+        let sc = scenario_from(&args(&["x", "--power", "prospective"])).unwrap();
+        assert_eq!(sc.power, Some(PowerModel::prospective()));
+        let sc = scenario_from(&args(&["x", "--power", "none"])).unwrap();
+        assert_eq!(sc.power, None);
+        assert!(scenario_from(&args(&["x", "--power", "fusion"])).is_err());
+        // The config inherits the model.
+        let cfg = scenario_from(&args(&["x", "--power", "cielo"]))
+            .unwrap()
+            .into_config()
+            .unwrap();
+        assert_eq!(cfg.power, Some(PowerModel::cielo()));
+    }
+
+    #[test]
+    fn new_sweep_axes_are_accepted() {
+        for axis in ["weibull-shape", "power-ratio"] {
+            let parsed: SweepAxis = axis.parse().unwrap();
+            assert_eq!(parsed.as_str(), axis);
+        }
+        assert!(known_flags("sweep").contains(&"power"));
+        assert!(known_flags("run").contains(&"power"));
+        assert!(!known_flags("table1").contains(&"power"));
+    }
+
+    #[test]
     fn scenario_file_loads_and_flags_override_it() {
         let dir = std::env::temp_dir();
         let path = dir.join("coopckpt_cli_test_scenario.json");
@@ -726,7 +789,9 @@ mod tests {
     fn per_subcommand_help_pages() {
         for (cmd, needle) in [
             ("run", "--tiers <n>"),
-            ("sweep", "bandwidth|mtbf|tiers"),
+            ("run", "--power <model>"),
+            ("sweep", "power-ratio"),
+            ("sweep", "weibull-shape"),
             ("trace", "tier_absorb"),
         ] {
             let page = help_for(cmd).expect("dedicated help page");

@@ -16,10 +16,10 @@
 //!   tiers scaled to the platform by
 //!   [`geometric_tiers`].
 
-use crate::montecarlo::{run_all, run_many, MonteCarloConfig};
+use crate::montecarlo::{run_all, run_many, run_many_by, MonteCarloConfig};
 use crate::report::{candlestick_cells, Cell, Report, CANDLESTICK_COLUMNS};
 use crate::scenario::{Scenario, ScenarioError, Sweep, SweepAxis};
-use crate::sim::{geometric_tiers, SimConfig, SimResult};
+use crate::sim::{geometric_tiers, EnergySummary, FailureModel, PowerModel, SimConfig, SimResult};
 use crate::strategy::{CheckpointPolicy, Strategy};
 use coopckpt_des::Duration;
 use coopckpt_model::{AppClass, Bandwidth, Platform};
@@ -146,6 +146,77 @@ pub fn waste_vs_tier_count(
     points
 }
 
+/// ROADMAP follow-on sweep: waste ratio vs. Weibull failure-law shape,
+/// mean-matched to the platform MTBF (`shape = 1` is the exponential
+/// law). No "Theoretical Model" series: Theorem 1 is derived under
+/// exponential failures, so the bound does not apply across this axis.
+pub fn waste_vs_weibull_shape(
+    template: &SimConfig,
+    shapes: &[f64],
+    strategies: &[Strategy],
+    mc: &MonteCarloConfig,
+) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for &shape in shapes {
+        for strat in strategies {
+            let cfg = SimConfig {
+                strategy: *strat,
+                failures: FailureModel::Weibull(shape),
+                ..template.clone()
+            };
+            let samples = run_many(&cfg, mc);
+            points.push(SweepPoint {
+                x: shape,
+                series: strat.name(),
+                stats: samples.candlestick(),
+            });
+        }
+    }
+    points
+}
+
+/// The time-vs-energy trade-off sweep: **energy** waste ratio as a
+/// function of the checkpoint/compute power ratio `ρ_ckpt / ρ_comp`. The
+/// template's power model (the Cielo preset when it has none) supplies
+/// every other draw; each point rescales the checkpoint and recovery
+/// draws to `ratio × ρ_comp`. This is the one axis whose candlesticks
+/// summarize `energy_waste_ratio` instead of the time waste ratio.
+pub fn energy_vs_power_ratio(
+    template: &SimConfig,
+    ratios: &[f64],
+    strategies: &[Strategy],
+    mc: &MonteCarloConfig,
+) -> Vec<SweepPoint> {
+    let base = template.power.unwrap_or_else(PowerModel::cielo);
+    let mut points = Vec::new();
+    for &ratio in ratios {
+        let power = PowerModel {
+            ckpt_w: base.compute_w * ratio,
+            recovery_w: base.compute_w * ratio,
+            ..base
+        };
+        for strat in strategies {
+            let cfg = SimConfig {
+                strategy: *strat,
+                power: Some(power),
+                ..template.clone()
+            };
+            let samples = run_many_by(&cfg, mc, |r| {
+                r.energy
+                    .as_ref()
+                    .expect("power configured for every point")
+                    .energy_waste_ratio
+            });
+            points.push(SweepPoint {
+                x: ratio,
+                series: strat.name(),
+                stats: samples.candlestick(),
+            });
+        }
+    }
+    points
+}
+
 /// Executes one sweep descriptor against a template config: every paper
 /// strategy at every swept value (plus the `Tiered` discipline on the
 /// `tiers` axis, and the Theorem 1 bound on the axes it is valid for).
@@ -163,6 +234,24 @@ pub fn sweep_points(
             let mut strategies = strategies.to_vec();
             strategies.push(Strategy::tiered(CheckpointPolicy::Daly));
             Ok(waste_vs_tier_count(template, &counts, &strategies, mc))
+        }
+        SweepAxis::WeibullShape => {
+            crate::scenario::validate_positive_values(sweep.axis, &sweep.values)?;
+            Ok(waste_vs_weibull_shape(
+                template,
+                &sweep.values,
+                &strategies,
+                mc,
+            ))
+        }
+        SweepAxis::PowerRatio => {
+            crate::scenario::validate_positive_values(sweep.axis, &sweep.values)?;
+            Ok(energy_vs_power_ratio(
+                template,
+                &sweep.values,
+                &strategies,
+                mc,
+            ))
         }
     }
 }
@@ -218,6 +307,17 @@ pub fn run_scenario(scenario: &Scenario) -> Result<Report, ScenarioError> {
 
     match &scenario.sweep {
         Some(sweep) => {
+            let mut config = config;
+            if config.power.is_some() && sweep.axis != SweepAxis::PowerRatio {
+                // Time-metric sweeps have no column to report energy in;
+                // don't silently pay per-event metering for numbers that
+                // would be discarded — drop the meter and say so.
+                config.power = None;
+                report.note(
+                    "power model ignored: sweeps report energy only on the \
+                     power-ratio axis (single-point runs get energy sections)",
+                );
+            }
             let points = sweep_points(&config, sweep, &mc)?;
             sweep_section(&mut report, sweep.axis.as_str(), &points);
         }
@@ -260,9 +360,61 @@ pub fn run_scenario(scenario: &Scenario) -> Result<Report, ScenarioError> {
                     Cell::float(max, precision),
                 ]);
             }
+            energy_sections(&mut report, &results);
         }
     }
     Ok(report)
+}
+
+/// Appends the `energy` and `energy_breakdown` sections when the instances
+/// carried energy metering (no-op otherwise). Totals are reported in
+/// gigajoules; the waste-ratio candlestick mirrors the time-waste row.
+fn energy_sections(report: &mut Report, results: &[SimResult]) {
+    let energies: Vec<&EnergySummary> = results.iter().filter_map(|r| r.energy.as_ref()).collect();
+    if energies.is_empty() {
+        return;
+    }
+    const GJ: f64 = 1e9;
+    let ratios: Vec<f64> = energies.iter().map(|e| e.energy_waste_ratio).collect();
+    let stats = Candlestick::from_samples(&ratios);
+    report
+        .section("energy", ["metric"].into_iter().chain(CANDLESTICK_COLUMNS))
+        .row(
+            [Cell::text("energy_waste_ratio")]
+                .into_iter()
+                .chain(candlestick_cells(&stats)),
+        );
+    let totals = report.section("energy_totals", ["metric", "mean_gj", "min_gj", "max_gj"]);
+    type Pick = fn(&EnergySummary) -> f64;
+    for (label, pick) in [
+        ("useful", (|e: &EnergySummary| e.useful_joules) as Pick),
+        ("wasted", |e| e.wasted_joules),
+        ("platform_overhead", |e| e.platform_overhead_joules),
+        ("total", |e| e.total_joules),
+    ] {
+        let values: Vec<f64> = energies.iter().map(|e| pick(e)).collect();
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        totals.row([
+            Cell::text(label),
+            Cell::float(mean / GJ, 3),
+            Cell::float(min / GJ, 3),
+            Cell::float(max / GJ, 3),
+        ]);
+    }
+    let mean_total: f64 =
+        energies.iter().map(|e| e.total_joules).sum::<f64>() / energies.len() as f64;
+    let breakdown = report.section("energy_breakdown", ["phase", "mean_gj", "share_pct"]);
+    for (i, (label, _)) in energies[0].breakdown.iter().enumerate() {
+        let mean: f64 =
+            energies.iter().map(|e| e.breakdown[i].1).sum::<f64>() / energies.len() as f64;
+        breakdown.row([
+            Cell::text(*label),
+            Cell::float(mean / GJ, 3),
+            Cell::float(100.0 * mean / mean_total.max(f64::MIN_POSITIVE), 2),
+        ]);
+    }
 }
 
 /// Figure 3: the minimum aggregate bandwidth (GB/s) at which `strategy`
@@ -431,6 +583,124 @@ mod tests {
         // blocking strategy.
         let ordered: Vec<&SweepPoint> = pts.iter().filter(|p| p.series == "Ordered-Daly").collect();
         assert!(ordered[1].stats.mean <= ordered[0].stats.mean + 1e-9);
+    }
+
+    #[test]
+    fn weibull_shape_sweep_produces_all_series() {
+        let t = template();
+        let pts = waste_vs_weibull_shape(
+            &t,
+            &[0.7, 1.0],
+            &[Strategy::least_waste()],
+            &MonteCarloConfig::new(2),
+        );
+        assert_eq!(pts.len(), 2);
+        assert!(pts.iter().all(|p| p.series != "Theoretical Model"));
+        // Shape 1.0 is the mean-matched exponential law. The sampled
+        // instants differ from the exponential sampler's by ulps (the
+        // mean-matching scale divides by a Lanczos Γ(2) ≈ 1), so the
+        // runs are not bitwise equal — but a broken mean-match would
+        // shift the failure rate and move the waste by far more than
+        // this tolerance.
+        let expo = run_many(
+            &SimConfig {
+                failures: FailureModel::Exponential,
+                ..t.clone()
+            },
+            &MonteCarloConfig::new(2),
+        );
+        assert!(
+            (pts[1].stats.mean - expo.candlestick().mean).abs() < 0.02,
+            "Weibull(1.0) waste {} strayed from exponential waste {}",
+            pts[1].stats.mean,
+            expo.candlestick().mean
+        );
+    }
+
+    #[test]
+    fn power_ratio_sweep_reports_energy_waste() {
+        let t = template();
+        let pts = energy_vs_power_ratio(
+            &t,
+            &[0.25, 4.0],
+            &[Strategy::least_waste()],
+            &MonteCarloConfig::new(2),
+        );
+        assert_eq!(pts.len(), 2);
+        // Pricier checkpoints must not lower the energy waste at a fixed
+        // (time-optimal) period.
+        assert!(pts[1].stats.mean > pts[0].stats.mean);
+        for p in &pts {
+            assert!(p.stats.mean > 0.0 && p.stats.mean < 1.0);
+        }
+    }
+
+    #[test]
+    fn run_scenario_with_power_adds_energy_sections() {
+        let t = template().with_power(PowerModel::cielo());
+        let sc = Scenario::from_config(&t).with_sampling(2, 1);
+        let report = run_scenario(&sc).unwrap();
+        let names: Vec<&str> = report.sections.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "waste",
+                "summary",
+                "energy",
+                "energy_totals",
+                "energy_breakdown"
+            ]
+        );
+        let breakdown = &report.sections[4];
+        assert_eq!(breakdown.rows.len(), crate::sim::Phase::ALL.len());
+        // Without power, no energy sections appear.
+        let sc = Scenario::from_config(&template()).with_sampling(2, 1);
+        let report = run_scenario(&sc).unwrap();
+        assert_eq!(report.sections.len(), 2);
+    }
+
+    #[test]
+    fn time_metric_sweeps_drop_the_power_model_with_a_note() {
+        let t = template().with_power(PowerModel::cielo());
+        let mut sc = Scenario::from_config(&t).with_sampling(1, 1);
+        sc.sweep = Some(Sweep {
+            axis: SweepAxis::Bandwidth,
+            values: vec![2.0],
+        });
+        let report = run_scenario(&sc).unwrap();
+        assert!(
+            report
+                .notes
+                .iter()
+                .any(|n| n.contains("power model ignored")),
+            "{:?}",
+            report.notes
+        );
+        // The power-ratio axis keeps (and uses) the model: no such note.
+        sc.sweep = Some(Sweep {
+            axis: SweepAxis::PowerRatio,
+            values: vec![1.0],
+        });
+        let report = run_scenario(&sc).unwrap();
+        assert!(!report
+            .notes
+            .iter()
+            .any(|n| n.contains("power model ignored")));
+    }
+
+    #[test]
+    fn run_scenario_power_ratio_sweep() {
+        let t = template();
+        let mut sc = Scenario::from_config(&t).with_sampling(1, 1);
+        sc.sweep = Some(Sweep {
+            axis: SweepAxis::PowerRatio,
+            values: vec![0.5, 2.0],
+        });
+        let report = run_scenario(&sc).unwrap();
+        let sweep = &report.sections[0];
+        assert_eq!(sweep.columns[0], "power-ratio");
+        // Two x-values x seven strategies, no analytic bound.
+        assert_eq!(sweep.rows.len(), 2 * 7);
     }
 
     #[test]

@@ -651,7 +651,7 @@ mod tests {
             f64::MIN_POSITIVE,
             f64::MAX,
             9.007199254740992e15,
-            123456789.123456789,
+            123_456_789.123_456_79,
         ] {
             let text = Json::Num(n).to_string();
             let back = Json::parse(&text).unwrap().as_f64().unwrap();

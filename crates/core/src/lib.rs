@@ -49,7 +49,10 @@ pub mod strategy;
 
 pub use report::{Cell, OutputFormat, Report, Section};
 pub use scenario::{PlatformSpec, Scenario, ScenarioError, Sweep, SweepAxis, TiersSpec};
-pub use sim::{geometric_tiers, run_simulation, SimConfig, SimResult, TierSpec};
+pub use sim::{
+    geometric_tiers, run_simulation, EnergySummary, Phase, PowerModel, SimConfig, SimResult,
+    TierSpec,
+};
 pub use strategy::{CheckpointPolicy, IoDiscipline, Strategy};
 
 /// Convenience re-exports for downstream users.
@@ -60,7 +63,10 @@ pub mod prelude {
     pub use crate::scenario::{
         PlatformSpec, Scenario, ScenarioError, Sweep, SweepAxis, TiersSpec, WorkloadSource,
     };
-    pub use crate::sim::{geometric_tiers, run_simulation, SimConfig, SimResult, TierSpec};
+    pub use crate::sim::{
+        geometric_tiers, run_simulation, EnergySummary, Phase, PowerModel, SimConfig, SimResult,
+        TierSpec,
+    };
     pub use crate::strategy::{CheckpointPolicy, IoDiscipline, Strategy};
     pub use coopckpt_des::{Duration, Time};
     pub use coopckpt_model::{AppClass, Bandwidth, Bytes, Platform};

@@ -39,7 +39,8 @@
 use crate::json::{Json, JsonError};
 use crate::montecarlo::MonteCarloConfig;
 use crate::sim::{
-    geometric_tiers, BurstBufferSpec, FailureModel, InterferenceKind, SimConfig, TierSpec,
+    geometric_tiers, BurstBufferSpec, FailureModel, InterferenceKind, PowerModel, SimConfig,
+    TierSpec,
 };
 use crate::strategy::Strategy;
 use coopckpt_des::Duration;
@@ -167,15 +168,26 @@ pub enum SweepAxis {
     Mtbf,
     /// Storage-hierarchy depth (beyond the paper).
     Tiers,
+    /// Weibull failure-law shape, mean-matched to the platform MTBF
+    /// (shape `< 1` = infant mortality; `1` = exponential).
+    WeibullShape,
+    /// Checkpoint-write draw over compute draw (`ρ_ckpt / ρ_comp`). The
+    /// only axis whose metric is the *energy* waste ratio; it pins the
+    /// scenario's power model (or the Cielo preset) and rescales its
+    /// checkpoint and recovery draws per point.
+    PowerRatio,
 }
 
 impl SweepAxis {
-    /// The spec string (`"bandwidth"`, `"mtbf"`, `"tiers"`).
+    /// The spec string (`"bandwidth"`, `"mtbf"`, `"tiers"`,
+    /// `"weibull-shape"`, `"power-ratio"`).
     pub fn as_str(self) -> &'static str {
         match self {
             SweepAxis::Bandwidth => "bandwidth",
             SweepAxis::Mtbf => "mtbf",
             SweepAxis::Tiers => "tiers",
+            SweepAxis::WeibullShape => "weibull-shape",
+            SweepAxis::PowerRatio => "power-ratio",
         }
     }
 
@@ -185,6 +197,8 @@ impl SweepAxis {
             SweepAxis::Bandwidth => vec![40.0, 60.0, 80.0, 100.0, 120.0, 140.0, 160.0],
             SweepAxis::Mtbf => vec![2.0, 4.0, 10.0, 20.0, 50.0],
             SweepAxis::Tiers => vec![0.0, 1.0, 2.0, 3.0],
+            SweepAxis::WeibullShape => vec![0.5, 0.7, 1.0, 1.5, 2.0],
+            SweepAxis::PowerRatio => vec![0.25, 0.5, 1.0, 2.0, 4.0],
         }
     }
 }
@@ -197,8 +211,10 @@ impl std::str::FromStr for SweepAxis {
             "bandwidth" => Ok(SweepAxis::Bandwidth),
             "mtbf" => Ok(SweepAxis::Mtbf),
             "tiers" => Ok(SweepAxis::Tiers),
+            "weibull-shape" => Ok(SweepAxis::WeibullShape),
+            "power-ratio" => Ok(SweepAxis::PowerRatio),
             other => Err(format!(
-                "unknown sweep axis '{other}' (bandwidth|mtbf|tiers)"
+                "unknown sweep axis '{other}' (bandwidth|mtbf|tiers|weibull-shape|power-ratio)"
             )),
         }
     }
@@ -253,6 +269,10 @@ pub struct Scenario {
     pub workload_slack: Option<f64>,
     /// Optional single burst-buffer tier (the pre-hierarchy API).
     pub burst_buffer: Option<BurstBufferSpec>,
+    /// Optional power model: when present, runs meter per-phase energy
+    /// and reports carry energy sections (None = the paper's time-only
+    /// accounting).
+    pub power: Option<PowerModel>,
 }
 
 impl Default for Scenario {
@@ -281,6 +301,7 @@ impl Default for Scenario {
             regular_io_chunks: None,
             workload_slack: None,
             burst_buffer: None,
+            power: None,
         }
     }
 }
@@ -341,6 +362,12 @@ impl Scenario {
     /// Builder: installs a geometric hierarchy of the given depth.
     pub fn with_tier_depth(mut self, levels: usize) -> Self {
         self.tiers = TiersSpec::Geometric(levels);
+        self
+    }
+
+    /// Builder: enables energy metering under the given power model.
+    pub fn with_power(mut self, power: PowerModel) -> Self {
+        self.power = Some(power);
         self
     }
 
@@ -448,6 +475,12 @@ impl Scenario {
         if let Some(bb) = self.burst_buffer {
             config = config.with_burst_buffer(bb);
         }
+        if let Some(power) = self.power {
+            power
+                .validate()
+                .map_err(|e| ScenarioError::invalid("power", e))?;
+            config = config.with_power(power);
+        }
         Ok(config)
     }
 
@@ -473,6 +506,7 @@ impl Scenario {
             regular_io_chunks: Some(config.regular_io_chunks),
             workload_slack: Some(config.workload_slack),
             burst_buffer: config.burst_buffer,
+            power: config.power,
             ..Scenario::default()
         }
     }
@@ -554,6 +588,9 @@ impl Scenario {
                 ]),
             ));
         }
+        if let Some(power) = &self.power {
+            pairs.push(("power".into(), power_to_json(power)));
+        }
         if let Some(sweep) = &self.sweep {
             pairs.push((
                 "sweep".into(),
@@ -599,6 +636,7 @@ impl Scenario {
                 "regular_io_chunks",
                 "workload_slack",
                 "burst_buffer",
+                "power",
             ],
             "",
         )?;
@@ -671,6 +709,9 @@ impl Scenario {
         }
         if let Some(bb) = field(pairs, "burst_buffer") {
             sc.burst_buffer = Some(burst_buffer_from_json(bb)?);
+        }
+        if let Some(pw) = field(pairs, "power") {
+            sc.power = Some(power_from_json(pw)?);
         }
         if let Some(sw) = field(pairs, "sweep") {
             sc.sweep = Some(sweep_from_json(sw)?);
@@ -1149,7 +1190,9 @@ fn tier_from_json(v: &Json, path: &str) -> Result<TierSpec, ScenarioError> {
     .ok_or_else(|| {
         ScenarioError::invalid(join(path, "write_bw_gbps"), "required field is missing")
     })?;
-    if !(capacity.is_valid() && !capacity.is_zero() && write_bw.is_valid() && !write_bw.is_zero()) {
+    let positive =
+        capacity.is_valid() && !capacity.is_zero() && write_bw.is_valid() && !write_bw.is_zero();
+    if !positive {
         return Err(ScenarioError::invalid(
             path,
             "tier capacity and write bandwidth must be positive and finite",
@@ -1210,6 +1253,98 @@ fn burst_buffer_from_json(v: &Json) -> Result<BurstBufferSpec, ScenarioError> {
     })
 }
 
+fn power_to_json(p: &PowerModel) -> Json {
+    Json::obj([
+        ("idle_w", Json::Num(p.idle_w)),
+        ("compute_w", Json::Num(p.compute_w)),
+        ("io_w", Json::Num(p.io_w)),
+        ("ckpt_w", Json::Num(p.ckpt_w)),
+        ("recovery_w", Json::Num(p.recovery_w)),
+        ("down_w", Json::Num(p.down_w)),
+        ("pfs_static_w", Json::Num(p.pfs_static_w)),
+        ("pfs_active_w", Json::Num(p.pfs_active_w)),
+        ("tier_static_w", Json::Num(p.tier_static_w)),
+        ("tier_active_w", Json::Num(p.tier_active_w)),
+    ])
+}
+
+/// Parses a power block: a bare preset name (`"cielo"`, `"prospective"`),
+/// or an object whose fields override a base model — the named `preset`
+/// when given, an all-zero model otherwise (so a minimal
+/// `{"compute_w": 200, "ckpt_w": 400}` describes a pure trade-off model).
+fn power_from_json(v: &Json) -> Result<PowerModel, ScenarioError> {
+    let preset = |name: &str, path: &str| {
+        PowerModel::preset(name).ok_or_else(|| {
+            ScenarioError::invalid(
+                path,
+                format!("unknown power preset '{name}' (cielo|prospective)"),
+            )
+        })
+    };
+    if let Some(name) = v.as_str() {
+        return preset(name, "power");
+    }
+    let pairs = as_object(v, "power")?;
+    check_keys(
+        pairs,
+        &[
+            "preset",
+            "idle_w",
+            "compute_w",
+            "io_w",
+            "ckpt_w",
+            "recovery_w",
+            "down_w",
+            "pfs_static_w",
+            "pfs_active_w",
+            "tier_static_w",
+            "tier_active_w",
+        ],
+        "power",
+    )?;
+    let mut p = match opt_str_at(pairs, "preset", "power")? {
+        Some(name) => preset(&name, "power.preset")?,
+        None => PowerModel::uniform(0.0),
+    };
+    let fields: [(&str, &mut f64); 10] = [
+        ("idle_w", &mut p.idle_w),
+        ("compute_w", &mut p.compute_w),
+        ("io_w", &mut p.io_w),
+        ("ckpt_w", &mut p.ckpt_w),
+        ("recovery_w", &mut p.recovery_w),
+        ("down_w", &mut p.down_w),
+        ("pfs_static_w", &mut p.pfs_static_w),
+        ("pfs_active_w", &mut p.pfs_active_w),
+        ("tier_static_w", &mut p.tier_static_w),
+        ("tier_active_w", &mut p.tier_active_w),
+    ];
+    for (key, slot) in fields {
+        if let Some(w) = opt_f64_at(pairs, key, "power")? {
+            *slot = w;
+        }
+    }
+    p.validate()
+        .map_err(|e| ScenarioError::invalid("power", e))?;
+    Ok(p)
+}
+
+/// Validates the swept values of the axes that require strictly positive
+/// numbers (Weibull shapes, power ratios).
+pub(crate) fn validate_positive_values(
+    axis: SweepAxis,
+    values: &[f64],
+) -> Result<(), ScenarioError> {
+    for &v in values {
+        if !(v.is_finite() && v > 0.0) {
+            return Err(ScenarioError::invalid(
+                "sweep.values",
+                format!("{} values must be positive, got {v}", axis.as_str()),
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn sweep_from_json(v: &Json) -> Result<Sweep, ScenarioError> {
     let pairs = as_object(v, "sweep")?;
     check_keys(pairs, &["axis", "values"], "sweep")?;
@@ -1236,8 +1371,14 @@ fn sweep_from_json(v: &Json) -> Result<Sweep, ScenarioError> {
                     "at least one swept value required",
                 ));
             }
-            if axis == SweepAxis::Tiers {
-                validate_tier_counts(&values)?;
+            match axis {
+                SweepAxis::Tiers => {
+                    validate_tier_counts(&values)?;
+                }
+                SweepAxis::WeibullShape | SweepAxis::PowerRatio => {
+                    validate_positive_values(axis, &values)?;
+                }
+                SweepAxis::Bandwidth | SweepAxis::Mtbf => {}
             }
             values
         }
@@ -1406,6 +1547,57 @@ mod tests {
         assert_eq!(sc.burst_buffer.unwrap().capacity, Bytes::from_gb(50.0));
         let back = Scenario::parse(&sc.to_json_string()).unwrap();
         assert_eq!(back, sc);
+    }
+
+    #[test]
+    fn power_block_parses_presets_and_overrides() {
+        // Bare preset string.
+        let sc = Scenario::parse(r#"{"power": "cielo"}"#).unwrap();
+        assert_eq!(sc.power, Some(PowerModel::cielo()));
+        // Preset with overrides.
+        let sc = Scenario::parse(r#"{"power": {"preset": "prospective", "ckpt_w": 999}}"#).unwrap();
+        let p = sc.power.unwrap();
+        assert_eq!(p.ckpt_w, 999.0);
+        assert_eq!(p.compute_w, PowerModel::prospective().compute_w);
+        // Minimal custom model: unset fields default to zero.
+        let sc = Scenario::parse(r#"{"power": {"compute_w": 200, "ckpt_w": 400}}"#).unwrap();
+        let p = sc.power.unwrap();
+        assert_eq!(p.idle_w, 0.0);
+        assert!((p.energy_period_factor() - 2.0f64.sqrt()).abs() < 1e-12);
+        // Unknown presets and keys are rejected.
+        assert!(Scenario::parse(r#"{"power": "fusion"}"#).is_err());
+        assert!(Scenario::parse(r#"{"power": {"watts": 5}}"#).is_err());
+        // A model failing validation is rejected at parse time.
+        let e = Scenario::parse(r#"{"power": {"compute_w": 0, "ckpt_w": 400}}"#).unwrap_err();
+        assert!(e.to_string().contains("power"), "{e}");
+    }
+
+    #[test]
+    fn power_round_trips_and_reaches_the_config() {
+        let sc = Scenario::default().with_power(PowerModel::prospective());
+        let back = Scenario::parse(&sc.to_json_string()).unwrap();
+        assert_eq!(back, sc);
+        let cfg = sc.into_config().unwrap();
+        assert_eq!(cfg.power, Some(PowerModel::prospective()));
+        // And it survives the config round trip too.
+        let sc2 = Scenario::from_config(&cfg);
+        assert_eq!(sc2.power, Some(PowerModel::prospective()));
+    }
+
+    #[test]
+    fn new_sweep_axes_parse_and_validate() {
+        let sc = Scenario::parse(r#"{"sweep": {"axis": "weibull-shape"}}"#).unwrap();
+        assert_eq!(sc.sweep.unwrap().axis, SweepAxis::WeibullShape);
+        let sc =
+            Scenario::parse(r#"{"sweep": {"axis": "power-ratio", "values": [0.5, 2]}}"#).unwrap();
+        assert_eq!(sc.sweep.unwrap().values, vec![0.5, 2.0]);
+        for doc in [
+            r#"{"sweep": {"axis": "weibull-shape", "values": [0]}}"#,
+            r#"{"sweep": {"axis": "power-ratio", "values": [-1]}}"#,
+        ] {
+            let e = Scenario::parse(doc).unwrap_err();
+            assert!(e.to_string().contains("positive"), "{doc}: {e}");
+        }
     }
 
     #[test]

@@ -25,6 +25,7 @@ use super::trace::{Trace, TraceEvent, TraceIo};
 use super::{FailureModel, InterferenceKind, SimConfig, SimResult};
 use crate::strategy::{CheckpointPolicy, IoDiscipline};
 use coopckpt_des::{Duration, EventKey, Process, Simulator, StepControl, Time};
+use coopckpt_energy::{EnergyMeter, Phase};
 use coopckpt_failure::{FailureTrace, Xoshiro256pp};
 use coopckpt_io::hierarchy::{DrainHop, Placement, StorageHierarchy, TierSpec};
 use coopckpt_io::{
@@ -107,6 +108,12 @@ pub(super) enum Event {
     /// An inter-tier drain hop landed; the cascade continues one level
     /// deeper (or onto the PFS).
     DrainHopDone(JobIdx),
+    /// Energy metering: sample the platform-level cumulative counters
+    /// (PFS busy time, tier traffic) at a measurement-window boundary
+    /// (`true` = window end). Scheduled only when a power model is
+    /// configured; the handler never mutates job state, so metering leaves
+    /// the simulated trajectory bit-identical.
+    PowerMark(bool),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -237,6 +244,8 @@ pub(super) struct Engine {
     /// The multi-level checkpoint storage hierarchy (empty = PFS only).
     storage: StorageHierarchy,
     ledger: WasteLedger,
+    /// Per-phase energy accounting (None = time-only, the paper's model).
+    meter: Option<EnergyMeter>,
 
     pfs_wake: Option<(EventKey, Time)>,
     fit_scheduled: bool,
@@ -302,6 +311,11 @@ impl Engine {
         };
         let storage = StorageHierarchy::new(tier_specs);
 
+        let (w0, w1) = ledger.window();
+        let meter = config
+            .power
+            .map(|power| EnergyMeter::new(w0, w1, power, storage.levels()));
+
         let mut engine = Engine {
             full_bw: platform.pfs_bandwidth,
             node_mtbf_secs: platform.node_mtbf.as_secs(),
@@ -314,6 +328,7 @@ impl Engine {
             queue: RequestQueue::new(),
             storage,
             ledger,
+            meter,
             pfs_wake: None,
             fit_scheduled: false,
             trace: config.record_trace.then(Trace::new),
@@ -333,6 +348,12 @@ impl Engine {
         for ev in trace.iter() {
             sim.schedule_at(ev.at, Event::Failure(ev.node));
         }
+        if engine.meter.is_some() {
+            // Sample the cumulative platform counters at both window
+            // boundaries so active energies can be clipped to the window.
+            sim.schedule_at(w0, Event::PowerMark(false));
+            sim.schedule_at(w1, Event::PowerMark(true));
+        }
         for spec in specs {
             engine.admit(config, spec);
         }
@@ -347,6 +368,10 @@ impl Engine {
         );
         let end = sim.now().min(horizon);
         engine.finalize(end);
+        let energy = engine.meter.take().map(|mut m| {
+            m.finalize(engine.platform.nodes);
+            m.summary()
+        });
 
         let (w0, w1) = engine.ledger.window();
         let window_secs = w1.since(w0).as_secs();
@@ -363,6 +388,7 @@ impl Engine {
             restarts: engine.restarts,
             events: sim.events_processed(),
             trace: engine.trace.take(),
+            energy,
         }
     }
 
@@ -453,6 +479,30 @@ impl Engine {
     // Accounting helpers
     // ------------------------------------------------------------------
 
+    /// The energy phase a time category's node-seconds are priced at.
+    fn phase_for(cat: Category) -> Phase {
+        match cat {
+            Category::Work => Phase::Compute,
+            Category::RegularIo => Phase::RegularIo,
+            Category::CkptCommit => Phase::CkptWrite,
+            Category::IoWait => Phase::Blocked,
+            Category::Dilation => Phase::Dilation,
+            Category::Recovery => Phase::Recovery,
+            Category::LostWork => Phase::Rework,
+        }
+    }
+
+    /// Books one closed interval of job `idx` into the time ledger and,
+    /// when metering, into the energy meter at the matching phase's draw.
+    fn account(&mut self, idx: JobIdx, cat: Category, from: Time, to: Time) {
+        let q = self.jobs[idx].q();
+        self.ledger.record(cat, q, from, to);
+        if let Some(meter) = &mut self.meter {
+            let id = self.jobs[idx].spec.id.0 as u64;
+            meter.record(id, Self::phase_for(cat), q, from, to);
+        }
+    }
+
     /// Closes the current state interval into `cat` and restarts it at
     /// `now`; accrues work progress for progressing states.
     fn mark(&mut self, idx: JobIdx, now: Time, cat: Category) {
@@ -462,8 +512,8 @@ impl Engine {
             if matches!(job.state, JState::Computing | JState::NbWait) {
                 job.work_done += dt;
             }
-            let q = job.q();
-            self.ledger.record(cat, q, job.state_since, now);
+            let from = job.state_since;
+            self.account(idx, cat, from, now);
         }
         self.jobs[idx].state_since = now;
     }
@@ -471,20 +521,47 @@ impl Engine {
     /// Records a completed or interrupted blocking transfer interval,
     /// splitting useful nominal time from contention dilation.
     fn mark_transfer(&mut self, idx: JobIdx, now: Time, kind: Kind, volume: Bytes) {
-        let job = &self.jobs[idx];
-        let t0 = job.state_since;
-        let q = job.q();
+        let t0 = self.jobs[idx].state_since;
         match kind {
-            Kind::Recovery => self.ledger.record(Category::Recovery, q, t0, now),
-            Kind::Ckpt | Kind::Drain => self.ledger.record(Category::CkptCommit, q, t0, now),
+            Kind::Recovery => self.account(idx, Category::Recovery, t0, now),
+            Kind::Ckpt | Kind::Drain => self.account(idx, Category::CkptCommit, t0, now),
             Kind::Input | Kind::Output | Kind::Chunk => {
                 let nominal = volume.transfer_time(self.full_bw);
                 let split = (t0 + nominal).min(now);
-                self.ledger.record(Category::RegularIo, q, t0, split);
-                self.ledger.record(Category::Dilation, q, split, now);
+                self.account(idx, Category::RegularIo, t0, split);
+                self.account(idx, Category::Dilation, split, now);
             }
         }
         self.jobs[idx].state_since = now;
+    }
+
+    /// Cumulative data-movement time across the storage tiers, normalized
+    /// to each tier's reference write bandwidth (absorbed + forwarded-in
+    /// bytes per tier). Sampled at the window boundaries to clip tier
+    /// active energy to the measurement window.
+    fn tier_active_seconds(&self) -> f64 {
+        (0..self.storage.levels())
+            .map(|level| {
+                let tier = self.storage.tier(level);
+                let stats = tier.stats();
+                let moved = stats.bytes_absorbed + stats.bytes_forwarded_in;
+                moved.as_bytes() / tier.spec().write_bw.as_bytes_per_sec()
+            })
+            .sum()
+    }
+
+    /// Window-boundary sample of the cumulative platform counters (see
+    /// [`Event::PowerMark`]). Reads the PFS busy time via the
+    /// non-mutating [`Pfs::busy_time_at`] — the handler touches no
+    /// simulation state at all, so job trajectories are untouched by
+    /// construction.
+    fn on_power_mark(&mut self, now: Time, end: bool) {
+        let busy = self.pfs.busy_time_at(now);
+        let tier_secs = self.tier_active_seconds();
+        if let Some(meter) = &mut self.meter {
+            meter.mark_pfs_busy(busy, end);
+            meter.mark_tier_active(tier_secs, end);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1228,12 +1305,14 @@ impl Engine {
         // re-executed after the restart.
         let lost = (self.jobs[idx].work_done - self.jobs[idx].last_ckpt_content).max_zero();
         if lost.is_positive() {
-            self.ledger.reclassify(
-                Category::Work,
-                Category::LostWork,
-                self.jobs[idx].q() as f64 * lost.as_secs(),
-                now,
-            );
+            let node_seconds = self.jobs[idx].q() as f64 * lost.as_secs();
+            self.ledger
+                .reclassify(Category::Work, Category::LostWork, node_seconds, now);
+            if let Some(meter) = &mut self.meter {
+                // The voided progress drew compute power; its energy moves
+                // to the rework phase.
+                meter.reclassify_rework(node_seconds, now);
+            }
         }
         // Tear down in-flight activity.
         if let Some(tid) = self.jobs[idx].transfer.take() {
@@ -1367,6 +1446,7 @@ impl Process for Engine {
             Event::Failure(node) => self.on_failure(sim, node, now),
             Event::AbsorbDone(idx) => self.on_absorb_done(sim, idx, now),
             Event::DrainHopDone(idx) => self.on_drain_hop_done(sim, idx, now),
+            Event::PowerMark(end) => self.on_power_mark(now, end),
         }
         StepControl::Continue
     }

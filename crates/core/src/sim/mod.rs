@@ -25,6 +25,7 @@ use coopckpt_model::{AppClass, Bandwidth, Bytes, Platform};
 use coopckpt_stats::WasteLedger;
 use coopckpt_workload::generator::WorkloadSpec;
 
+pub use coopckpt_energy::{EnergyMeter, EnergySummary, Phase, PowerModel};
 pub use coopckpt_io::hierarchy::TierSpec;
 
 /// Interference model selection (mirrors `coopckpt_io`'s models as plain
@@ -186,6 +187,14 @@ pub struct SimConfig {
     /// because traces of 60-day instances hold hundreds of thousands of
     /// events.
     pub record_trace: bool,
+    /// Optional power model: when set, the engine time-integrates platform
+    /// power by execution phase and [`SimResult::energy`] carries the
+    /// per-phase energy accounting (None = the paper's time-only model).
+    /// Metering never changes the simulated trajectory: waste ratios,
+    /// breakdowns and job/failure counters are bit-identical with and
+    /// without it. Only [`SimResult::events`] differs — by exactly the
+    /// two window-boundary sampling events metering schedules.
+    pub power: Option<PowerModel>,
 }
 
 impl SimConfig {
@@ -205,6 +214,7 @@ impl SimConfig {
             burst_buffer: None,
             tiers: Vec::new(),
             record_trace: false,
+            power: None,
         }
     }
 
@@ -257,6 +267,12 @@ impl SimConfig {
         self
     }
 
+    /// Enables per-phase energy metering under the given power model.
+    pub fn with_power(mut self, power: PowerModel) -> Self {
+        self.power = Some(power);
+        self
+    }
+
     /// The measurement window `[margin, span − margin]`.
     pub fn window(&self) -> (Duration, Duration) {
         (self.measure_margin, self.span - self.measure_margin)
@@ -290,6 +306,8 @@ pub struct SimResult {
     pub events: u64,
     /// The execution trace, when [`SimConfig::record_trace`] was set.
     pub trace: Option<trace::Trace>,
+    /// Per-phase energy accounting, when [`SimConfig::power`] was set.
+    pub energy: Option<EnergySummary>,
 }
 
 /// A standard `levels`-deep storage hierarchy scaled to `platform`, for
@@ -593,6 +611,87 @@ mod tests {
         assert!(tiers[2].capacity > tiers[1].capacity);
         assert!(tiers[1].write_bw > tiers[2].write_bw);
         assert!(tiers[2].write_bw > p.pfs_bandwidth);
+    }
+
+    #[test]
+    fn power_metering_never_changes_the_trajectory() {
+        // The headline invariant: turning energy metering on changes no
+        // simulated outcome — only `energy` appears.
+        let p = tiny_platform();
+        let base = SimConfig::new(p.clone(), tiny_classes(&p), Strategy::least_waste())
+            .with_span(Duration::from_days(4.0));
+        let metered = base.clone().with_power(PowerModel::cielo());
+        let a = run_simulation(&base, 7);
+        let b = run_simulation(&metered, 7);
+        assert_eq!(a.waste_ratio, b.waste_ratio);
+        assert_eq!(a.breakdown, b.breakdown);
+        assert_eq!(a.checkpoints_committed, b.checkpoints_committed);
+        assert_eq!(a.jobs_completed, b.jobs_completed);
+        // Only the two window-boundary sampling events are extra.
+        assert_eq!(a.events + 2, b.events);
+        assert!(a.energy.is_none());
+        let energy = b.energy.expect("metered run must carry energy");
+        assert!(energy.total_joules > 0.0);
+        assert!(energy.useful_joules > 0.0);
+        assert!((0.0..=1.0).contains(&energy.energy_waste_ratio));
+        assert!(!energy.per_job.is_empty());
+    }
+
+    #[test]
+    fn energy_breakdown_is_consistent() {
+        let p = tiny_platform();
+        let cfg = SimConfig::new(
+            p.clone(),
+            tiny_classes(&p),
+            Strategy::ordered(CheckpointPolicy::Daly),
+        )
+        .with_span(Duration::from_days(4.0))
+        .with_tiers(geometric_tiers(&p, 2))
+        .with_power(PowerModel::prospective());
+        let r = run_simulation(&cfg, 5);
+        let energy = r.energy.expect("metered run must carry energy");
+        // Per-phase joules sum to the total power integral.
+        let sum: f64 = energy.breakdown.iter().map(|(_, j)| j).sum();
+        assert_eq!(sum, energy.total_joules);
+        // The three aggregates partition the total.
+        let parts = energy.useful_joules + energy.wasted_joules + energy.platform_overhead_joules;
+        assert!((parts - energy.total_joules).abs() <= 1e-9 * energy.total_joules);
+        // The hierarchy moved data, so tier and PFS activity drew energy.
+        let get = |label: &str| {
+            energy
+                .breakdown
+                .iter()
+                .find(|(l, _)| *l == label)
+                .map(|(_, j)| *j)
+                .unwrap()
+        };
+        assert!(get("ckpt_write") > 0.0);
+        assert!(get("pfs_active") > 0.0);
+        assert!(get("tier_active") > 0.0);
+        assert!(get("tier_static") > 0.0);
+        assert_eq!(get("down"), 0.0);
+        // Failures happened, so some compute energy was voided.
+        if r.failures_hitting_jobs > 0 {
+            assert!(get("rework") > 0.0);
+        }
+    }
+
+    #[test]
+    fn uniform_power_matches_time_waste() {
+        // Zero power differential and no platform consumers: the energy
+        // waste ratio degenerates to the time waste ratio.
+        let p = tiny_platform();
+        let cfg = SimConfig::new(p.clone(), tiny_classes(&p), Strategy::least_waste())
+            .with_span(Duration::from_days(3.0))
+            .with_power(PowerModel::uniform(200.0));
+        let r = run_simulation(&cfg, 9);
+        let energy = r.energy.expect("metered run must carry energy");
+        assert!(
+            (energy.energy_waste_ratio - r.waste_ratio).abs() < 1e-9,
+            "uniform-power energy ratio {} != time waste ratio {}",
+            energy.energy_waste_ratio,
+            r.waste_ratio
+        );
     }
 
     #[test]

@@ -1,0 +1,30 @@
+//! Energy accounting for cooperative checkpointing.
+//!
+//! The source paper optimizes *time* waste; Aupy, Benoit, Hérault, Robert
+//! and Dongarra (*Optimal Checkpointing Period: Time vs. Energy*, PMBS'13)
+//! show the energy-optimal checkpoint period differs from the time-optimal
+//! one whenever the platform draws different power in different execution
+//! phases — and that for I/O-heavy future platforms the two can diverge
+//! substantially. This crate supplies the two pieces the simulator needs to
+//! express that trade-off:
+//!
+//! * [`PowerModel`] — per-node draw for every execution phase (idle,
+//!   compute, regular I/O, checkpoint write, recovery read, down) plus
+//!   platform-level consumers (PFS static/active, storage-tier
+//!   static/active), with presets calibrated for the paper's platforms.
+//! * [`EnergyMeter`] — a window-clipped, per-phase integral of power over
+//!   simulated time, fed by the DES engine at exactly the points where the
+//!   node-second waste ledger records time, and extended with the
+//!   platform-level channels the ledger has no concept of (idle nodes,
+//!   file-system and tier power).
+//!
+//! The closed-form counterparts (`daly_period_energy`,
+//! `steady_state_energy_waste`) live in `coopckpt-model` next to the
+//! time-domain checkpoint mathematics; the simulator's measured energy is
+//! validated against them in `tests/energy_semantics.rs`.
+
+mod meter;
+mod power;
+
+pub use meter::{EnergyMeter, EnergySummary, Phase};
+pub use power::PowerModel;

@@ -16,6 +16,7 @@
 use crate::interference::InterferenceModel;
 use coopckpt_des::{Duration, Time};
 use coopckpt_model::{Bandwidth, Bytes};
+use std::cell::Cell;
 
 /// Residual volumes below this are treated as complete (transfers here are
 /// gigabytes to terabytes; one byte is far below f64 resolution noise at
@@ -108,6 +109,13 @@ pub struct Pfs<M> {
     // Scratch buffers, reused across rate recomputations.
     scratch_weights: Vec<f64>,
     scratch_rates: Vec<Bandwidth>,
+    /// Memoized [`next_completion`](Pfs::next_completion) answer. While
+    /// the active set (and hence the rate split) is unchanged, every
+    /// transfer's completion *instant* is constant even as `advance`
+    /// integrates progress, so the O(k) minimum is computed once per rate
+    /// change instead of once per query. `None` = stale; invalidated by
+    /// [`recompute_rates`](Pfs::recompute_rates).
+    cached_next: Cell<Option<Option<Time>>>,
 }
 
 impl<M> Pfs<M> {
@@ -132,6 +140,7 @@ impl<M> Pfs<M> {
             stats: PfsStats::default(),
             scratch_weights: Vec::new(),
             scratch_rates: Vec::new(),
+            cached_next: Cell::new(Some(None)),
         }
     }
 
@@ -159,6 +168,31 @@ impl<M> Pfs<M> {
     /// Aggregate statistics so far.
     pub fn stats(&self) -> PfsStats {
         self.stats
+    }
+
+    /// Cumulative busy time as of `now`, *without* mutating the model —
+    /// an exact read-ahead of what [`stats`](Pfs::stats) would report
+    /// after `advance(now)`. Sound because the caller (the simulation
+    /// engine) wakes the model at every completion instant: between the
+    /// internal clock and any `now` not past the next completion, the
+    /// active set is constant, so the PFS is either busy or idle for the
+    /// whole stretch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `now` precedes the model clock.
+    pub fn busy_time_at(&self, now: Time) -> Duration {
+        assert!(
+            now >= self.clock,
+            "PFS clock cannot move backwards: clock={}, now={}",
+            self.clock,
+            now
+        );
+        if self.active.is_empty() {
+            self.stats.busy_time
+        } else {
+            self.stats.busy_time + now.since(self.clock)
+        }
     }
 
     /// Remaining volume of an in-flight transfer (after an implicit advance
@@ -229,13 +263,21 @@ impl<M> Pfs<M> {
     /// *current* active set, or `None` when idle.
     ///
     /// Any `start`/`cancel` invalidates previous answers; the caller must
-    /// re-query after mutating the set.
+    /// re-query after mutating the set. Memoized per rate change: with an
+    /// unchanged writer set the completion instants are fixed, so repeated
+    /// queries (the simulator asks after every wake) cost O(1).
     pub fn next_completion(&self) -> Option<Time> {
-        self.active
+        if let Some(cached) = self.cached_next.get() {
+            return cached;
+        }
+        let next = self
+            .active
             .iter()
             .filter(|t| !t.rate.is_zero())
             .map(|t| self.clock + t.remaining.transfer_time(t.rate))
-            .min()
+            .min();
+        self.cached_next.set(Some(next));
+        next
     }
 
     /// Integrates progress up to `now`, stepping through every intermediate
@@ -313,8 +355,13 @@ impl<M> Pfs<M> {
     }
 
     fn recompute_rates(&mut self) {
+        // The writer set changed: previously computed completion instants
+        // are void.
+        self.cached_next.set(None);
         let k = self.active.len();
         if k == 0 {
+            // An empty set needs no O(k) scan: pin the answer directly.
+            self.cached_next.set(Some(None));
             return;
         }
         self.scratch_weights.clear();

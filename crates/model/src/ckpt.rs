@@ -9,6 +9,12 @@
 //! * [`per_level_commit_costs`] / [`per_level_daly_periods`] — the
 //!   multi-level extension (paper Section 8): per-tier commit costs of a
 //!   storage hierarchy and the corresponding per-level Young/Daly periods.
+//! * [`daly_period_energy`] / [`per_level_daly_periods_energy`] /
+//!   [`steady_state_energy_waste`] — the time-vs-energy trade-off of Aupy,
+//!   Benoit, Hérault, Robert, Dongarra (*Optimal Checkpointing Period:
+//!   Time vs. Energy*): when the platform draws different power while
+//!   checkpointing than while (re-)computing, the energy-optimal period
+//!   stretches the Young/Daly period by `√(ρ_ckpt / ρ_comp)`.
 
 use crate::units::{Bandwidth, Bytes};
 use coopckpt_des::Duration;
@@ -72,6 +78,140 @@ pub fn steady_state_waste(c: Duration, r: Duration, p: Duration, mtbf: Duration)
     assert!(p.is_positive(), "period must be positive, got {p}");
     assert!(mtbf.is_positive(), "MTBF must be positive, got {mtbf}");
     c.as_secs() / p.as_secs() + (p.as_secs() / 2.0 + r.as_secs()) / mtbf.as_secs()
+}
+
+/// The energy-optimal checkpoint period (Aupy et al.):
+///
+/// `P_E = √(2 µ C · ρ_ckpt / ρ_comp)`
+///
+/// where `ρ_ckpt` is the platform's power draw (watts) during a checkpoint
+/// write and `ρ_comp` its draw during computation. The derivation mirrors
+/// Young/Daly: the energy waste per unit of useful work,
+/// `E(P) = ρ_ckpt·C/P + ρ_comp·P/(2µ) + const`, is minimized where the two
+/// marginal terms balance. Three regimes:
+///
+/// * `ρ_ckpt < ρ_comp` (checkpoint writes cheaper than compute — idle CPUs,
+///   modest I/O draw): checkpoints are energy-cheap relative to the
+///   re-execution they avert, so `P_E < P_Daly` — checkpoint *more* often.
+/// * `ρ_ckpt = ρ_comp` (zero power differential): `P_E = P_Daly` exactly.
+/// * `ρ_ckpt > ρ_comp` (I/O-heavy platforms, the Aupy et al. Exascale
+///   projection): `P_E > P_Daly` — checkpoint *less* often.
+///
+/// ```
+/// use coopckpt_des::Duration;
+/// use coopckpt_model::{daly_period_energy, young_daly_period};
+///
+/// let c = Duration::from_secs(200.0);
+/// let mu = Duration::from_secs(10_000.0);
+/// // Zero differential: exactly Young/Daly.
+/// assert_eq!(daly_period_energy(c, mu, 220.0, 220.0), young_daly_period(c, mu));
+/// // I/O draw 4x compute draw: the period doubles.
+/// let p = daly_period_energy(c, mu, 880.0, 220.0);
+/// assert!((p.as_secs() / young_daly_period(c, mu).as_secs() - 2.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics when `c` or `mtbf` is non-positive, or either power draw is not
+/// strictly positive and finite.
+pub fn daly_period_energy(c: Duration, mtbf: Duration, ckpt_w: f64, compute_w: f64) -> Duration {
+    assert!(
+        ckpt_w.is_finite() && ckpt_w > 0.0,
+        "checkpoint-phase draw must be positive, got {ckpt_w}"
+    );
+    assert!(
+        compute_w.is_finite() && compute_w > 0.0,
+        "compute-phase draw must be positive, got {compute_w}"
+    );
+    let daly = young_daly_period(c, mtbf);
+    Duration::from_secs(daly.as_secs() * (ckpt_w / compute_w).sqrt())
+}
+
+/// Per-level *energy*-optimal periods for a multi-level checkpoint
+/// hierarchy: `P_ℓ = √(2 µ_ℓ C_ℓ · ρ_ℓ / ρ_comp)`, the energy twin of
+/// [`per_level_daly_periods`].
+///
+/// `ckpt_ws[ℓ]` is the draw while writing a level-`ℓ` checkpoint (shallow
+/// node-local tiers stream to nearby NVRAM at low draw; deep tiers push
+/// bytes across the fabric at high draw), `compute_w` the draw during
+/// computation.
+///
+/// ```
+/// use coopckpt_des::Duration;
+/// use coopckpt_model::per_level_daly_periods_energy;
+///
+/// let costs = [Duration::from_secs(20.0), Duration::from_secs(250.0)];
+/// let mtbfs = [Duration::from_hours(6.0), Duration::from_hours(60.0)];
+/// // Cheap local writes, expensive remote ones, 200 W compute draw.
+/// let periods = per_level_daly_periods_energy(&costs, &mtbfs, &[100.0, 450.0], 200.0);
+/// // The local tier checkpoints more often than time-optimal, the deep
+/// // tier less often.
+/// assert!(periods[1] > periods[0]);
+/// ```
+///
+/// # Panics
+///
+/// Panics when the slices differ in length or any entry is non-positive.
+pub fn per_level_daly_periods_energy(
+    costs: &[Duration],
+    level_mtbfs: &[Duration],
+    ckpt_ws: &[f64],
+    compute_w: f64,
+) -> Vec<Duration> {
+    assert_eq!(
+        costs.len(),
+        ckpt_ws.len(),
+        "one checkpoint draw per hierarchy level required ({} costs, {} draws)",
+        costs.len(),
+        ckpt_ws.len()
+    );
+    assert_eq!(
+        costs.len(),
+        level_mtbfs.len(),
+        "one MTBF per hierarchy level required ({} costs, {} MTBFs)",
+        costs.len(),
+        level_mtbfs.len()
+    );
+    costs
+        .iter()
+        .zip(level_mtbfs)
+        .zip(ckpt_ws)
+        .map(|((&c, &mtbf), &w)| daly_period_energy(c, mtbf, w, compute_w))
+        .collect()
+}
+
+/// Steady-state *energy* waste of a job checkpointing with period `p`, per
+/// unit of useful compute energy — the energy twin of
+/// [`steady_state_waste`] (Aupy et al.):
+///
+/// `W_E = (C/P · ρ_ckpt + (1/µ)(P/2 · ρ_comp + R · ρ_rec)) / ρ_comp`
+///
+/// Each waste term of Eq. (3) is priced at its phase's draw and the total
+/// is normalized by the compute draw, so with a zero power differential
+/// `W_E` reduces exactly to the time-domain waste of Eq. (3). Minimized at
+/// [`daly_period_energy`]. Valid in the first-order regime `P ≪ µ`.
+pub fn steady_state_energy_waste(
+    c: Duration,
+    r: Duration,
+    p: Duration,
+    mtbf: Duration,
+    ckpt_w: f64,
+    compute_w: f64,
+    recovery_w: f64,
+) -> f64 {
+    assert!(p.is_positive(), "period must be positive, got {p}");
+    assert!(mtbf.is_positive(), "MTBF must be positive, got {mtbf}");
+    assert!(
+        compute_w.is_finite() && compute_w > 0.0,
+        "compute-phase draw must be positive, got {compute_w}"
+    );
+    assert!(
+        ckpt_w.is_finite() && ckpt_w >= 0.0 && recovery_w.is_finite() && recovery_w >= 0.0,
+        "phase draws must be finite and non-negative"
+    );
+    let waste_power = c.as_secs() / p.as_secs() * ckpt_w
+        + (p.as_secs() / 2.0 * compute_w + r.as_secs() * recovery_w) / mtbf.as_secs();
+    waste_power / compute_w
 }
 
 /// The commit cost of a `volume`-byte checkpoint at every level of a
@@ -255,6 +395,88 @@ mod tests {
     }
 
     #[test]
+    fn energy_period_reduces_to_daly_at_zero_differential() {
+        let c = Duration::from_secs(300.0);
+        let mu = Duration::from_secs(30_000.0);
+        assert_eq!(
+            daly_period_energy(c, mu, 220.0, 220.0),
+            young_daly_period(c, mu)
+        );
+    }
+
+    #[test]
+    fn energy_period_direction_follows_the_power_ratio() {
+        let c = Duration::from_secs(300.0);
+        let mu = Duration::from_secs(30_000.0);
+        let daly = young_daly_period(c, mu);
+        // Cheap checkpoints: checkpoint more often.
+        assert!(daly_period_energy(c, mu, 100.0, 220.0) < daly);
+        // I/O-heavy platform: checkpoint less often.
+        assert!(daly_period_energy(c, mu, 480.0, 220.0) > daly);
+    }
+
+    #[test]
+    fn energy_waste_minimized_at_energy_period() {
+        let c = Duration::from_secs(300.0);
+        let r = Duration::from_secs(300.0);
+        let mu = Duration::from_secs(30_000.0);
+        let (ckpt_w, compute_w, rec_w) = (480.0, 220.0, 480.0);
+        let p_star = daly_period_energy(c, mu, ckpt_w, compute_w);
+        let w_star = steady_state_energy_waste(c, r, p_star, mu, ckpt_w, compute_w, rec_w);
+        for factor in [0.5, 0.8, 1.25, 2.0] {
+            let w = steady_state_energy_waste(c, r, p_star * factor, mu, ckpt_w, compute_w, rec_w);
+            assert!(
+                w > w_star,
+                "energy waste at {factor}x period ({w}) should exceed optimum ({w_star})"
+            );
+        }
+    }
+
+    #[test]
+    fn energy_waste_reduces_to_time_waste_at_zero_differential() {
+        let c = Duration::from_secs(120.0);
+        let r = Duration::from_secs(240.0);
+        let p = Duration::from_secs(4000.0);
+        let mu = Duration::from_secs(50_000.0);
+        let t = steady_state_waste(c, r, p, mu);
+        let e = steady_state_energy_waste(c, r, p, mu, 175.0, 175.0, 175.0);
+        assert!((t - e).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_level_energy_periods_scale_each_level() {
+        let mu = Duration::from_secs(1e6);
+        let costs = [Duration::from_secs(100.0), Duration::from_secs(100.0)];
+        let periods = per_level_daly_periods_energy(&costs, &[mu, mu], &[100.0, 400.0], 100.0);
+        // 4x the draw at equal cost -> 2x the period.
+        assert!((periods[1].as_secs() / periods[0].as_secs() - 2.0).abs() < 1e-12);
+        // And the zero-differential level matches the plain Daly period.
+        assert_eq!(periods[0], young_daly_period(costs[0], mu));
+    }
+
+    #[test]
+    #[should_panic(expected = "one checkpoint draw per hierarchy level")]
+    fn per_level_energy_periods_reject_mismatched_draws() {
+        per_level_daly_periods_energy(
+            &[Duration::from_secs(1.0)],
+            &[Duration::from_secs(1e6)],
+            &[],
+            100.0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint-phase draw must be positive")]
+    fn energy_period_rejects_zero_draw() {
+        daly_period_energy(
+            Duration::from_secs(10.0),
+            Duration::from_secs(1000.0),
+            0.0,
+            100.0,
+        );
+    }
+
+    #[test]
     fn waste_components_add_up() {
         // With no failures contribution removed (µ → ∞) waste ≈ C/P.
         let w = steady_state_waste(
@@ -288,6 +510,27 @@ mod proptests {
             let w_star = steady_state_waste(c, r, p_star, mu);
             for k in [0.25, 0.5, 0.9, 1.1, 2.0, 4.0] {
                 let w = steady_state_waste(c, r, p_star * k, mu);
+                prop_assert!(w >= w_star - 1e-12);
+            }
+        }
+
+        /// The energy-optimal period is the argmin of the energy waste
+        /// for arbitrary checkpoint/compute power ratios.
+        #[test]
+        fn energy_daly_is_argmin_of_energy_waste(
+            c_secs in 1.0f64..5_000.0,
+            mu_secs in 10_000.0f64..1e9,
+            power_ratio in 0.1f64..10.0,
+        ) {
+            let c = Duration::from_secs(c_secs);
+            let r = Duration::from_secs(c_secs);
+            let mu = Duration::from_secs(mu_secs);
+            let compute_w = 220.0;
+            let ckpt_w = compute_w * power_ratio;
+            let p_star = daly_period_energy(c, mu, ckpt_w, compute_w);
+            let w_star = steady_state_energy_waste(c, r, p_star, mu, ckpt_w, compute_w, ckpt_w);
+            for k in [0.25, 0.5, 0.9, 1.1, 2.0, 4.0] {
+                let w = steady_state_energy_waste(c, r, p_star * k, mu, ckpt_w, compute_w, ckpt_w);
                 prop_assert!(w >= w_star - 1e-12);
             }
         }

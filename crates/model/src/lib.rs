@@ -26,7 +26,8 @@ pub mod units;
 
 pub use app::{AppClass, ClassId, JobId, JobSpec};
 pub use ckpt::{
-    daly_period_high_order, per_level_commit_costs, per_level_daly_periods, steady_state_waste,
+    daly_period_energy, daly_period_high_order, per_level_commit_costs, per_level_daly_periods,
+    per_level_daly_periods_energy, steady_state_energy_waste, steady_state_waste,
     young_daly_period,
 };
 pub use coopckpt_des::{Duration, Time};

@@ -25,6 +25,7 @@
 
 pub use coopckpt as core;
 pub use coopckpt_des as des;
+pub use coopckpt_energy as energy;
 pub use coopckpt_failure as failure;
 pub use coopckpt_io as io;
 pub use coopckpt_model as model;

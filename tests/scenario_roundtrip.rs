@@ -30,8 +30,7 @@ fn build_scenario(
     ),
     (span_days, bw_gbps, alpha, shape, samples, pick_sweep): (f64, f64, f64, f64, u16, u8),
 ) -> Scenario {
-    let mut sc = Scenario::default();
-    sc.platform = match pick_platform % 3 {
+    let platform = match pick_platform % 3 {
         0 => PlatformSpec::Preset {
             name: "cielo".to_string(),
             bandwidth: Some(Bandwidth::from_gbps(bw_gbps)),
@@ -53,6 +52,10 @@ fn build_scenario(
             )
             .expect("valid platform"),
         ),
+    };
+    let mut sc = Scenario {
+        platform,
+        ..Scenario::default()
     };
     let strategies = [
         Strategy::least_waste(),
@@ -185,13 +188,15 @@ proptest! {
 /// hand-assembled CLI config.
 #[test]
 fn flag_equivalent_scenario_matches_the_historical_cli_assembly() {
-    let mut sc = Scenario::default();
-    sc.platform = PlatformSpec::Preset {
-        name: "cielo".to_string(),
-        bandwidth: Some(Bandwidth::from_gbps(20.0)),
-        node_mtbf: None,
+    let sc = Scenario {
+        platform: PlatformSpec::Preset {
+            name: "cielo".to_string(),
+            bandwidth: Some(Bandwidth::from_gbps(20.0)),
+            node_mtbf: None,
+        },
+        span: Duration::from_days(2.0),
+        ..Scenario::default()
     };
-    sc.span = Duration::from_days(2.0);
     let via_scenario = sc.into_config().expect("valid scenario");
 
     // What `commands.rs` used to assemble by hand.
