@@ -41,6 +41,39 @@ fn bench_event_queue(c: &mut Criterion) {
     });
 }
 
+/// DES kernel under heavy cancellation: the engine's dominant pattern —
+/// checkpoint-due and milestone events are scheduled far ahead and almost
+/// always cancelled before they fire (commit completions, failures, and
+/// restarts each re-arm them). Without tombstone compaction the heap
+/// accumulates every cancelled entry until its timestamp surfaces; this
+/// benchmark keeps ~1 live event per 64 scheduled.
+fn bench_event_queue_cancel_heavy(c: &mut Criterion) {
+    c.bench_function("des/event_queue_cancel_heavy", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut t = 0.0f64;
+            for round in 0..1000 {
+                let keys: Vec<_> = (0..64)
+                    .map(|i| {
+                        t += 1.0;
+                        // Far-future events: tombstones never surface on
+                        // their own.
+                        q.schedule(DesTime::from_secs(t + 1e7), round * 64 + i)
+                    })
+                    .collect();
+                for k in &keys[1..] {
+                    q.cancel(*k);
+                }
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        });
+    });
+}
+
 /// Fluid PFS: 64 concurrent streams joining and draining.
 fn bench_pfs(c: &mut Criterion) {
     c.bench_function("io/pfs_64_streams", |b| {
@@ -116,6 +149,7 @@ fn bench_end_to_end(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_event_queue,
+    bench_event_queue_cancel_heavy,
     bench_pfs,
     bench_lambda_solver,
     bench_failure_trace,

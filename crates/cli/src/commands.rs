@@ -48,6 +48,9 @@ COMMON FLAGS:
                                                           [least-waste]
   --interference linear|degraded:<a>|equal               [linear]
   --failures exponential|weibull:<k>|none                [exponential]
+  --failure-classes <name>:<share>:<severity>,...        [system:1:system]
+                                 failure severity mix; severity = number of
+                                 storage levels a strike wipes, or 'system'
   --power cielo|prospective|none                         [none]
   --format text|csv|json                                 [text]
 
@@ -57,9 +60,11 @@ EXAMPLES:
   coopckpt theory --bandwidth 40 --format json
   coopckpt run --strategy ordered-nb-daly --bandwidth 40 --samples 20
   coopckpt run --strategy tiered --tiers 3 --bandwidth 40
+  coopckpt run --scenario scenarios/multilevel_recovery.json --format json
   coopckpt run --scenario scenarios/energy_tradeoff.json --format json
   coopckpt sweep --axis bandwidth --values 40,80,120,160 --samples 50
   coopckpt sweep --axis tiers --values 0,1,2,3 --bandwidth 40
+  coopckpt sweep --axis local-failure-share --tiers 3 --bandwidth 40
   coopckpt sweep --axis power-ratio --power cielo --values 0.5,1,2,4
 ";
 
@@ -93,6 +98,13 @@ FLAGS:
   --seed <n>           base seed                          [1]
   --interference linear|degraded:<a>|equal                [linear]
   --failures exponential|weibull:<k>|none                 [exponential]
+  --failure-classes <name>:<share>:<severity>,...
+                       failure severity mix: shares sum to 1, severity is
+                       the number of storage levels a strike invalidates
+                       (0 = every tier copy survives) or 'system' (PFS-only
+                       recovery, the paper's model). Sub-system failures
+                       restore from the shallowest surviving tier copy,
+                       token-free.             [system:1:system]
   --power <model>      meter per-phase energy under a power model:
                        cielo|prospective|none              [none]
   --format text|csv|json                                  [text]
@@ -104,6 +116,8 @@ EXAMPLES:
   coopckpt run --scenario scenarios/cielo_baseline.json --format json
   coopckpt run --strategy least-waste --bandwidth 40 --samples 20
   coopckpt run --strategy tiered --tiers 3 --bandwidth 40 --samples 20
+  coopckpt run --tiers 3 --failure-classes node:0.6:1,system:0.4:system
+  coopckpt run --scenario scenarios/multilevel_recovery.json --format json
   coopckpt run --scenario scenarios/weibull_ablation.json --samples 50
   coopckpt run --scenario scenarios/energy_tradeoff.json --format json
 ";
@@ -126,15 +140,22 @@ FLAGS:
   --scenario <file>    load a scenario file; flags below override fields
   --axis <name>        bandwidth (GB/s, Fig. 1) | mtbf (years, Fig. 2) |
                        tiers (hierarchy depth) | weibull-shape |
-                       power-ratio (energy metric)         [bandwidth]
+                       power-ratio (energy metric) |
+                       local-failure-share (recovery mix)  [bandwidth]
   --values a,b,c       swept values
                        [bandwidth: 40..160; mtbf: 2..50; tiers: 0..3;
-                        weibull-shape: 0.5..2; power-ratio: 0.25..4]
+                        weibull-shape: 0.5..2; power-ratio: 0.25..4;
+                        local-failure-share: 0..0.9]
   --samples <n>        Monte-Carlo instances per point     [10]
   --seed <n>           base seed                           [1]
   --power <model>      base power model for power-ratio    [cielo]
   --platform, --bandwidth, --mtbf-years, --span-days, --interference,
-  --failures, --format as in `coopckpt run --help`
+  --failures, --failure-classes, --format as in `coopckpt run --help`
+
+The local-failure-share axis installs `{local: x, system: 1-x}` severity
+classes per point (total failure rate unchanged): local failures restore
+from the shallowest surviving storage tier, so waste falls as x grows —
+run it with `--tiers` >= 2 to give restores somewhere to read from.
 
 EXAMPLES:
   coopckpt sweep --axis bandwidth --values 40,80,120,160 --samples 50
@@ -142,6 +163,7 @@ EXAMPLES:
   coopckpt sweep --axis tiers --values 0,1,2,3 --bandwidth 40 --format csv
   coopckpt sweep --axis weibull-shape --values 0.5,0.7,1,1.5 --bandwidth 40
   coopckpt sweep --axis power-ratio --power cielo --bandwidth 40
+  coopckpt sweep --axis local-failure-share --tiers 3 --bandwidth 40
   coopckpt sweep --scenario scenarios/cielo_baseline.json --axis mtbf
 ";
 
@@ -155,8 +177,8 @@ USAGE:
 Prints one row per lifecycle event (`t_secs,event,job,detail`) to stdout
 and a one-line summary to stderr (the summary joins the report as notes
 under `--format json`). Events: job_started, io_started, io_completed,
-checkpoint_durable, tier_absorb, tier_drain, tier_spill, failure,
-job_completed.
+checkpoint_durable, tier_absorb, tier_drain, tier_spill, tier_restore,
+failure, job_completed.
 
 FLAGS:
   --scenario <file>    load a scenario file; flags below override fields
@@ -198,6 +220,7 @@ const SCENARIO_FLAGS: &[&str] = &[
     "strategy",
     "interference",
     "failures",
+    "failure-classes",
     "tiers",
     "power",
     "format",
@@ -215,6 +238,7 @@ const SWEEP_FLAGS: &[&str] = &[
     "threads",
     "interference",
     "failures",
+    "failure-classes",
     "tiers",
     "power",
     "axis",
@@ -334,6 +358,9 @@ fn scenario_from(args: &Args) -> Result<Scenario, Box<dyn std::error::Error>> {
         let depth: usize = raw.parse().map_err(|_| format!("bad --tiers '{raw}'"))?;
         sc.tiers = TiersSpec::Geometric(depth);
     }
+    if let Some(raw) = args.get("failure-classes") {
+        sc.failure_classes = parse_failure_classes(raw)?;
+    }
     if let Some(raw) = args.get("power") {
         sc.power =
             match raw {
@@ -344,6 +371,57 @@ fn scenario_from(args: &Args) -> Result<Scenario, Box<dyn std::error::Error>> {
             };
     }
     Ok(sc)
+}
+
+/// Parses the `--failure-classes` grammar: comma-separated
+/// `<name>:<share>:<severity>` triples with `<severity>` a level count or
+/// `system`, e.g. `local:0.6:1,system:0.4:system`. `none` clears the mix
+/// back to the paper's single system class.
+fn parse_failure_classes(raw: &str) -> Result<Vec<FailureClass>, Box<dyn std::error::Error>> {
+    if raw == "none" {
+        return Ok(Vec::new());
+    }
+    let mut classes = Vec::new();
+    for part in raw.split(',') {
+        let fields: Vec<&str> = part.trim().split(':').collect();
+        let [name, share, severity] = fields.as_slice() else {
+            return Err(format!(
+                "bad failure class '{part}' (expected <name>:<share>:<severity>, \
+                 severity a level count or 'system')"
+            )
+            .into());
+        };
+        let share: f64 = share
+            .parse()
+            .map_err(|_| format!("bad failure-class share '{share}' in '{part}'"))?;
+        let severity = if *severity == "system" {
+            FailureClass::SYSTEM
+        } else {
+            let s = severity
+                .parse::<usize>()
+                .map_err(|_| format!("bad failure-class severity '{severity}' in '{part}'"))?;
+            // Same bound as the JSON scenario parser, so a flag-built
+            // scenario's echo always re-parses (round-trip equivalence).
+            if s > coopckpt::scenario::MAX_TIER_DEPTH {
+                return Err(format!(
+                    "failure-class severity {s} exceeds the maximum depth {} (use 'system')",
+                    coopckpt::scenario::MAX_TIER_DEPTH
+                )
+                .into());
+            }
+            s
+        };
+        if !(share.is_finite() && (0.0..=1.0).contains(&share)) {
+            return Err(format!("failure-class share must be in [0, 1], got '{part}'").into());
+        }
+        classes.push(FailureClass {
+            name: name.to_string(),
+            share,
+            severity,
+        });
+    }
+    coopckpt_failure::validate_classes(&classes)?;
+    Ok(classes)
 }
 
 /// The requested output format (`--format text|csv|json`).
@@ -669,6 +747,50 @@ mod tests {
     }
 
     #[test]
+    fn failure_classes_flag_parses_the_triple_grammar() {
+        let sc = scenario_from(&args(&[
+            "x",
+            "--failure-classes",
+            "transient:0.3:0,node:0.4:1,system:0.3:system",
+        ]))
+        .unwrap();
+        assert_eq!(sc.failure_classes.len(), 3);
+        assert_eq!(sc.failure_classes[0].name, "transient");
+        assert_eq!(sc.failure_classes[0].severity, 0);
+        assert_eq!(sc.failure_classes[1].severity, 1);
+        assert!(sc.failure_classes[2].is_system());
+        // `none` clears a file-provided mix back to the paper's model.
+        let sc = scenario_from(&args(&["x", "--failure-classes", "none"])).unwrap();
+        assert!(sc.failure_classes.is_empty());
+        // Bad grammar, bad shares, and unnormalized mixes are rejected.
+        for bad in [
+            "node:0.4",
+            "node:lots:1",
+            "node:0.4:rack",
+            "node:1.5:1",
+            "node:0.4:1,system:0.4:system",
+            // Severity bound matches the JSON parser, so the scenario
+            // echo of a flag-built run always round-trips.
+            "node:1:20",
+        ] {
+            assert!(
+                scenario_from(&args(&["x", "--failure-classes", bad])).is_err(),
+                "{bad} should be rejected"
+            );
+        }
+        // And the mix reaches the config.
+        let cfg = scenario_from(&args(&[
+            "x",
+            "--failure-classes",
+            "local:0.5:1,system:0.5:system",
+        ]))
+        .unwrap()
+        .into_config()
+        .unwrap();
+        assert_eq!(cfg.failure_classes.len(), 2);
+    }
+
+    #[test]
     fn power_flag_selects_a_model() {
         let sc = scenario_from(&args(&["x", "--power", "cielo"])).unwrap();
         assert_eq!(sc.power, Some(PowerModel::cielo()));
@@ -687,13 +809,16 @@ mod tests {
 
     #[test]
     fn new_sweep_axes_are_accepted() {
-        for axis in ["weibull-shape", "power-ratio"] {
+        for axis in ["weibull-shape", "power-ratio", "local-failure-share"] {
             let parsed: SweepAxis = axis.parse().unwrap();
             assert_eq!(parsed.as_str(), axis);
         }
         assert!(known_flags("sweep").contains(&"power"));
         assert!(known_flags("run").contains(&"power"));
         assert!(!known_flags("table1").contains(&"power"));
+        assert!(known_flags("run").contains(&"failure-classes"));
+        assert!(known_flags("sweep").contains(&"failure-classes"));
+        assert!(!known_flags("table1").contains(&"failure-classes"));
     }
 
     #[test]

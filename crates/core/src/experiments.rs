@@ -19,7 +19,9 @@
 use crate::montecarlo::{run_all, run_many, run_many_by, MonteCarloConfig};
 use crate::report::{candlestick_cells, Cell, Report, CANDLESTICK_COLUMNS};
 use crate::scenario::{Scenario, ScenarioError, Sweep, SweepAxis};
-use crate::sim::{geometric_tiers, EnergySummary, FailureModel, PowerModel, SimConfig, SimResult};
+use crate::sim::{
+    geometric_tiers, EnergySummary, FailureClass, FailureModel, PowerModel, SimConfig, SimResult,
+};
 use crate::strategy::{CheckpointPolicy, Strategy};
 use coopckpt_des::Duration;
 use coopckpt_model::{AppClass, Bandwidth, Platform};
@@ -175,6 +177,51 @@ pub fn waste_vs_weibull_shape(
     points
 }
 
+/// The two-class mix the `local-failure-share` axis installs at share
+/// `x`: node-local failures (severity 1 — the victim's node-local copy
+/// dies with its node; every shared tier survives) carrying `x` of the
+/// platform failure rate, system failures the rest. `x = 0` is exactly
+/// the paper's single-class model.
+pub fn local_failure_mix(local_share: f64) -> Vec<FailureClass> {
+    vec![
+        FailureClass::new("local", local_share, 1),
+        FailureClass::system("system", 1.0 - local_share),
+    ]
+}
+
+/// Per-level failure-class follow-on sweep: waste ratio vs. the share of
+/// failures that are node-local rather than system-wide, under the
+/// template's storage hierarchy ([`local_failure_mix`] per point). The
+/// total failure rate is unchanged across the axis — only the recovery
+/// source moves (shallow tier restores instead of PFS reads) — so the
+/// mean waste falls as the local share grows. No "Theoretical Model"
+/// series: Theorem 1 prices every recovery at the PFS read, which local
+/// restores legitimately undercut.
+pub fn waste_vs_local_failure_share(
+    template: &SimConfig,
+    shares: &[f64],
+    strategies: &[Strategy],
+    mc: &MonteCarloConfig,
+) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for &share in shares {
+        for strat in strategies {
+            let cfg = SimConfig {
+                strategy: *strat,
+                failure_classes: local_failure_mix(share),
+                ..template.clone()
+            };
+            let samples = run_many(&cfg, mc);
+            points.push(SweepPoint {
+                x: share,
+                series: strat.name(),
+                stats: samples.candlestick(),
+            });
+        }
+    }
+    points
+}
+
 /// The time-vs-energy trade-off sweep: **energy** waste ratio as a
 /// function of the checkpoint/compute power ratio `ρ_ckpt / ρ_comp`. The
 /// template's power model (the Cielo preset when it has none) supplies
@@ -253,6 +300,17 @@ pub fn sweep_points(
                 mc,
             ))
         }
+        SweepAxis::LocalFailureShare => {
+            crate::scenario::validate_share_values(&sweep.values)?;
+            let mut strategies = strategies.to_vec();
+            strategies.push(Strategy::tiered(CheckpointPolicy::Daly));
+            Ok(waste_vs_local_failure_share(
+                template,
+                &sweep.values,
+                &strategies,
+                mc,
+            ))
+        }
     }
 }
 
@@ -318,6 +376,28 @@ pub fn run_scenario(scenario: &Scenario) -> Result<Report, ScenarioError> {
                      power-ratio axis (single-point runs get energy sections)",
                 );
             }
+            if sweep.axis == SweepAxis::LocalFailureShare {
+                if config.tiers.is_empty() {
+                    // The sweep still runs (it degenerates validly), but
+                    // a flat curve with no explanation reads like a bug.
+                    report.note(
+                        "local-failure-share sweep over a PFS-only platform: \
+                         without storage tiers no retained copy can serve a \
+                         restore, so every point recovers from the PFS \
+                         (configure tiers >= 2 to see the effect)",
+                    );
+                }
+                if !config.failure_classes.is_empty() {
+                    // The axis owns the mix: each point installs
+                    // {local: x, system: 1-x}. Don't silently drop a
+                    // user-configured mix.
+                    report.note(
+                        "configured failure_classes ignored: the \
+                         local-failure-share axis installs its own \
+                         {local, system} two-class mix at every point",
+                    );
+                }
+            }
             let points = sweep_points(&config, sweep, &mc)?;
             sweep_section(&mut report, sweep.axis.as_str(), &points);
         }
@@ -349,6 +429,7 @@ pub fn run_scenario(scenario: &Scenario) -> Result<Report, ScenarioError> {
                 ),
                 ("jobs_completed", metric(|r| r.jobs_completed as f64), 1),
                 ("restarts", metric(|r| r.restarts as f64), 1),
+                ("tier_restores", metric(|r| r.tier_restores as f64), 1),
             ] {
                 let mean = values.iter().sum::<f64>() / values.len() as f64;
                 let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -615,6 +696,94 @@ mod tests {
             pts[1].stats.mean,
             expo.candlestick().mean
         );
+    }
+
+    #[test]
+    fn local_failure_share_sweep_produces_all_series() {
+        let t = SimConfig {
+            tiers: geometric_tiers(&template().platform, 3),
+            ..template()
+        };
+        let pts = waste_vs_local_failure_share(
+            &t,
+            &[0.0, 0.9],
+            &[Strategy::least_waste()],
+            &MonteCarloConfig::new(2),
+        );
+        assert_eq!(pts.len(), 2);
+        assert!(pts.iter().all(|p| p.series != "Theoretical Model"));
+        // Mostly-local failures restore from fast tiers: waste must not
+        // grow versus the all-system baseline.
+        assert!(
+            pts[1].stats.mean <= pts[0].stats.mean + 1e-9,
+            "local restores should not raise waste: {} vs {}",
+            pts[1].stats.mean,
+            pts[0].stats.mean
+        );
+    }
+
+    #[test]
+    fn tierless_local_share_sweep_carries_a_note() {
+        let mut sc = Scenario::from_config(&template()).with_sampling(1, 1);
+        sc.sweep = Some(Sweep {
+            axis: SweepAxis::LocalFailureShare,
+            values: vec![0.0, 0.5],
+        });
+        let report = run_scenario(&sc).unwrap();
+        assert!(
+            report.notes.iter().any(|n| n.contains("PFS-only platform")),
+            "{:?}",
+            report.notes
+        );
+        // With tiers configured, no such note.
+        let tiered = SimConfig {
+            tiers: geometric_tiers(&template().platform, 2),
+            ..template()
+        };
+        let mut sc = Scenario::from_config(&tiered).with_sampling(1, 1);
+        sc.sweep = Some(Sweep {
+            axis: SweepAxis::LocalFailureShare,
+            values: vec![0.5],
+        });
+        let report = run_scenario(&sc).unwrap();
+        assert!(!report.notes.iter().any(|n| n.contains("PFS-only platform")));
+    }
+
+    #[test]
+    fn local_share_sweep_notes_a_replaced_class_mix() {
+        // The axis installs its own two-class mix per point; a
+        // user-configured mix must not be dropped silently.
+        let tiered = SimConfig {
+            tiers: geometric_tiers(&template().platform, 2),
+            failure_classes: local_failure_mix(0.3),
+            ..template()
+        };
+        let mut sc = Scenario::from_config(&tiered).with_sampling(1, 1);
+        sc.sweep = Some(Sweep {
+            axis: SweepAxis::LocalFailureShare,
+            values: vec![0.5],
+        });
+        let report = run_scenario(&sc).unwrap();
+        assert!(
+            report
+                .notes
+                .iter()
+                .any(|n| n.contains("failure_classes ignored")),
+            "{:?}",
+            report.notes
+        );
+    }
+
+    #[test]
+    fn local_failure_mix_shapes() {
+        let mix = local_failure_mix(0.7);
+        assert_eq!(mix.len(), 2);
+        assert_eq!(mix[0].severity, 1);
+        assert!((mix[0].share - 0.7).abs() < 1e-12);
+        assert!(mix[1].is_system());
+        // The endpoints are valid mixes too.
+        coopckpt_failure::validate_classes(&local_failure_mix(0.0)).unwrap();
+        coopckpt_failure::validate_classes(&local_failure_mix(1.0)).unwrap();
     }
 
     #[test]

@@ -39,8 +39,8 @@
 use crate::json::{Json, JsonError};
 use crate::montecarlo::MonteCarloConfig;
 use crate::sim::{
-    geometric_tiers, BurstBufferSpec, FailureModel, InterferenceKind, PowerModel, SimConfig,
-    TierSpec,
+    geometric_tiers, BurstBufferSpec, FailureClass, FailureModel, InterferenceKind, PowerModel,
+    SimConfig, TierSpec,
 };
 use crate::strategy::Strategy;
 use coopckpt_des::Duration;
@@ -176,6 +176,12 @@ pub enum SweepAxis {
     /// scenario's power model (or the Cielo preset) and rescales its
     /// checkpoint and recovery draws per point.
     PowerRatio,
+    /// Share of failures that are *node-local* (severity 1: the victim's
+    /// node-local checkpoint copy dies with it, every shared tier
+    /// survives) rather than system-wide; each point installs the
+    /// two-class mix `{local: x, system: 1 − x}` at the platform's
+    /// unchanged total failure rate. `x = 0` is the paper's model.
+    LocalFailureShare,
 }
 
 impl SweepAxis {
@@ -188,6 +194,7 @@ impl SweepAxis {
             SweepAxis::Tiers => "tiers",
             SweepAxis::WeibullShape => "weibull-shape",
             SweepAxis::PowerRatio => "power-ratio",
+            SweepAxis::LocalFailureShare => "local-failure-share",
         }
     }
 
@@ -199,6 +206,7 @@ impl SweepAxis {
             SweepAxis::Tiers => vec![0.0, 1.0, 2.0, 3.0],
             SweepAxis::WeibullShape => vec![0.5, 0.7, 1.0, 1.5, 2.0],
             SweepAxis::PowerRatio => vec![0.25, 0.5, 1.0, 2.0, 4.0],
+            SweepAxis::LocalFailureShare => vec![0.0, 0.25, 0.5, 0.75, 0.9],
         }
     }
 }
@@ -213,8 +221,10 @@ impl std::str::FromStr for SweepAxis {
             "tiers" => Ok(SweepAxis::Tiers),
             "weibull-shape" => Ok(SweepAxis::WeibullShape),
             "power-ratio" => Ok(SweepAxis::PowerRatio),
+            "local-failure-share" => Ok(SweepAxis::LocalFailureShare),
             other => Err(format!(
-                "unknown sweep axis '{other}' (bandwidth|mtbf|tiers|weibull-shape|power-ratio)"
+                "unknown sweep axis '{other}' \
+                 (bandwidth|mtbf|tiers|weibull-shape|power-ratio|local-failure-share)"
             )),
         }
     }
@@ -248,6 +258,9 @@ pub struct Scenario {
     pub interference: InterferenceKind,
     /// Failure injection model.
     pub failures: FailureModel,
+    /// Failure severity classes (empty = the paper's single system class;
+    /// see [`SimConfig::failure_classes`]).
+    pub failure_classes: Vec<FailureClass>,
     /// Checkpoint storage hierarchy.
     pub tiers: TiersSpec,
     /// Simulated span per instance.
@@ -291,6 +304,7 @@ impl Default for Scenario {
             strategy: Strategy::least_waste(),
             interference: InterferenceKind::Linear,
             failures: FailureModel::Exponential,
+            failure_classes: Vec::new(),
             tiers: TiersSpec::Geometric(0),
             span: Duration::from_days(14.0),
             samples: 10,
@@ -337,6 +351,14 @@ impl Scenario {
     /// Builder: overrides the failure model.
     pub fn with_failures(mut self, failures: FailureModel) -> Self {
         self.failures = failures;
+        self
+    }
+
+    /// Builder: installs a failure severity-class mix (empty = the
+    /// paper's single system class). Validated at
+    /// [`into_config`](Scenario::into_config) time.
+    pub fn with_failure_classes(mut self, classes: Vec<FailureClass>) -> Self {
+        self.failure_classes = classes;
         self
     }
 
@@ -435,6 +457,27 @@ impl Scenario {
             .with_span(self.span)
             .with_interference(self.interference)
             .with_failures(self.failures);
+        if !self.failure_classes.is_empty() {
+            coopckpt_failure::validate_classes(&self.failure_classes)
+                .map_err(|e| ScenarioError::invalid("failure_classes", e))?;
+            // Same bound the JSON (and CLI) parsers enforce, so any
+            // scenario that *runs* serializes an echo that re-parses:
+            // numeric severities past the deepest representable stack
+            // must be spelled "system".
+            for class in &self.failure_classes {
+                if !class.is_system() && class.severity > MAX_TIER_DEPTH {
+                    return Err(ScenarioError::invalid(
+                        "failure_classes",
+                        format!(
+                            "class '{}': severity {} exceeds the maximum depth \
+                             {MAX_TIER_DEPTH} (use \"system\")",
+                            class.name, class.severity
+                        ),
+                    ));
+                }
+            }
+            config.failure_classes = self.failure_classes.clone();
+        }
         match &self.tiers {
             TiersSpec::Geometric(0) => {}
             TiersSpec::Geometric(k) if *k > MAX_TIER_DEPTH => {
@@ -496,6 +539,7 @@ impl Scenario {
             strategy: config.strategy,
             interference: config.interference,
             failures: config.failures,
+            failure_classes: config.failure_classes.clone(),
             tiers: if config.tiers.is_empty() {
                 TiersSpec::Geometric(0)
             } else {
@@ -545,6 +589,17 @@ impl Scenario {
             Json::str(self.interference.spec_name()),
         ));
         pairs.push(("failures".into(), Json::str(self.failures.spec_name())));
+        if !self.failure_classes.is_empty() {
+            pairs.push((
+                "failure_classes".into(),
+                Json::Arr(
+                    self.failure_classes
+                        .iter()
+                        .map(failure_class_to_json)
+                        .collect(),
+                ),
+            ));
+        }
         pairs.push((
             "tiers".into(),
             match &self.tiers {
@@ -624,6 +679,7 @@ impl Scenario {
                 "strategy",
                 "interference",
                 "failures",
+                "failure_classes",
                 "tiers",
                 "span_secs",
                 "span_days",
@@ -664,6 +720,9 @@ impl Scenario {
             sc.failures = s
                 .parse()
                 .map_err(|e: String| ScenarioError::invalid("failures", e))?;
+        }
+        if let Some(fc) = field(pairs, "failure_classes") {
+            sc.failure_classes = failure_classes_from_json(fc)?;
         }
         if let Some(t) = field(pairs, "tiers") {
             sc.tiers = tiers_from_json(t)?;
@@ -1211,6 +1270,85 @@ fn tier_from_json(v: &Json, path: &str) -> Result<TierSpec, ScenarioError> {
     })
 }
 
+fn failure_class_to_json(c: &FailureClass) -> Json {
+    Json::obj([
+        ("name", Json::str(c.name.clone())),
+        ("share", Json::Num(c.share)),
+        (
+            "severity",
+            if c.is_system() {
+                Json::str("system")
+            } else {
+                Json::Num(c.severity as f64)
+            },
+        ),
+    ])
+}
+
+/// Parses one failure class: `severity` is the number of shallowest
+/// hierarchy levels a strike invalidates, or the string `"system"` for
+/// the paper's PFS-only recovery.
+fn failure_class_from_json(v: &Json, path: &str) -> Result<FailureClass, ScenarioError> {
+    let pairs = as_object(v, path)?;
+    check_keys(pairs, &["name", "share", "severity"], path)?;
+    let name = opt_str_at(pairs, "name", path)?
+        .ok_or_else(|| ScenarioError::invalid(join(path, "name"), "required field is missing"))?;
+    let share = req_f64(pairs, "share", path)?;
+    if !(share.is_finite() && (0.0..=1.0).contains(&share)) {
+        return Err(ScenarioError::invalid(
+            join(path, "share"),
+            format!("share must be in [0, 1], got {share}"),
+        ));
+    }
+    let severity = match field(pairs, "severity") {
+        None => {
+            return Err(ScenarioError::invalid(
+                join(path, "severity"),
+                "required field is missing",
+            ))
+        }
+        Some(Json::Str(s)) if s == "system" => FailureClass::SYSTEM,
+        Some(v) => match v.as_u64() {
+            Some(s) if s <= MAX_TIER_DEPTH as u64 => s as usize,
+            Some(s) => {
+                return Err(ScenarioError::invalid(
+                    join(path, "severity"),
+                    format!(
+                        "severity {s} exceeds the maximum depth {MAX_TIER_DEPTH} (use \"system\")"
+                    ),
+                ))
+            }
+            None => {
+                return Err(ScenarioError::invalid(
+                    join(path, "severity"),
+                    "expected a non-negative integer or \"system\"",
+                ))
+            }
+        },
+    };
+    Ok(FailureClass {
+        name,
+        share,
+        severity,
+    })
+}
+
+fn failure_classes_from_json(v: &Json) -> Result<Vec<FailureClass>, ScenarioError> {
+    let items = v
+        .as_array()
+        .ok_or_else(|| ScenarioError::invalid("failure_classes", "expected an array"))?;
+    let classes = items
+        .iter()
+        .enumerate()
+        .map(|(i, c)| failure_class_from_json(c, &format!("failure_classes[{i}]")))
+        .collect::<Result<Vec<FailureClass>, _>>()?;
+    if !classes.is_empty() {
+        coopckpt_failure::validate_classes(&classes)
+            .map_err(|e| ScenarioError::invalid("failure_classes", e))?;
+    }
+    Ok(classes)
+}
+
 fn burst_buffer_from_json(v: &Json) -> Result<BurstBufferSpec, ScenarioError> {
     let pairs = as_object(v, "burst_buffer")?;
     check_keys(
@@ -1328,6 +1466,20 @@ fn power_from_json(v: &Json) -> Result<PowerModel, ScenarioError> {
     Ok(p)
 }
 
+/// Validates the swept values of the `local-failure-share` axis: shares
+/// live in `[0, 1]`.
+pub(crate) fn validate_share_values(values: &[f64]) -> Result<(), ScenarioError> {
+    for &v in values {
+        if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
+            return Err(ScenarioError::invalid(
+                "sweep.values",
+                format!("local-failure-share values must be in [0, 1], got {v}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Validates the swept values of the axes that require strictly positive
 /// numbers (Weibull shapes, power ratios).
 pub(crate) fn validate_positive_values(
@@ -1377,6 +1529,9 @@ fn sweep_from_json(v: &Json) -> Result<Sweep, ScenarioError> {
                 }
                 SweepAxis::WeibullShape | SweepAxis::PowerRatio => {
                     validate_positive_values(axis, &values)?;
+                }
+                SweepAxis::LocalFailureShare => {
+                    validate_share_values(&values)?;
                 }
                 SweepAxis::Bandwidth | SweepAxis::Mtbf => {}
             }
@@ -1598,6 +1753,95 @@ mod tests {
             let e = Scenario::parse(doc).unwrap_err();
             assert!(e.to_string().contains("positive"), "{doc}: {e}");
         }
+    }
+
+    #[test]
+    fn failure_classes_parse_serialize_and_reach_the_config() {
+        let sc = Scenario::parse(
+            r#"{
+                "tiers": 3,
+                "failure_classes": [
+                    {"name": "transient", "share": 0.3, "severity": 0},
+                    {"name": "node", "share": 0.4, "severity": 1},
+                    {"name": "system", "share": 0.3, "severity": "system"}
+                ]
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(sc.failure_classes.len(), 3);
+        assert_eq!(sc.failure_classes[0].severity, 0);
+        assert_eq!(sc.failure_classes[1].severity, 1);
+        assert!(sc.failure_classes[2].is_system());
+        // Canonical round trip is exact.
+        let back = Scenario::parse(&sc.to_json_string()).unwrap();
+        assert_eq!(back, sc);
+        // And the mix reaches the SimConfig.
+        let cfg = sc.into_config().unwrap();
+        assert_eq!(cfg.failure_classes.len(), 3);
+        assert_eq!(cfg.failure_classes[1].name, "node");
+        // The default (no block) stays the paper's model.
+        let cfg = Scenario::parse("{}").unwrap().into_config().unwrap();
+        assert!(cfg.failure_classes.is_empty());
+    }
+
+    #[test]
+    fn failure_class_validation_errors_carry_paths() {
+        for (doc, needle) in [
+            (
+                r#"{"failure_classes": [{"name": "a", "share": 1.5, "severity": 0}]}"#,
+                "share",
+            ),
+            (
+                r#"{"failure_classes": [{"name": "a", "share": 1.0, "severity": "rackish"}]}"#,
+                "severity",
+            ),
+            (
+                r#"{"failure_classes": [{"name": "a", "share": 1.0, "severity": 999}]}"#,
+                "severity",
+            ),
+            (
+                r#"{"failure_classes": [{"name": "a", "share": 0.5, "severity": 0}]}"#,
+                "sum to 1",
+            ),
+            (
+                r#"{"failure_classes": [{"name": "a", "share": 1.0, "severity": 0, "depth": 2}]}"#,
+                "unknown key",
+            ),
+            (r#"{"failure_classes": 3}"#, "expected an array"),
+        ] {
+            let e = Scenario::parse(doc).unwrap_err();
+            assert!(e.to_string().contains(needle), "{doc}: {e}");
+        }
+    }
+
+    #[test]
+    fn programmatic_overdeep_severities_are_rejected_like_json_ones() {
+        // The JSON parser bounds numeric severities at MAX_TIER_DEPTH;
+        // builder-built scenarios must hit the same wall at into_config
+        // time, so every runnable scenario's echo re-parses.
+        let sc = Scenario::default().with_failure_classes(vec![FailureClass::new(
+            "deep",
+            1.0,
+            MAX_TIER_DEPTH + 1,
+        )]);
+        let e = sc.into_config().unwrap_err();
+        assert!(e.to_string().contains("system"), "{e}");
+        // The sentinel itself is always fine.
+        assert!(Scenario::default()
+            .with_failure_classes(vec![FailureClass::system("s", 1.0)])
+            .into_config()
+            .is_ok());
+    }
+
+    #[test]
+    fn local_failure_share_axis_parses_and_validates() {
+        let sc = Scenario::parse(r#"{"sweep": {"axis": "local-failure-share"}}"#).unwrap();
+        let sweep = sc.sweep.unwrap();
+        assert_eq!(sweep.axis, SweepAxis::LocalFailureShare);
+        assert_eq!(sweep.values, SweepAxis::LocalFailureShare.default_values());
+        let e = Scenario::parse(r#"{"sweep": {"axis": "local-failure-share", "values": [1.5]}}"#)
+            .unwrap_err();
+        assert!(e.to_string().contains("[0, 1]"), "{e}");
     }
 
     #[test]

@@ -26,8 +26,8 @@ use super::{FailureModel, InterferenceKind, SimConfig, SimResult};
 use crate::strategy::{CheckpointPolicy, IoDiscipline};
 use coopckpt_des::{Duration, EventKey, Process, Simulator, StepControl, Time};
 use coopckpt_energy::{EnergyMeter, Phase};
-use coopckpt_failure::{FailureTrace, Xoshiro256pp};
-use coopckpt_io::hierarchy::{DrainHop, Placement, StorageHierarchy, TierSpec};
+use coopckpt_failure::{FailureClass, FailureTrace, Xoshiro256pp};
+use coopckpt_io::hierarchy::{DrainHop, Placement, RetainedCopies, StorageHierarchy, TierSpec};
 use coopckpt_io::{
     DegradedShare, EqualShare, LinearShare, Pfs, RequestId, RequestQueue, TransferId,
 };
@@ -100,14 +100,22 @@ pub(super) enum Event {
     CkptDue(JobIdx),
     /// A job reached a work milestone (chunk I/O due, or work complete).
     Milestone(JobIdx),
-    /// A node fails.
-    Failure(usize),
+    /// A node fails; `class` indexes the configured severity mix.
+    Failure {
+        /// The struck node.
+        node: usize,
+        /// The failure's severity class.
+        class: usize,
+    },
     /// A storage-tier absorb finished; the job resumes and the drain
     /// cascade toward the PFS begins.
     AbsorbDone(JobIdx),
     /// An inter-tier drain hop landed; the cascade continues one level
     /// deeper (or onto the PFS).
     DrainHopDone(JobIdx),
+    /// A restart's recovery read from a storage tier's retained copy
+    /// finished (the token-free twin of a PFS recovery transfer).
+    RestoreDone(JobIdx),
     /// Energy metering: sample the platform-level cumulative counters
     /// (PFS busy time, tier traffic) at a measurement-window boundary
     /// (`true` = window end). Scheduled only when a power model is
@@ -178,6 +186,15 @@ struct Job {
     absorb: Option<(EventKey, Bytes, usize)>,
     /// At most one outstanding drain cascade per job (admission control).
     drain: Option<DrainState>,
+    /// Hierarchy levels holding a retained copy of the last durable
+    /// checkpoint (invalidated per failure-class severity; restarts
+    /// inherit the survivors).
+    retained: RetainedCopies,
+    /// For restarts: the tier the recovery read is served from (`None` =
+    /// the PFS, the paper's model). Decided at failure time.
+    restore_level: Option<usize>,
+    /// In-flight token-free tier restore.
+    restore_event: Option<EventKey>,
 }
 
 /// A tier-buffered checkpoint on its way down the hierarchy to the PFS.
@@ -196,6 +213,9 @@ struct DrainState {
     /// In-flight inter-tier hop: `(event, destination level)`. The
     /// destination's space is already reserved.
     hop: Option<(EventKey, usize)>,
+    /// Levels this cascade has visited: the retained-copy set the
+    /// checkpoint leaves behind once the final PFS drain lands.
+    visited: RetainedCopies,
 }
 
 impl Job {
@@ -243,6 +263,9 @@ pub(super) struct Engine {
     queue: RequestQueue<RMeta>,
     /// The multi-level checkpoint storage hierarchy (empty = PFS only).
     storage: StorageHierarchy,
+    /// The failure severity mix ([`FailureClass`]); a single system class
+    /// reproduces the paper's model exactly.
+    fclasses: Vec<FailureClass>,
     ledger: WasteLedger,
     /// Per-phase energy accounting (None = time-only, the paper's model).
     meter: Option<EnergyMeter>,
@@ -258,6 +281,7 @@ pub(super) struct Engine {
     ckpts_committed: u64,
     jobs_completed: u64,
     restarts: u64,
+    tier_restores: u64,
 }
 
 impl Engine {
@@ -279,18 +303,31 @@ impl Engine {
             InterferenceKind::Equal => Pfs::new(platform.pfs_bandwidth, EqualShare),
         };
 
+        // Resolve the severity mix: empty = the paper's single
+        // system-severity class. The mixed generator splits one dedicated
+        // RNG substream per class, and its first split replays exactly the
+        // stream the pre-class generators drew from `failure_rng` — so the
+        // default mix is bit-identical to the original code path.
+        let fclasses = if config.failure_classes.is_empty() {
+            coopckpt_failure::system_only()
+        } else {
+            config.failure_classes.clone()
+        };
         let trace = match config.failures {
-            FailureModel::Exponential => FailureTrace::generate_exponential(
+            FailureModel::Exponential => FailureTrace::generate_mixed(
                 failure_rng,
                 platform.nodes,
                 platform.node_mtbf,
+                None,
+                &fclasses,
                 horizon,
             ),
-            FailureModel::Weibull(shape) => FailureTrace::generate_weibull(
+            FailureModel::Weibull(shape) => FailureTrace::generate_mixed(
                 failure_rng,
                 platform.nodes,
                 platform.node_mtbf,
-                shape,
+                Some(shape),
+                &fclasses,
                 horizon,
             ),
             FailureModel::None => FailureTrace::empty(),
@@ -327,6 +364,7 @@ impl Engine {
             pfs,
             queue: RequestQueue::new(),
             storage,
+            fclasses,
             ledger,
             meter,
             pfs_wake: None,
@@ -338,6 +376,7 @@ impl Engine {
             ckpts_committed: 0,
             jobs_completed: 0,
             restarts: 0,
+            tier_restores: 0,
             platform,
         };
 
@@ -346,7 +385,13 @@ impl Engine {
             .with_event_budget(500_000_000);
 
         for ev in trace.iter() {
-            sim.schedule_at(ev.at, Event::Failure(ev.node));
+            sim.schedule_at(
+                ev.at,
+                Event::Failure {
+                    node: ev.node,
+                    class: ev.class,
+                },
+            );
         }
         if engine.meter.is_some() {
             // Sample the cumulative platform counters at both window
@@ -386,6 +431,7 @@ impl Engine {
             checkpoints_committed: engine.ckpts_committed,
             jobs_completed: engine.jobs_completed,
             restarts: engine.restarts,
+            tier_restores: engine.tier_restores,
             events: sim.events_processed(),
             trace: engine.trace.take(),
             energy,
@@ -465,6 +511,9 @@ impl Engine {
             milestone_event: None,
             absorb: None,
             drain: None,
+            retained: RetainedCopies::EMPTY,
+            restore_level: None,
+            restore_event: None,
         });
         self.scheduler.submit(priority, q, idx);
     }
@@ -536,15 +585,15 @@ impl Engine {
     }
 
     /// Cumulative data-movement time across the storage tiers, normalized
-    /// to each tier's reference write bandwidth (absorbed + forwarded-in
-    /// bytes per tier). Sampled at the window boundaries to clip tier
-    /// active energy to the measurement window.
+    /// to each tier's reference write bandwidth (absorbed plus
+    /// forwarded-in plus restored bytes per tier). Sampled at the window
+    /// boundaries to clip tier active energy to the measurement window.
     fn tier_active_seconds(&self) -> f64 {
         (0..self.storage.levels())
             .map(|level| {
                 let tier = self.storage.tier(level);
                 let stats = tier.stats();
-                let moved = stats.bytes_absorbed + stats.bytes_forwarded_in;
+                let moved = stats.bytes_absorbed + stats.bytes_forwarded_in + stats.bytes_restored;
                 moved.as_bytes() / tier.spec().write_bw.as_bytes_per_sec()
             })
             .sum()
@@ -772,6 +821,10 @@ impl Engine {
                     self.record_spills(idx, now, 0, level, volume);
                     let key = sim.schedule_in(absorb_time, Event::AbsorbDone(idx));
                     self.jobs[idx].absorb = Some((key, volume, level));
+                    // The absorb overwrites the job's per-tier checkpoint
+                    // slot at this level: the previous durable
+                    // checkpoint's copy there is gone.
+                    self.jobs[idx].retained.forget(level);
                     return;
                 }
                 Placement::Pfs => {
@@ -838,6 +891,8 @@ impl Engine {
             volume,
         });
         let content = self.jobs[idx].pending_content;
+        let mut visited = RetainedCopies::EMPTY;
+        visited.record(level);
         self.jobs[idx].drain = Some(DrainState {
             volume,
             content,
@@ -845,6 +900,7 @@ impl Engine {
             request: None,
             transfer: None,
             hop: None,
+            visited,
         });
         self.start_drain_hop(sim, idx, now);
         // Schedule the next checkpoint relative to the job-visible commit
@@ -940,6 +996,10 @@ impl Engine {
         };
         let (from, volume) = (drain.level, drain.volume);
         drain.level = dest;
+        drain.visited.record(dest);
+        // Landing at `dest` overwrites the previous checkpoint's retained
+        // copy in the job's slot there.
+        self.jobs[idx].retained.forget(dest);
         self.storage.drain_complete(from, volume);
         self.start_drain_hop(sim, idx, now);
     }
@@ -952,8 +1012,18 @@ impl Engine {
             return;
         };
         self.storage.drain_complete(drain.level, drain.volume);
-        if self.jobs[idx].is_live() {
+        // A cascade can land *after* a newer checkpoint already committed
+        // directly to the PFS (the direct path is the fallback exactly
+        // while a drain is in flight, and queue ordering can complete the
+        // newer commit first): a stale landing must not roll the durable
+        // restart point — or the retained-copy set — back to older
+        // content.
+        if self.jobs[idx].is_live() && drain.content >= self.jobs[idx].last_ckpt_content {
             self.jobs[idx].last_ckpt_content = drain.content;
+            // The new durable checkpoint leaves retained copies at every
+            // level the cascade visited — the restore sources for
+            // sub-system failure classes.
+            self.jobs[idx].retained = drain.visited;
             self.ckpts_committed += 1;
             self.record(TraceEvent::CheckpointDurable {
                 at: now,
@@ -970,6 +1040,9 @@ impl Engine {
         self.mark(idx, now, Category::CkptCommit);
         self.jobs[idx].transfer = None;
         self.jobs[idx].last_ckpt_content = self.jobs[idx].pending_content;
+        // A direct PFS commit supersedes every tier copy: the retained
+        // copies hold *older* content and must never serve a restore.
+        self.jobs[idx].retained.clear();
         self.ckpts_committed += 1;
         self.record(TraceEvent::CheckpointDurable {
             at: now,
@@ -1066,20 +1139,73 @@ impl Engine {
         }
     }
 
+    /// The expected recovery read time of job `idx` under the configured
+    /// failure-class mix: `E[R] = Σ_c share_c × R(source_c)`, where
+    /// `source_c` is the tier the job would restore from if a class-`c`
+    /// failure struck now given its retained copies (the PFS read
+    /// `R_j` when no copy survives). With the paper's single system
+    /// class this is exactly `1.0 × R_j = R_j` — bit-identical to the
+    /// level-blind cost.
+    fn expected_recovery_secs(&self, idx: JobIdx) -> f64 {
+        let job = &self.jobs[idx];
+        let nominal = job.recovery_nominal.as_secs();
+        if self.storage.is_empty() {
+            return nominal;
+        }
+        let volume = job.spec.ckpt_bytes;
+        let q = job.q();
+        self.fclasses
+            .iter()
+            .map(|class| {
+                if class.share <= 0.0 {
+                    return 0.0;
+                }
+                let secs = match job.retained.restore_source(class.severity) {
+                    Some(level) => self.storage.restore_time(level, volume, q).as_secs(),
+                    None => nominal,
+                };
+                class.share * secs
+            })
+            .sum()
+    }
+
     /// Implements Equations (1) and (2): picks the candidate whose grant
     /// minimizes the expected waste inflicted on every *other* candidate.
+    /// The recovery term is level-aware: each checkpoint candidate is
+    /// priced at its *expected* restore cost under the failure-class mix
+    /// ([`Engine::expected_recovery_secs`]), so jobs whose rework is cheap
+    /// to restore (surviving shallow copies) weigh less than jobs that
+    /// would pay a full PFS read.
     fn select_least_waste(&mut self, now: Time) -> coopckpt_io::PendingRequest<RMeta> {
         // Precompute the candidate sums so each cost evaluation is O(1).
         let mut s_io_qd = 0.0; // Σ_IO q_j d_j
         let mut s_io_q = 0.0; // Σ_IO q_j
-        let mut s_ck_qqrd = 0.0; // Σ_Ckpt q_j² (R_j + d_j)
+        let mut s_ck_qqrd = 0.0; // Σ_Ckpt q_j² (E[R_j] + d_j)
         let mut s_ck_qq = 0.0; // Σ_Ckpt q_j²
+                               // The expected restore cost collapses to the plain `R_j` field
+                               // read whenever no tier could ever serve a restore — the paper's
+                               // default — so this grant hot path only pays for the class-mix
+                               // map when a sub-system class is actually configured.
+        let level_aware =
+            !self.storage.is_empty() && !coopckpt_failure::is_system_only(&self.fclasses);
+        let expected_r: Option<HashMap<JobIdx, f64>> = level_aware.then(|| {
+            self.queue
+                .iter()
+                .filter(|req| req.meta.kind == Kind::Ckpt)
+                .map(|req| (req.meta.job, self.expected_recovery_secs(req.meta.job)))
+                .collect()
+        });
+        let jobs = &self.jobs;
+        let recovery_secs = |idx: JobIdx| match &expected_r {
+            Some(map) => map[&idx],
+            None => jobs[idx].recovery_nominal.as_secs(),
+        };
         for req in self.queue.iter() {
-            let job = &self.jobs[req.meta.job];
+            let job = &jobs[req.meta.job];
             let q = job.q() as f64;
             if req.meta.kind == Kind::Ckpt {
                 let d = now.since(job.last_ckpt_wall).as_secs().max(0.0);
-                s_ck_qqrd += q * q * (job.recovery_nominal.as_secs() + d);
+                s_ck_qqrd += q * q * (recovery_secs(req.meta.job) + d);
                 s_ck_qq += q * q;
             } else {
                 let d = now.since(req.arrived).as_secs().max(0.0);
@@ -1089,7 +1215,6 @@ impl Engine {
         }
         let mu = self.node_mtbf_secs;
         let full_bw = self.full_bw;
-        let jobs = &self.jobs;
         self.queue
             .pop_min_by(|req| {
                 let job = &jobs[req.meta.job];
@@ -1101,7 +1226,7 @@ impl Engine {
                     let d = now.since(job.last_ckpt_wall).as_secs().max(0.0);
                     io_qd = s_io_qd;
                     io_q = s_io_q;
-                    ck_qqrd = s_ck_qqrd - q * q * (job.recovery_nominal.as_secs() + d);
+                    ck_qqrd = s_ck_qqrd - q * q * (recovery_secs(req.meta.job) + d);
                     ck_qq = s_ck_qq - q * q;
                 } else {
                     let d = now.since(req.arrived).as_secs().max(0.0);
@@ -1166,8 +1291,74 @@ impl Engine {
                 is_restart: self.jobs[idx].spec.is_restart,
             });
             let volume = self.jobs[idx].spec.input_bytes;
+            // Restarts whose last checkpoint left a surviving tier copy
+            // read it back from the tier — token-free, off the PFS.
+            if kind == Kind::Recovery {
+                if let Some(level) = self.jobs[idx].restore_level {
+                    self.start_tier_restore(sim, idx, now, level, volume);
+                    continue;
+                }
+            }
             self.start_blocking_io(sim, idx, now, kind, volume);
         }
+    }
+
+    /// Starts a recovery read from tier `level`'s retained checkpoint
+    /// copy: a plain timed event at the tier's bandwidth, never touching
+    /// the PFS or the I/O token.
+    fn start_tier_restore(
+        &mut self,
+        sim: &mut Simulator<Event>,
+        idx: JobIdx,
+        now: Time,
+        level: usize,
+        volume: Bytes,
+    ) {
+        self.jobs[idx].state = JState::Transfer(Kind::Recovery);
+        self.jobs[idx].state_since = now;
+        self.record(TraceEvent::TierRestore {
+            at: now,
+            job: self.jobs[idx].spec.id,
+            level,
+            volume,
+        });
+        self.tier_restores += 1;
+        if volume.as_bytes() <= EPS_BYTES {
+            self.finish_tier_restore(sim, idx, now);
+            return;
+        }
+        let q = self.jobs[idx].q();
+        let duration = self.storage.restore_from(level, volume, q);
+        let key = sim.schedule_in(duration, Event::RestoreDone(idx));
+        self.jobs[idx].restore_event = Some(key);
+    }
+
+    /// A tier restore finished: the recovery interval closes and the job
+    /// starts computing, exactly like a PFS recovery completion — except
+    /// in the trace, where `TierRestore` is the whole story: no
+    /// `io_started`/`io_completed` pair is emitted, because the read
+    /// never was a PFS transfer (consumers pairing the io rows to
+    /// reconstruct PFS occupancy must not see token-free reads).
+    fn finish_tier_restore(&mut self, sim: &mut Simulator<Event>, idx: JobIdx, now: Time) {
+        let volume = self.jobs[idx].spec.input_bytes;
+        self.mark_transfer(idx, now, Kind::Recovery, volume);
+        // First checkpoint P after compute starts (paper Section 2),
+        // exactly as after a PFS recovery read.
+        let due = now + self.jobs[idx].period;
+        let key = sim.schedule_at(due, Event::CkptDue(idx));
+        self.jobs[idx].ckpt_event = Some(key);
+        self.jobs[idx].last_ckpt_wall = now;
+        self.enter_computing(sim, idx, now);
+    }
+
+    fn on_restore_done(&mut self, sim: &mut Simulator<Event>, idx: JobIdx, now: Time) {
+        if !self.jobs[idx].is_live() {
+            return;
+        }
+        if self.jobs[idx].restore_event.take().is_none() {
+            return;
+        }
+        self.finish_tier_restore(sim, idx, now);
     }
 
     fn on_pfs_wake(&mut self, sim: &mut Simulator<Event>, now: Time) {
@@ -1248,13 +1439,14 @@ impl Engine {
         self.start_blocking_io(sim, idx, now, Kind::Output, volume);
     }
 
-    fn on_failure(&mut self, sim: &mut Simulator<Event>, node: usize, now: Time) {
+    fn on_failure(&mut self, sim: &mut Simulator<Event>, node: usize, class: usize, now: Time) {
         // Failed nodes are replaced from hot spares instantly (paper model),
         // so the pool size is unchanged; only the victim job suffers.
         let Some(alloc) = self.scheduler.occupant(node) else {
             self.record(TraceEvent::Failure {
                 at: now,
                 node,
+                class,
                 victim: None,
                 lost_work: Duration::ZERO,
             });
@@ -1275,16 +1467,35 @@ impl Engine {
         self.record(TraceEvent::Failure {
             at: now,
             node,
+            class,
             victim: Some(self.jobs[idx].spec.id),
             lost_work: lost,
         });
-        self.kill_and_restart(sim, idx, now);
+        self.kill_and_restart(sim, idx, class, now);
         self.try_grant(sim, now);
         self.resync_wake(sim);
     }
 
+    /// The severity of failure class `class` (how many shallow hierarchy
+    /// levels its strikes invalidate); out-of-range indices are treated as
+    /// system failures.
+    fn severity_of(&self, class: usize) -> usize {
+        self.fclasses
+            .get(class)
+            .map_or(FailureClass::SYSTEM, |c| c.severity)
+    }
+
     /// Kills a running job and resubmits its remainder at head priority.
-    fn kill_and_restart(&mut self, sim: &mut Simulator<Event>, idx: JobIdx, now: Time) {
+    /// `class` is the striking failure's severity class: it decides which
+    /// retained checkpoint copies survive and, from those, the restart's
+    /// restore source.
+    fn kill_and_restart(
+        &mut self,
+        sim: &mut Simulator<Event>,
+        idx: JobIdx,
+        class: usize,
+        now: Time,
+    ) {
         // Close the open interval under the appropriate category.
         match self.jobs[idx].state {
             JState::Computing | JState::NbWait => self.mark(idx, now, Category::Work),
@@ -1348,11 +1559,25 @@ impl Engine {
         if let Some(key) = self.jobs[idx].milestone_event.take() {
             sim.cancel(key);
         }
+        if let Some(key) = self.jobs[idx].restore_event.take() {
+            // Failure mid-restore: the read is abandoned; the restart
+            // decides its own source below.
+            sim.cancel(key);
+        }
         if let Some(alloc) = self.jobs[idx].alloc.take() {
             self.alloc_map.remove(&alloc);
             self.scheduler.release(alloc);
         }
         self.jobs[idx].state = JState::Dead;
+
+        // The strike's severity wipes the shallow retained copies; the
+        // restart recovers from the shallowest survivor (token-free, at
+        // tier bandwidth), or from the PFS when none survives — the
+        // paper's original path, and the only path under a system class.
+        let severity = self.severity_of(class);
+        self.jobs[idx].retained.invalidate_below(severity);
+        let restore_level = self.jobs[idx].retained.restore_source(severity);
+        let retained = self.jobs[idx].retained;
 
         // Resubmit with the remaining work from the last commit *start*
         // (paper: "a new wall-time equal to the fraction that remained when
@@ -1404,6 +1629,9 @@ impl Engine {
             milestone_event: None,
             absorb: None,
             drain: None,
+            retained,
+            restore_level,
+            restore_event: None,
         });
         self.scheduler.submit(priority, q, ridx);
         self.schedule_fit_pass(sim, now);
@@ -1443,9 +1671,10 @@ impl Process for Engine {
             Event::PfsWake => self.on_pfs_wake(sim, now),
             Event::CkptDue(idx) => self.on_ckpt_due(sim, idx, now),
             Event::Milestone(idx) => self.on_milestone(sim, idx, now),
-            Event::Failure(node) => self.on_failure(sim, node, now),
+            Event::Failure { node, class } => self.on_failure(sim, node, class, now),
             Event::AbsorbDone(idx) => self.on_absorb_done(sim, idx, now),
             Event::DrainHopDone(idx) => self.on_drain_hop_done(sim, idx, now),
+            Event::RestoreDone(idx) => self.on_restore_done(sim, idx, now),
             Event::PowerMark(end) => self.on_power_mark(now, end),
         }
         StepControl::Continue

@@ -26,7 +26,8 @@ use coopckpt_stats::WasteLedger;
 use coopckpt_workload::generator::WorkloadSpec;
 
 pub use coopckpt_energy::{EnergyMeter, EnergySummary, Phase, PowerModel};
-pub use coopckpt_io::hierarchy::TierSpec;
+pub use coopckpt_failure::FailureClass;
+pub use coopckpt_io::hierarchy::{RetainedCopies, TierSpec};
 
 /// Interference model selection (mirrors `coopckpt_io`'s models as plain
 /// data so configs stay `Clone + Send`).
@@ -183,6 +184,15 @@ pub struct SimConfig {
     /// space and drain tier-by-tier to the PFS in the background; see
     /// [`coopckpt_io::hierarchy`].
     pub tiers: Vec<TierSpec>,
+    /// Failure severity classes: how deep into the storage hierarchy each
+    /// strike reaches, and what fraction of the failure rate it carries
+    /// (see [`coopckpt_failure::classes`]). Empty (the default) means the
+    /// paper's model — a single system-severity class whose every failure
+    /// recovers from the PFS — and is *bit-identical* to it: same failure
+    /// trace, same recovery path, same results at equal seed. Shares
+    /// partition the platform failure rate, so a mix never changes the
+    /// total number of expected failures, only where recovery reads from.
+    pub failure_classes: Vec<FailureClass>,
     /// Record a structured execution trace (see [`trace`]); off by default
     /// because traces of 60-day instances hold hundreds of thousands of
     /// events.
@@ -213,6 +223,7 @@ impl SimConfig {
             workload_slack: 1.5,
             burst_buffer: None,
             tiers: Vec::new(),
+            failure_classes: Vec::new(),
             record_trace: false,
             power: None,
         }
@@ -261,6 +272,21 @@ impl SimConfig {
         self
     }
 
+    /// Installs a failure severity-class mix (shares must sum to 1; see
+    /// [`SimConfig::failure_classes`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the mix is non-empty but invalid.
+    pub fn with_failure_classes(mut self, classes: Vec<FailureClass>) -> Self {
+        if !classes.is_empty() {
+            coopckpt_failure::validate_classes(&classes)
+                .unwrap_or_else(|e| panic!("invalid failure classes: {e}"));
+        }
+        self.failure_classes = classes;
+        self
+    }
+
     /// Enables execution-trace recording.
     pub fn with_trace(mut self) -> Self {
         self.record_trace = true;
@@ -302,6 +328,9 @@ pub struct SimResult {
     pub jobs_completed: u64,
     /// Restart jobs created.
     pub restarts: u64,
+    /// Recovery reads served from a storage tier's retained checkpoint
+    /// copy instead of the PFS (0 under the paper's single-class model).
+    pub tier_restores: u64,
     /// DES events processed.
     pub events: u64,
     /// The execution trace, when [`SimConfig::record_trace`] was set.

@@ -127,12 +127,28 @@ pub enum TraceEvent {
         /// Volume that spilled.
         volume: Bytes,
     },
+    /// A recovery read started from a storage tier's retained checkpoint
+    /// copy (instead of the PFS): the restarting job reads back at the
+    /// tier's bandwidth, token-free.
+    TierRestore {
+        /// When.
+        at: Time,
+        /// The restarting job.
+        job: JobId,
+        /// The tier serving the read (0 = shallowest).
+        level: usize,
+        /// Volume read back.
+        volume: Bytes,
+    },
     /// A failure struck a node.
     Failure {
         /// When.
         at: Time,
         /// The failed node index.
         node: usize,
+        /// Index of the failure's severity class in the configured mix
+        /// (0 under the paper's single-class model).
+        class: usize,
         /// The victim job, if the node was allocated.
         victim: Option<JobId>,
         /// Work lost since the last durable checkpoint (victims only).
@@ -158,6 +174,7 @@ impl TraceEvent {
             | TraceEvent::TierAbsorb { at, .. }
             | TraceEvent::TierDrain { at, .. }
             | TraceEvent::TierSpill { at, .. }
+            | TraceEvent::TierRestore { at, .. }
             | TraceEvent::Failure { at, .. }
             | TraceEvent::JobCompleted { at, .. } => *at,
         }
@@ -173,6 +190,7 @@ impl TraceEvent {
             | TraceEvent::TierAbsorb { job, .. }
             | TraceEvent::TierDrain { job, .. }
             | TraceEvent::TierSpill { job, .. }
+            | TraceEvent::TierRestore { job, .. }
             | TraceEvent::JobCompleted { job, .. } => Some(*job),
             TraceEvent::Failure { victim, .. } => *victim,
         }
@@ -188,6 +206,7 @@ impl TraceEvent {
             TraceEvent::TierAbsorb { .. } => "tier_absorb",
             TraceEvent::TierDrain { .. } => "tier_drain",
             TraceEvent::TierSpill { .. } => "tier_spill",
+            TraceEvent::TierRestore { .. } => "tier_restore",
             TraceEvent::Failure { .. } => "failure",
             TraceEvent::JobCompleted { .. } => "job_completed",
         }
@@ -235,12 +254,19 @@ impl TraceEvent {
                 "from={from_level};to={};volume={volume}",
                 to_level.map_or("pfs".to_string(), |l| l.to_string())
             ),
-            TraceEvent::TierSpill { level, volume, .. } => {
+            TraceEvent::TierSpill { level, volume, .. }
+            | TraceEvent::TierRestore { level, volume, .. } => {
                 format!("level={level};volume={volume}")
             }
             TraceEvent::Failure {
-                node, lost_work, ..
-            } => format!("node={node};lost_hours={:.4}", lost_work.as_hours()),
+                node,
+                class,
+                lost_work,
+                ..
+            } => format!(
+                "node={node};class={class};lost_hours={:.4}",
+                lost_work.as_hours()
+            ),
             TraceEvent::JobCompleted { .. } => String::new(),
         }
     }
@@ -361,6 +387,7 @@ mod tests {
         t.push(TraceEvent::Failure {
             at: Time::from_secs(4000.0),
             node: 3,
+            class: 0,
             victim: Some(JobId(1)),
             lost_work: Duration::from_secs(400.0),
         });
@@ -430,6 +457,15 @@ mod tests {
         };
         assert!(spill.to_csv_row().contains("tier_spill"));
         assert_eq!(spill.at(), Time::from_secs(13.0));
+        let restore = TraceEvent::TierRestore {
+            at: Time::from_secs(14.0),
+            job: JobId(4),
+            level: 1,
+            volume: Bytes::from_tb(1.0),
+        };
+        assert!(restore.to_csv_row().contains("tier_restore"));
+        assert!(restore.to_csv_row().contains("level=1"));
+        assert_eq!(restore.job(), Some(JobId(4)));
     }
 
     #[test]
@@ -441,10 +477,12 @@ mod tests {
         let ev = TraceEvent::Failure {
             at: Time::from_secs(1.0),
             node: 9,
+            class: 2,
             victim: None,
             lost_work: Duration::ZERO,
         };
         assert_eq!(ev.job(), None);
+        assert!(ev.detail().contains("class=2"));
     }
 
     #[test]

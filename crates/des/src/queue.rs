@@ -33,6 +33,9 @@ impl std::fmt::Display for ScheduleError {
 
 impl std::error::Error for ScheduleError {}
 
+/// Below this heap size the tombstone sweep is not worth the rebuild.
+const COMPACT_MIN_HEAP: usize = 64;
+
 struct Entry<E> {
     seq: u64,
     payload: Option<E>,
@@ -76,8 +79,15 @@ impl PartialOrd for HeapItem {
 /// reproducible.
 ///
 /// Cancellation via [`EventKey`] is O(1): the slot is tombstoned and skipped
-/// when it surfaces. The slab of live entries is compacted opportunistically
-/// so memory stays proportional to the number of *live* events.
+/// when it surfaces. Tombstones whose timestamps lie far in the future
+/// would otherwise sit in the heap indefinitely (the simulation engine's
+/// dominant pattern: checkpoint-due and milestone events are almost always
+/// cancelled and re-armed before they fire), so when dead items come to
+/// outnumber live ones — more than half the heap — the heap is rebuilt
+/// from the live items: an O(n) sweep amortized
+/// over the ≥ n/2 cancellations that caused it. The slab of entries is
+/// likewise compacted opportunistically so memory stays proportional to
+/// the number of *live* events.
 ///
 /// [`pop`]: EventQueue::pop
 pub struct EventQueue<E> {
@@ -188,7 +198,36 @@ impl<E> EventQueue<E> {
         debug_assert_eq!(entry.seq, key.0);
         entry.cancelled = true;
         self.len -= 1;
-        entry.payload.take()
+        let payload = entry.payload.take();
+        // Lazy-deletion sweep: when tombstones outnumber live events
+        // (and the heap is big enough for the rebuild to pay off),
+        // rebuild the heap from the live items.
+        if self.heap.len() >= COMPACT_MIN_HEAP && self.heap.len() - self.len > self.heap.len() / 2 {
+            self.compact();
+        }
+        payload
+    }
+
+    /// Rebuilds the heap from its live items, dropping every tombstone and
+    /// recycling their slots. O(n); triggered by [`cancel`](Self::cancel)
+    /// only after at least `n/2` cancellations accumulated, so the
+    /// amortized cost per cancellation stays O(1) (plus the O(log n) heap
+    /// rebuild share).
+    fn compact(&mut self) {
+        let mut live_items = Vec::with_capacity(self.len);
+        for item in self.heap.drain() {
+            let entry = &self.entries[item.slot];
+            if entry.seq == item.seq && !entry.cancelled {
+                live_items.push(item);
+            } else if entry.seq == item.seq {
+                // Tombstone for exactly this event: recycle the slot. A
+                // mismatched seq means the slot already hosts a newer
+                // event; that newer event owns it, so leave it alone.
+                self.free.push(item.slot);
+            }
+        }
+        debug_assert_eq!(live_items.len(), self.len);
+        self.heap = BinaryHeap::from(live_items);
     }
 
     /// The time of the next pending event, if any.
@@ -327,6 +366,65 @@ mod tests {
         // After draining, the slab should not have grown past one round's worth
         // (plus the heap's lazily recycled tombstones).
         assert!(q.entries.len() <= 200, "slab grew to {}", q.entries.len());
+    }
+
+    #[test]
+    fn heavy_cancellation_compacts_the_heap() {
+        // The engine's pattern: far-future events scheduled and almost all
+        // cancelled before firing. The lazy-deletion sweep must keep the
+        // heap proportional to the *live* events, not the tombstones.
+        let mut q = EventQueue::new();
+        for round in 0..1000 {
+            let keys: Vec<_> = (0..64)
+                .map(|i| q.schedule(Time::from_secs(1e7 + (round * 64 + i) as f64), i))
+                .collect();
+            for k in &keys[1..] {
+                q.cancel(*k);
+            }
+        }
+        assert_eq!(q.len(), 1000);
+        assert!(
+            q.heap.len() <= 2 * q.len().max(COMPACT_MIN_HEAP),
+            "heap holds {} items for {} live events — tombstones not swept",
+            q.heap.len(),
+            q.len()
+        );
+        // And every surviving event still pops, in order.
+        let mut popped = 0;
+        let mut last = f64::NEG_INFINITY;
+        while let Some((t, _)) = q.pop() {
+            assert!(t.as_secs() >= last);
+            last = t.as_secs();
+            popped += 1;
+        }
+        assert_eq!(popped, 1000);
+    }
+
+    #[test]
+    fn compaction_preserves_order_and_stale_keys() {
+        let mut q = EventQueue::new();
+        // Interleave: schedule a batch, cancel most, keep handles to the
+        // survivors and cancel *them* after compaction has run.
+        let mut survivors = Vec::new();
+        for round in 0..50 {
+            let keys: Vec<_> = (0..32)
+                .map(|i| q.schedule(Time::from_secs((round * 32 + i) as f64), round * 32 + i))
+                .collect();
+            for (i, k) in keys.iter().enumerate() {
+                if i == 0 {
+                    survivors.push(*k);
+                } else {
+                    q.cancel(*k);
+                }
+            }
+        }
+        // Cancelling survivors after sweeps is still correct, and stale
+        // keys of swept tombstones stay harmless.
+        assert!(q.cancel(survivors[10]).is_some());
+        assert!(q.cancel(survivors[10]).is_none());
+        let got: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        let expect: Vec<usize> = (0..50).filter(|r| *r != 10).map(|r| r * 32).collect();
+        assert_eq!(got, expect);
     }
 
     #[test]

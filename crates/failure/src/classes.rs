@@ -1,0 +1,202 @@
+//! Failure severity classes.
+//!
+//! The paper models a single kind of failure: a node dies and the victim
+//! job restarts from its last checkpoint on the parallel file system. Real
+//! platforms see a *spectrum* of failures (cf. FTI/VeloC and *stdchk*'s
+//! tiered checkpoint storage): a transient software crash leaves every
+//! staged checkpoint copy readable, a node loss destroys the victim's
+//! node-local copy but not the shared burst buffer, a rack or system
+//! outage wipes everything above the PFS.
+//!
+//! A [`FailureClass`] captures one such kind as plain data:
+//!
+//! * `share` — the fraction of the platform failure rate this class
+//!   contributes. Shares across a class list sum to 1, so a class mix
+//!   *partitions* the paper's failure process without changing the total
+//!   rate (apples-to-apples against the single-class model).
+//! * `severity` — how deep into the checkpoint storage hierarchy the
+//!   strike reaches: a severity-`s` failure invalidates the victim's
+//!   retained checkpoint copies at hierarchy levels `0..s` (level 0 is
+//!   the shallowest tier). Recovery then reads back from the shallowest
+//!   *surviving* copy at level ≥ `s`, or from the PFS when none survives.
+//!   [`FailureClass::SYSTEM`] marks the paper's original semantics: every
+//!   tier copy is lost and only the PFS copy can serve the restore.
+//!
+//! The default mix — a single system-severity class with share 1 — is
+//! *exactly* the paper's model: the trace generator draws the same random
+//! sequence, every failure recovers from the PFS, and simulation results
+//! are bit-identical to the pre-class code path (asserted in
+//! `tests/recovery_semantics.rs`).
+
+use std::fmt;
+
+/// One failure severity class: a share of the platform failure rate plus
+/// the hierarchy depth its strikes invalidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureClass {
+    /// Human-readable class name (`"transient"`, `"node"`, `"system"`, ...).
+    pub name: String,
+    /// Fraction of the platform failure rate contributed by this class
+    /// (shares across a mix sum to 1). A zero share is allowed — the class
+    /// never fires but keeps its dedicated RNG stream, so sweeping a share
+    /// through 0 does not reshuffle the other classes' draws.
+    pub share: f64,
+    /// Number of shallowest hierarchy levels a strike invalidates:
+    /// retained checkpoint copies at levels `< severity` are lost.
+    /// `0` = even the shallowest copy survives (process crash);
+    /// [`FailureClass::SYSTEM`] = only the PFS copy survives.
+    pub severity: usize,
+}
+
+impl FailureClass {
+    /// Severity sentinel meaning "every hierarchy level is invalidated;
+    /// only the PFS copy survives" — the paper's original failure model.
+    pub const SYSTEM: usize = usize::MAX;
+
+    /// A class with an explicit severity.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `share` is finite and in `[0, 1]`.
+    pub fn new(name: impl Into<String>, share: f64, severity: usize) -> Self {
+        let class = FailureClass {
+            name: name.into(),
+            share,
+            severity,
+        };
+        assert!(
+            class.share.is_finite() && (0.0..=1.0).contains(&class.share),
+            "failure class '{}': share must be in [0, 1], got {}",
+            class.name,
+            class.share
+        );
+        class
+    }
+
+    /// A system-severity class (PFS-only recovery).
+    pub fn system(name: impl Into<String>, share: f64) -> Self {
+        FailureClass::new(name, share, FailureClass::SYSTEM)
+    }
+
+    /// True when a strike of this class invalidates every hierarchy level.
+    pub fn is_system(&self) -> bool {
+        self.severity == FailureClass::SYSTEM
+    }
+
+    /// The severity as spec text: the number, or `"system"` for
+    /// [`FailureClass::SYSTEM`].
+    pub fn severity_label(&self) -> String {
+        if self.is_system() {
+            "system".to_string()
+        } else {
+            self.severity.to_string()
+        }
+    }
+}
+
+impl fmt::Display for FailureClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.name, self.share, self.severity_label())
+    }
+}
+
+/// The paper's implicit mix: one system-severity class carrying the whole
+/// failure rate.
+pub fn system_only() -> Vec<FailureClass> {
+    vec![FailureClass::system("system", 1.0)]
+}
+
+/// Validates a class mix: at least one class, every share finite and
+/// non-negative, shares summing to 1 (±1e-6 so hand-written decimal
+/// fractions pass).
+pub fn validate_classes(classes: &[FailureClass]) -> Result<(), String> {
+    if classes.is_empty() {
+        return Err("at least one failure class required".to_string());
+    }
+    let mut sum = 0.0;
+    for class in classes {
+        if !(class.share.is_finite() && class.share >= 0.0) {
+            return Err(format!(
+                "failure class '{}': share must be finite and non-negative, got {}",
+                class.name, class.share
+            ));
+        }
+        sum += class.share;
+    }
+    if (sum - 1.0).abs() > 1e-6 {
+        return Err(format!("failure class shares must sum to 1, got {sum}"));
+    }
+    Ok(())
+}
+
+/// True when `classes` is behaviorally the paper's single-class model:
+/// every non-zero share sits on a system-severity class.
+pub fn is_system_only(classes: &[FailureClass]) -> bool {
+    classes.iter().all(|c| c.share == 0.0 || c.is_system())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mix_is_the_paper_model() {
+        let mix = system_only();
+        assert_eq!(mix.len(), 1);
+        assert!(mix[0].is_system());
+        assert_eq!(mix[0].share, 1.0);
+        assert!(validate_classes(&mix).is_ok());
+        assert!(is_system_only(&mix));
+    }
+
+    #[test]
+    fn severity_labels() {
+        assert_eq!(FailureClass::new("node", 0.5, 1).severity_label(), "1");
+        assert_eq!(FailureClass::system("sys", 0.5).severity_label(), "system");
+        assert_eq!(
+            format!("{}", FailureClass::new("node", 0.5, 1)),
+            "node:0.5:1"
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_mixes() {
+        assert!(validate_classes(&[]).is_err());
+        assert!(validate_classes(&[FailureClass::system("s", 0.5)]).is_err());
+        assert!(validate_classes(&[
+            FailureClass::new("a", 0.5, 0),
+            FailureClass::system("b", 0.6),
+        ])
+        .is_err());
+        assert!(validate_classes(&[
+            FailureClass::new("a", 0.25, 0),
+            FailureClass::new("b", 0.25, 1),
+            FailureClass::system("c", 0.5),
+        ])
+        .is_ok());
+        // Zero-share classes are fine as long as the rest sums to 1.
+        assert!(validate_classes(&[
+            FailureClass::new("a", 0.0, 0),
+            FailureClass::system("b", 1.0),
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "share must be in [0, 1]")]
+    fn constructor_rejects_out_of_range_shares() {
+        FailureClass::new("bad", 1.5, 0);
+    }
+
+    #[test]
+    fn system_only_detection() {
+        assert!(is_system_only(&[
+            FailureClass::new("dead", 0.0, 0),
+            FailureClass::system("sys", 1.0),
+        ]));
+        assert!(!is_system_only(&[
+            FailureClass::new("local", 0.5, 1),
+            FailureClass::system("sys", 0.5),
+        ]));
+    }
+}

@@ -33,10 +33,12 @@
 //! assert!(!trace.is_empty());
 //! ```
 
+pub mod classes;
 pub mod dist;
 pub mod rng;
 pub mod trace;
 
+pub use classes::{is_system_only, system_only, validate_classes, FailureClass};
 pub use dist::{Exponential, LogNormal, Normal, Sample, Uniform, Weibull};
 pub use rng::Xoshiro256pp;
 pub use trace::{FailureEvent, FailureTrace};

@@ -5,17 +5,21 @@
 //! for ablations, Weibull) distribution with the *system* MTBF
 //! `µ_sys = µ_ind / N`, and each failure strikes a uniformly random node.
 
+use crate::classes::FailureClass;
 use crate::dist::{Exponential, Sample, Weibull};
 use crate::rng::Xoshiro256pp;
 use coopckpt_des::{Duration, Time};
 
-/// One node failure: which node dies and when.
+/// One node failure: which node dies, when, and how severe the strike is.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FailureEvent {
     /// The instant of the failure.
     pub at: Time,
     /// Index of the struck node in `[0, nodes)`.
     pub node: usize,
+    /// Index into the generating [`FailureClass`] mix (0 for single-class
+    /// traces — the paper's model).
+    pub class: usize,
 }
 
 /// A precomputed, time-ordered schedule of node failures.
@@ -80,6 +84,19 @@ impl FailureTrace {
         inter_arrival: &impl Sample,
         horizon: Time,
     ) -> Self {
+        Self::generate_class(rng, nodes, inter_arrival, 0, horizon)
+    }
+
+    /// Generates the events of one failure class: like
+    /// [`generate_with`](FailureTrace::generate_with), with every event
+    /// tagged `class`.
+    pub fn generate_class(
+        rng: &mut Xoshiro256pp,
+        nodes: usize,
+        inter_arrival: &impl Sample,
+        class: usize,
+        horizon: Time,
+    ) -> Self {
         assert!(horizon.is_finite(), "horizon must be finite");
         let mut events = Vec::new();
         let mut t = 0.0;
@@ -92,8 +109,76 @@ impl FailureTrace {
             events.push(FailureEvent {
                 at: Time::from_secs(t),
                 node,
+                class,
             });
         }
+        FailureTrace { events }
+    }
+
+    /// Generates a trace for a [`FailureClass`] mix: each class `c` draws
+    /// its own events from a *dedicated RNG substream*
+    /// ([`Xoshiro256pp::split`]) at rate `share_c × nodes / node_mtbf`,
+    /// mean-matched Weibull when `weibull_shape` is given, exponential
+    /// otherwise; the per-class schedules are then merged by time (ties
+    /// break by class index).
+    ///
+    /// Two properties follow from the substream layout:
+    ///
+    /// * **Single-class degeneration.** The first split of `rng` replays
+    ///   exactly the stream [`generate_exponential`](Self::generate_exponential)
+    ///   (or [`generate_weibull`](Self::generate_weibull)) would have
+    ///   drawn from `rng` directly, so a one-class mix with share 1
+    ///   reproduces the paper's trace *bit for bit*.
+    /// * **Share-sweep stability.** Zero-share classes still consume their
+    ///   split, so sweeping one class's share through 0 never reshuffles
+    ///   the other classes' draws.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `classes` is empty, `nodes` is zero, or the horizon is
+    /// not finite.
+    pub fn generate_mixed(
+        rng: &mut Xoshiro256pp,
+        nodes: usize,
+        node_mtbf: Duration,
+        weibull_shape: Option<f64>,
+        classes: &[FailureClass],
+        horizon: Time,
+    ) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        assert!(!classes.is_empty(), "need at least one failure class");
+        assert!(horizon.is_finite(), "horizon must be finite");
+        let system_mean = node_mtbf.as_secs() / nodes as f64;
+        let mut events: Vec<FailureEvent> = Vec::new();
+        for (idx, class) in classes.iter().enumerate() {
+            // Split unconditionally so every class owns a stable stream.
+            let mut class_rng = rng.split();
+            if class.share <= 0.0 {
+                continue;
+            }
+            let mean = system_mean / class.share;
+            let trace = match weibull_shape {
+                Some(shape) => Self::generate_class(
+                    &mut class_rng,
+                    nodes,
+                    &Weibull::from_mean(shape, mean),
+                    idx,
+                    horizon,
+                ),
+                None => Self::generate_class(
+                    &mut class_rng,
+                    nodes,
+                    &Exponential::from_mean(mean),
+                    idx,
+                    horizon,
+                ),
+            };
+            events.extend(trace.events);
+        }
+        // Stable by-time merge: per-class schedules are already sorted and
+        // were appended in class order, so equal instants keep the lower
+        // class index first — fully deterministic.
+        events.sort_by(|a, b| a.at.as_secs().total_cmp(&b.at.as_secs()));
         FailureTrace { events }
     }
 
@@ -225,6 +310,7 @@ mod tests {
         let one = FailureTrace::from_events(vec![FailureEvent {
             at: Time::from_secs(5.0),
             node: 0,
+            class: 0,
         }]);
         assert_eq!(one.len(), 1);
         assert!(one.empirical_mtbf().is_none());
@@ -237,10 +323,12 @@ mod tests {
             FailureEvent {
                 at: Time::from_secs(5.0),
                 node: 0,
+                class: 0,
             },
             FailureEvent {
                 at: Time::from_secs(1.0),
                 node: 1,
+                class: 0,
             },
         ]);
     }
@@ -257,6 +345,131 @@ mod tests {
             FailureTrace::generate_exponential(&mut rng, 64, Duration::from_years(1.0), horizon)
         };
         assert_eq!(t1.events(), t2.events());
+    }
+
+    #[test]
+    fn single_class_mix_is_bit_identical_to_the_plain_generator() {
+        // The headline degeneration: one system class with share 1 must
+        // replay exactly the paper's trace (same draws via the first
+        // split), for both laws.
+        let horizon = Time::from_secs(Duration::from_days(200.0).as_secs());
+        let mix = crate::classes::system_only();
+        let plain = {
+            let mut rng = Xoshiro256pp::seed_from_u64(17);
+            FailureTrace::generate_exponential(&mut rng, 128, Duration::from_years(1.0), horizon)
+        };
+        let mixed = {
+            let mut rng = Xoshiro256pp::seed_from_u64(17);
+            FailureTrace::generate_mixed(
+                &mut rng,
+                128,
+                Duration::from_years(1.0),
+                None,
+                &mix,
+                horizon,
+            )
+        };
+        assert_eq!(plain.events(), mixed.events());
+        let plain_w = {
+            let mut rng = Xoshiro256pp::seed_from_u64(17);
+            FailureTrace::generate_weibull(&mut rng, 128, Duration::from_years(1.0), 0.7, horizon)
+        };
+        let mixed_w = {
+            let mut rng = Xoshiro256pp::seed_from_u64(17);
+            FailureTrace::generate_mixed(
+                &mut rng,
+                128,
+                Duration::from_years(1.0),
+                Some(0.7),
+                &mix,
+                horizon,
+            )
+        };
+        assert_eq!(plain_w.events(), mixed_w.events());
+    }
+
+    #[test]
+    fn mixed_trace_preserves_the_total_rate_and_splits_by_share() {
+        let horizon = Time::from_secs(Duration::from_days(5000.0).as_secs());
+        let classes = vec![
+            FailureClass::new("local", 0.75, 1),
+            FailureClass::system("system", 0.25),
+        ];
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let trace = FailureTrace::generate_mixed(
+            &mut rng,
+            200,
+            Duration::from_years(2.0),
+            None,
+            &classes,
+            horizon,
+        );
+        // Total rate matches the single-class system MTBF.
+        let expected = Duration::from_years(2.0).as_secs() / 200.0;
+        let got = trace.empirical_mtbf().unwrap().as_secs();
+        assert!(
+            (got - expected).abs() / expected < 0.05,
+            "mixed empirical MTBF {got} vs expected {expected}"
+        );
+        // Per-class counts follow the shares.
+        let local = trace.iter().filter(|e| e.class == 0).count() as f64;
+        let system = trace.iter().filter(|e| e.class == 1).count() as f64;
+        let frac = local / (local + system);
+        assert!((frac - 0.75).abs() < 0.03, "local share {frac} vs 0.75");
+        // And the merge is time-ordered.
+        assert!(trace.events().windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn zero_share_classes_never_fire_but_keep_streams_stable() {
+        // Dropping a class's share to zero must not reshuffle the other
+        // classes' draws: the remaining class's events are identical
+        // whether its neighbour is dormant or absent... with the dormant
+        // class still occupying its split slot.
+        let horizon = Time::from_secs(Duration::from_days(500.0).as_secs());
+        let dormant = vec![
+            FailureClass::new("local", 0.0, 1),
+            FailureClass::system("system", 1.0),
+        ];
+        let active = vec![
+            FailureClass::new("local", 0.5, 1),
+            FailureClass::system("system", 0.5),
+        ];
+        let t_dormant = {
+            let mut rng = Xoshiro256pp::seed_from_u64(9);
+            FailureTrace::generate_mixed(
+                &mut rng,
+                64,
+                Duration::from_years(1.0),
+                None,
+                &dormant,
+                horizon,
+            )
+        };
+        assert!(t_dormant.iter().all(|e| e.class == 1));
+        let t_active = {
+            let mut rng = Xoshiro256pp::seed_from_u64(9);
+            FailureTrace::generate_mixed(
+                &mut rng,
+                64,
+                Duration::from_years(1.0),
+                None,
+                &active,
+                horizon,
+            )
+        };
+        // The system class draws the same inter-arrival *sequence* in both
+        // runs (same substream); only the rate scale differs. Check the
+        // stream stability through the struck-node sequence, which is
+        // scale-independent.
+        let nodes_dormant: Vec<usize> = t_dormant.iter().map(|e| e.node).take(20).collect();
+        let nodes_active: Vec<usize> = t_active
+            .iter()
+            .filter(|e| e.class == 1)
+            .map(|e| e.node)
+            .take(20)
+            .collect();
+        assert_eq!(nodes_dormant, nodes_active);
     }
 
     #[test]

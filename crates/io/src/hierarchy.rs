@@ -33,6 +33,20 @@
 //! 4. If the owning job fails mid-flight, [`discard`](StorageHierarchy::discard)
 //!    releases reserved space without counting it as drained.
 //!
+//! # Retained copies and restores
+//!
+//! As a checkpoint cascades down, each tier it visits keeps a *retained
+//! copy* in the job's per-tier checkpoint slot after the bytes move on.
+//! Retained copies are metadata, not occupancy: the hierarchy reserves
+//! space only for data *in flight* (each job cycles one checkpoint slot
+//! per tier, overwritten by the next cascade), so tracking them never
+//! changes admission or spill decisions. The caller records the visited
+//! levels of the last *durable* checkpoint in a [`RetainedCopies`] set;
+//! when a failure of severity `s` strikes (invalidating levels `< s`),
+//! [`RetainedCopies::restore_source`] picks the shallowest surviving copy
+//! and [`restore_from`](StorageHierarchy::restore_from) prices the
+//! read-back — at the tier's own bandwidth, without touching the PFS.
+//!
 //! # Example: a write cascades through two tiers to the PFS
 //!
 //! ```
@@ -159,6 +173,82 @@ pub struct TierStats {
     pub bytes_discarded: Bytes,
     /// Peak occupancy observed.
     pub peak_occupancy: Bytes,
+    /// Recovery reads served from this tier's retained copies.
+    pub restores: u64,
+    /// Bytes read back for recovery from this tier.
+    pub bytes_restored: Bytes,
+}
+
+/// The set of hierarchy levels holding a retained copy of one job's last
+/// durable checkpoint (a compact level bitmask; see the
+/// [module docs](self) for the retention model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetainedCopies(u32);
+
+impl RetainedCopies {
+    /// No retained copies: only the PFS holds the checkpoint.
+    pub const EMPTY: RetainedCopies = RetainedCopies(0);
+
+    /// Marks a retained copy at `level`.
+    pub fn record(&mut self, level: usize) {
+        debug_assert!(level < 32, "level {level} out of bitmask range");
+        self.0 |= 1 << level;
+    }
+
+    /// Drops the copy at `level` (overwritten by a newer cascade).
+    pub fn forget(&mut self, level: usize) {
+        debug_assert!(level < 32, "level {level} out of bitmask range");
+        self.0 &= !(1 << level);
+    }
+
+    /// Drops every retained copy (a fresh checkpoint committed straight to
+    /// the PFS, superseding all tier copies).
+    pub fn clear(&mut self) {
+        self.0 = 0;
+    }
+
+    /// True when `level` holds a retained copy.
+    pub fn contains(&self, level: usize) -> bool {
+        level < 32 && self.0 & (1 << level) != 0
+    }
+
+    /// True when no tier holds a copy.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Applies a severity-`severity` strike: copies at levels
+    /// `< severity` are lost (pass [`usize::MAX`] for a system failure
+    /// that wipes every tier).
+    pub fn invalidate_below(&mut self, severity: usize) {
+        if severity >= 32 {
+            self.0 = 0;
+        } else {
+            self.0 &= !((1u32 << severity) - 1);
+        }
+    }
+
+    /// The restore source after a severity-`severity` strike: the
+    /// shallowest retained level the strike did not reach (`>= severity`),
+    /// or `None` when only the PFS copy survives. Never returns a level
+    /// shallower than the shallowest surviving copy — the recovery-
+    /// semantics property suite pins this down.
+    pub fn restore_source(&self, severity: usize) -> Option<usize> {
+        if severity >= 32 {
+            return None;
+        }
+        let surviving = self.0 & !((1u32 << severity) - 1);
+        if surviving == 0 {
+            None
+        } else {
+            Some(surviving.trailing_zeros() as usize)
+        }
+    }
+
+    /// The retained levels, shallow to deep.
+    pub fn levels(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..32).filter(|&l| self.contains(l))
+    }
 }
 
 /// One tier's live state.
@@ -376,6 +466,28 @@ impl StorageHierarchy {
         self.tiers[level].release(volume);
         self.tiers[level].stats.bytes_discarded += volume;
     }
+
+    /// The time a `reader_nodes`-node job needs to read `volume` bytes
+    /// back from tier `level` — symmetric to the absorb path (read
+    /// bandwidth equals write bandwidth, matching the paper's `R = C`
+    /// assumption for the PFS). Non-mutating: use it to *price* a
+    /// candidate restore (level-aware Least-Waste) without recording one.
+    pub fn restore_time(&self, level: usize, volume: Bytes, reader_nodes: usize) -> Duration {
+        self.absorb_time(level, volume, reader_nodes)
+    }
+
+    /// Serves a recovery read of `volume` bytes from tier `level`'s
+    /// retained copy: returns the read-back duration and records the
+    /// restore in the tier's statistics. The read never touches the PFS
+    /// (no token, no shared-bandwidth stream) and occupies no tier
+    /// capacity — the copy is already resident.
+    pub fn restore_from(&mut self, level: usize, volume: Bytes, reader_nodes: usize) -> Duration {
+        assert!(volume.is_valid(), "invalid restore volume {volume}");
+        let duration = self.restore_time(level, volume, reader_nodes);
+        self.tiers[level].stats.restores += 1;
+        self.tiers[level].stats.bytes_restored += volume;
+        duration
+    }
 }
 
 #[cfg(test)]
@@ -503,6 +615,73 @@ mod tests {
                 Placement::Pfs => assert_eq!(predicted, None),
             }
         }
+    }
+
+    #[test]
+    fn restore_from_prices_reads_like_absorbs_and_counts_stats() {
+        let mut h = three_tier();
+        let v = Bytes::from_gb(800.0);
+        // Tier 0 is per-node at 2 GB/s: 100 readers -> 4 s, like the
+        // absorb in `admission_prefers_the_shallowest_tier`.
+        assert!((h.restore_time(0, v, 100).as_secs() - 4.0).abs() < 1e-9);
+        let d = h.restore_from(0, v, 100);
+        assert_eq!(d, h.restore_time(0, v, 100));
+        assert_eq!(h.tier(0).stats().restores, 1);
+        assert_eq!(h.tier(0).stats().bytes_restored, v);
+        // Aggregate tier 1 at 400 GB/s: 2 s regardless of reader count.
+        assert!((h.restore_from(1, v, 1).as_secs() - 2.0).abs() < 1e-9);
+        assert_eq!(h.tier(1).stats().restores, 1);
+        // Restores never touch occupancy.
+        assert!(h.occupancy_total().is_zero());
+    }
+
+    #[test]
+    fn retained_copies_track_record_forget_clear() {
+        let mut r = RetainedCopies::EMPTY;
+        assert!(r.is_empty());
+        r.record(0);
+        r.record(2);
+        assert!(r.contains(0) && !r.contains(1) && r.contains(2));
+        assert_eq!(r.levels().collect::<Vec<_>>(), vec![0, 2]);
+        r.forget(0);
+        assert!(!r.contains(0) && r.contains(2));
+        r.clear();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn restore_source_is_the_shallowest_surviving_copy() {
+        let mut r = RetainedCopies::EMPTY;
+        r.record(0);
+        r.record(1);
+        r.record(2);
+        // Severity 0 (process crash): even the shallowest copy survives.
+        assert_eq!(r.restore_source(0), Some(0));
+        // Severity 1 (node loss): the node-local copy is gone.
+        assert_eq!(r.restore_source(1), Some(1));
+        // Severity past the deepest copy: PFS only.
+        assert_eq!(r.restore_source(3), None);
+        assert_eq!(r.restore_source(usize::MAX), None);
+        // Gaps are skipped: with only level 2 retained, a severity-1
+        // strike restores from level 2.
+        let mut sparse = RetainedCopies::EMPTY;
+        sparse.record(2);
+        assert_eq!(sparse.restore_source(1), Some(2));
+    }
+
+    #[test]
+    fn invalidate_below_wipes_exactly_the_shallow_levels() {
+        let mut r = RetainedCopies::EMPTY;
+        for l in 0..4 {
+            r.record(l);
+        }
+        r.invalidate_below(2);
+        assert_eq!(r.levels().collect::<Vec<_>>(), vec![2, 3]);
+        r.invalidate_below(0); // no-op
+        assert_eq!(r.levels().collect::<Vec<_>>(), vec![2, 3]);
+        r.invalidate_below(usize::MAX); // system strike
+        assert!(r.is_empty());
+        assert_eq!(r.restore_source(0), None);
     }
 
     #[test]

@@ -261,6 +261,226 @@ pub fn per_level_commit_costs(volume: Bytes, write_bws: &[Bandwidth]) -> Vec<Dur
         .collect()
 }
 
+/// Expected restore cost under a failure-class mix: `E[R] = Σ_c p_c R_c`,
+/// where `p_c` is class `c`'s share of the failure rate and `R_c` the
+/// restore cost of the tier class `c` recovers from.
+///
+/// With a single class the mix degenerates *exactly* (IEEE `1.0 × R = R`)
+/// to that class's cost, so the multi-level forms reduce bit-for-bit to
+/// the paper's single-class model.
+///
+/// ```
+/// use coopckpt_des::Duration;
+/// use coopckpt_model::expected_restore_cost;
+///
+/// // 70 % of failures restore from a fast tier (10 s), 30 % from the
+/// // PFS (250 s): E[R] = 82 s.
+/// let r = expected_restore_cost(
+///     &[0.7, 0.3],
+///     &[Duration::from_secs(10.0), Duration::from_secs(250.0)],
+/// );
+/// assert!((r.as_secs() - 82.0).abs() < 1e-9);
+/// ```
+///
+/// # Panics
+///
+/// Panics when the slices differ in length, a share is negative or
+/// non-finite, or the shares do not sum to 1 (±1e-6).
+pub fn expected_restore_cost(shares: &[f64], restore_costs: &[Duration]) -> Duration {
+    assert_eq!(
+        shares.len(),
+        restore_costs.len(),
+        "one restore cost per failure class required ({} shares, {} costs)",
+        shares.len(),
+        restore_costs.len()
+    );
+    let mut sum = 0.0;
+    let mut total_share = 0.0;
+    for (&p, &r) in shares.iter().zip(restore_costs) {
+        assert!(
+            p.is_finite() && p >= 0.0,
+            "class shares must be finite and non-negative, got {p}"
+        );
+        assert!(
+            r.is_finite() && r.as_secs() >= 0.0,
+            "restore costs must be finite and non-negative, got {r}"
+        );
+        sum += p * r.as_secs();
+        total_share += p;
+    }
+    assert!(
+        (total_share - 1.0).abs() <= 1e-6,
+        "class shares must sum to 1, got {total_share}"
+    );
+    Duration::from_secs(sum)
+}
+
+/// Per-class restore costs on a storage hierarchy in steady state: class
+/// `c` (severity `s_c` = number of shallowest levels its strikes
+/// invalidate) recovers from level `s_c` — the shallowest copy that
+/// survives it, since a drained checkpoint leaves retained copies at
+/// every level it visited — at that level's read bandwidth, or from the
+/// PFS when `s_c` reaches past the deepest tier.
+///
+/// `level_read_bws[ℓ]` is the effective read bandwidth of level `ℓ` as
+/// the job sees it (multiply per-node bandwidths by the job's node count,
+/// as for [`per_level_commit_costs`]).
+///
+/// ```
+/// use coopckpt_model::{class_restore_costs, Bandwidth, Bytes};
+///
+/// // 1 TB checkpoint; tiers at 100 and 50 GB/s over a 10 GB/s PFS.
+/// let costs = class_restore_costs(
+///     Bytes::from_tb(1.0),
+///     &[Bandwidth::from_gbps(100.0), Bandwidth::from_gbps(50.0)],
+///     Bandwidth::from_gbps(10.0),
+///     &[0, 1, usize::MAX], // process crash, node loss, system outage
+/// );
+/// assert!((costs[0].as_secs() - 10.0).abs() < 1e-9);  // level 0
+/// assert!((costs[1].as_secs() - 20.0).abs() < 1e-9);  // level 1
+/// assert!((costs[2].as_secs() - 100.0).abs() < 1e-9); // PFS
+/// ```
+///
+/// # Panics
+///
+/// Panics when the volume or any bandwidth is non-positive.
+pub fn class_restore_costs(
+    volume: Bytes,
+    level_read_bws: &[Bandwidth],
+    pfs_bw: Bandwidth,
+    severities: &[usize],
+) -> Vec<Duration> {
+    assert!(
+        volume.is_valid() && !volume.is_zero(),
+        "checkpoint volume must be positive, got {volume}"
+    );
+    assert!(
+        pfs_bw.is_valid() && !pfs_bw.is_zero(),
+        "PFS bandwidth must be positive, got {pfs_bw}"
+    );
+    severities
+        .iter()
+        .map(|&s| {
+            let bw = if s < level_read_bws.len() {
+                let bw = level_read_bws[s];
+                assert!(
+                    bw.is_valid() && !bw.is_zero(),
+                    "tier read bandwidth must be positive, got {bw}"
+                );
+                bw
+            } else {
+                pfs_bw
+            };
+            volume.transfer_time(bw)
+        })
+        .collect()
+}
+
+/// Steady-state waste of a job checkpointing with period `p` under a
+/// failure-class mix — Eq. (3) with the recovery term replaced by the
+/// class-probability mix of [`expected_restore_cost`]:
+///
+/// `W = C/P + (1/µ)(P/2 + Σ_c p_c R_c)`
+///
+/// `mtbf` is the job MTBF of the *total* failure process (the mix
+/// partitions the rate; it does not add failures). With a single class
+/// this is exactly [`steady_state_waste`].
+///
+/// ```
+/// use coopckpt_des::Duration;
+/// use coopckpt_model::{steady_state_waste, steady_state_waste_mix};
+///
+/// let (c, p, mu) = (
+///     Duration::from_secs(100.0),
+///     Duration::from_secs(2000.0),
+///     Duration::from_secs(50_000.0),
+/// );
+/// // Single system class: the mix reduces to Eq. (3) exactly.
+/// let single = steady_state_waste_mix(c, p, mu, &[1.0], &[c]);
+/// assert_eq!(single, steady_state_waste(c, c, p, mu));
+/// // Shifting half the failures to a 10x-faster tier cuts the waste.
+/// let mixed = steady_state_waste_mix(c, p, mu, &[0.5, 0.5], &[c / 10.0, c]);
+/// assert!(mixed < single);
+/// ```
+pub fn steady_state_waste_mix(
+    c: Duration,
+    p: Duration,
+    mtbf: Duration,
+    shares: &[f64],
+    restore_costs: &[Duration],
+) -> f64 {
+    let r = expected_restore_cost(shares, restore_costs);
+    steady_state_waste(c, r, p, mtbf)
+}
+
+/// The per-level failure MTBFs a class mix induces, feeding
+/// [`per_level_daly_periods`]: entry `ℓ < levels` is the MTBF of the
+/// failures a level-`ℓ` checkpoint specifically guards against — those of
+/// severity exactly `ℓ`, which wipe every shallower copy but leave level
+/// `ℓ` readable — and the final entry (index `levels`) covers the
+/// system-severity remainder that only the PFS survives.
+///
+/// Levels no class maps to get an infinite MTBF (nothing to guard
+/// against — filter those out before calling [`per_level_daly_periods`],
+/// which requires finite MTBFs).
+///
+/// ```
+/// use coopckpt_des::Duration;
+/// use coopckpt_model::level_guard_mtbfs;
+///
+/// let mu = Duration::from_hours(10.0);
+/// // 60 % severity-0, 10 % severity-1, 30 % system, on a 2-tier stack.
+/// let mtbfs = level_guard_mtbfs(mu, &[0.6, 0.1, 0.3], &[0, 1, usize::MAX], 2);
+/// assert_eq!(mtbfs.len(), 3);
+/// assert!((mtbfs[0].as_hours() - 10.0 / 0.6).abs() < 1e-9);
+/// assert!((mtbfs[1].as_hours() - 100.0).abs() < 1e-9);
+/// assert!((mtbfs[2].as_hours() - 10.0 / 0.3).abs() < 1e-9);
+/// ```
+///
+/// # Panics
+///
+/// Panics when the slices differ in length or `base_mtbf` is not
+/// positive.
+pub fn level_guard_mtbfs(
+    base_mtbf: Duration,
+    shares: &[f64],
+    severities: &[usize],
+    levels: usize,
+) -> Vec<Duration> {
+    assert_eq!(
+        shares.len(),
+        severities.len(),
+        "one severity per failure class required ({} shares, {} severities)",
+        shares.len(),
+        severities.len()
+    );
+    assert!(
+        base_mtbf.is_finite() && base_mtbf.is_positive(),
+        "MTBF must be positive, got {base_mtbf}"
+    );
+    (0..=levels)
+        .map(|level| {
+            let share: f64 = shares
+                .iter()
+                .zip(severities)
+                .filter(|(_, &s)| {
+                    if level == levels {
+                        s >= levels
+                    } else {
+                        s == level
+                    }
+                })
+                .map(|(&p, _)| p)
+                .sum();
+            if share > 0.0 {
+                Duration::from_secs(base_mtbf.as_secs() / share)
+            } else {
+                Duration::from_secs(f64::INFINITY)
+            }
+        })
+        .collect()
+}
+
 /// Per-level Young/Daly periods for a multi-level checkpoint hierarchy:
 /// `P_ℓ = √(2 µ_ℓ C_ℓ)` for each level `ℓ`.
 ///
@@ -477,6 +697,83 @@ mod tests {
     }
 
     #[test]
+    fn expected_restore_cost_mixes_linearly() {
+        let fast = Duration::from_secs(10.0);
+        let slow = Duration::from_secs(100.0);
+        let r = expected_restore_cost(&[0.25, 0.75], &[fast, slow]);
+        assert!((r.as_secs() - (0.25 * 10.0 + 0.75 * 100.0)).abs() < 1e-12);
+        // Single class: exact identity, not just approximate.
+        assert_eq!(expected_restore_cost(&[1.0], &[slow]), slow);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn expected_restore_cost_rejects_unnormalized_shares() {
+        expected_restore_cost(&[0.5, 0.4], &[Duration::ZERO, Duration::ZERO]);
+    }
+
+    #[test]
+    fn class_restore_costs_pick_the_surviving_level() {
+        let costs = class_restore_costs(
+            Bytes::from_tb(2.0),
+            &[Bandwidth::from_gbps(200.0), Bandwidth::from_gbps(100.0)],
+            Bandwidth::from_gbps(20.0),
+            &[0, 1, 2, usize::MAX],
+        );
+        assert!((costs[0].as_secs() - 10.0).abs() < 1e-9);
+        assert!((costs[1].as_secs() - 20.0).abs() < 1e-9);
+        // Severity past the stack (2 levels): PFS for both.
+        assert!((costs[2].as_secs() - 100.0).abs() < 1e-9);
+        assert_eq!(costs[2], costs[3]);
+    }
+
+    #[test]
+    fn waste_mix_reduces_to_eq3_for_a_single_system_class() {
+        let c = Duration::from_secs(250.0);
+        let p = Duration::from_secs(3000.0);
+        let mu = Duration::from_secs(40_000.0);
+        assert_eq!(
+            steady_state_waste_mix(c, p, mu, &[1.0], &[c]),
+            steady_state_waste(c, c, p, mu)
+        );
+    }
+
+    #[test]
+    fn waste_mix_falls_as_shallow_shares_grow() {
+        // Total failure rate fixed; shifting probability mass from the
+        // PFS restore to a 10x-faster tier restore cuts the waste
+        // monotonically.
+        let c = Duration::from_secs(250.0);
+        let p = Duration::from_secs(3000.0);
+        let mu = Duration::from_secs(40_000.0);
+        let costs = [c / 10.0, c];
+        let mut last = f64::INFINITY;
+        for local in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let w = steady_state_waste_mix(c, p, mu, &[local, 1.0 - local], &costs);
+            assert!(w < last, "waste must fall with the local share");
+            last = w;
+        }
+    }
+
+    #[test]
+    fn level_guard_mtbfs_partition_the_rate() {
+        let mu = Duration::from_secs(1000.0);
+        let mtbfs = level_guard_mtbfs(mu, &[0.5, 0.2, 0.3], &[0, 1, usize::MAX], 2);
+        // Rates (1/MTBF) of the guarded groups sum back to the total.
+        let rate: f64 = mtbfs.iter().map(|m| 1.0 / m.as_secs()).sum();
+        assert!((rate - 1.0 / 1000.0).abs() < 1e-12);
+        // Unguarded levels get an infinite MTBF.
+        let sparse = level_guard_mtbfs(mu, &[1.0], &[usize::MAX], 2);
+        assert!(!sparse[0].is_finite() && !sparse[1].is_finite());
+        assert!((sparse[2].as_secs() - 1000.0).abs() < 1e-12);
+        // The finite entries feed per_level_daly_periods directly.
+        let finite: Vec<Duration> = mtbfs.iter().copied().filter(|m| m.is_finite()).collect();
+        let costs = vec![Duration::from_secs(10.0); finite.len()];
+        let periods = per_level_daly_periods(&costs, &finite);
+        assert_eq!(periods.len(), 3);
+    }
+
+    #[test]
     fn waste_components_add_up() {
         // With no failures contribution removed (µ → ∞) waste ≈ C/P.
         let w = steady_state_waste(
@@ -533,6 +830,25 @@ mod proptests {
                 let w = steady_state_energy_waste(c, r, p_star * k, mu, ckpt_w, compute_w, ckpt_w);
                 prop_assert!(w >= w_star - 1e-12);
             }
+        }
+
+        /// The class mix is monotone: moving share from a slow restore to
+        /// a strictly faster one never raises the steady-state waste, for
+        /// arbitrary operating points.
+        #[test]
+        fn waste_mix_is_monotone_in_the_fast_share(
+            c_secs in 1.0f64..5_000.0,
+            mu_secs in 10_000.0f64..1e9,
+            speedup in 1.0f64..100.0,
+            shift in 0.0f64..1.0,
+        ) {
+            let c = Duration::from_secs(c_secs);
+            let mu = Duration::from_secs(mu_secs);
+            let p = young_daly_period(c, mu);
+            let costs = [Duration::from_secs(c_secs / speedup), c];
+            let base = steady_state_waste_mix(c, p, mu, &[0.0, 1.0], &costs);
+            let shifted = steady_state_waste_mix(c, p, mu, &[shift, 1.0 - shift], &costs);
+            prop_assert!(shifted <= base + 1e-12);
         }
 
         /// P scales as sqrt(µ) and sqrt(C).

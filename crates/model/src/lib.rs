@@ -26,9 +26,10 @@ pub mod units;
 
 pub use app::{AppClass, ClassId, JobId, JobSpec};
 pub use ckpt::{
-    daly_period_energy, daly_period_high_order, per_level_commit_costs, per_level_daly_periods,
+    class_restore_costs, daly_period_energy, daly_period_high_order, expected_restore_cost,
+    level_guard_mtbfs, per_level_commit_costs, per_level_daly_periods,
     per_level_daly_periods_energy, steady_state_energy_waste, steady_state_waste,
-    young_daly_period,
+    steady_state_waste_mix, young_daly_period,
 };
 pub use coopckpt_des::{Duration, Time};
 pub use platform::{Platform, PlatformError};

@@ -1,0 +1,105 @@
+//! Report output stability: thread-count determinism and golden files.
+//!
+//! * **Determinism** — one scenario executed at `--threads 1`, `2` and
+//!   `8` must produce bit-identical `Report` output: the Monte-Carlo pool
+//!   orders results by seed and every random draw comes from per-seed
+//!   (and, within a run, per-failure-class) RNG streams, so worker count
+//!   can never leak into results.
+//! * **Golden files** — the rendered text/CSV/JSON `Report` output of two
+//!   checked-in `scenarios/` presets is itself checked in under
+//!   `tests/golden/` and compared byte for byte, so format drift (added
+//!   columns, reordered sections, float-precision changes) is caught in
+//!   review instead of silently shipped. After an *intentional* format
+//!   change, refresh with:
+//!
+//!   ```sh
+//!   COOPCKPT_BLESS=1 cargo test --test report_stability
+//!   ```
+
+use coopckpt::experiments::run_scenario;
+use coopckpt::json::Json;
+use coopckpt::prelude::*;
+use std::path::PathBuf;
+
+fn preset_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("scenarios")
+        .join(format!("{name}.json"))
+}
+
+/// The report's JSON with the scenario echo dropped — the echo contains
+/// the `threads` knob itself, which is exactly the field the determinism
+/// test varies (it is documented not to affect results).
+fn json_without_echo(report: &Report) -> String {
+    match report.to_json() {
+        Json::Obj(pairs) => {
+            Json::Obj(pairs.into_iter().filter(|(k, _)| k != "scenario").collect()).pretty()
+        }
+        other => other.pretty(),
+    }
+}
+
+#[test]
+fn thread_count_never_changes_the_report() {
+    let base = Scenario::load(preset_path("multilevel_recovery")).expect("preset loads");
+    let render = |threads: usize| {
+        let mut sc = base.clone();
+        sc.threads = threads;
+        let report = run_scenario(&sc).expect("preset runs");
+        (
+            report.to_text(),
+            report.to_csv(),
+            json_without_echo(&report),
+        )
+    };
+    let single = render(1);
+    for threads in [2, 8] {
+        let multi = render(threads);
+        assert_eq!(single.0, multi.0, "text differs at --threads {threads}");
+        assert_eq!(single.1, multi.1, "CSV differs at --threads {threads}");
+        assert_eq!(single.2, multi.2, "JSON differs at --threads {threads}");
+    }
+}
+
+/// Compares (or, under `COOPCKPT_BLESS=1`, rewrites) one preset's
+/// rendered report against its golden files.
+fn check_golden(preset: &str) {
+    let sc = Scenario::load(preset_path(preset)).expect("preset loads");
+    let report = run_scenario(&sc).expect("preset runs");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let bless = std::env::var("COOPCKPT_BLESS").is_ok_and(|v| !v.is_empty() && v != "0");
+    for (ext, rendered) in [
+        ("txt", report.to_text()),
+        ("csv", report.to_csv()),
+        ("json", report.to_json().pretty() + "\n"),
+    ] {
+        let path = dir.join(format!("{preset}.{ext}"));
+        if bless {
+            std::fs::create_dir_all(&dir).expect("golden dir");
+            std::fs::write(&path, &rendered).expect("write golden");
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "cannot read golden file {} ({e}); run COOPCKPT_BLESS=1 \
+                 cargo test --test report_stability to create it",
+                path.display()
+            )
+        });
+        assert_eq!(
+            rendered, expected,
+            "{preset}.{ext} drifted from its golden file — if the format \
+             change is intentional, re-bless with COOPCKPT_BLESS=1"
+        );
+    }
+}
+
+#[test]
+fn golden_report_custom_lab() {
+    check_golden("custom_lab");
+}
+
+#[test]
+fn golden_report_multilevel_recovery() {
+    check_golden("multilevel_recovery");
+}
