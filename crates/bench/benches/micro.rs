@@ -146,6 +146,59 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
+/// Campaign throughput: a small suite through the work-stealing runner,
+/// cold (fresh operating-point cache per iteration — every point
+/// simulates) vs warm (one shared cache — after the first iteration every
+/// point is a memoized lookup). The gap is the value of the
+/// operating-point cache; the warm number is the runner's pure overhead.
+fn bench_campaign(c: &mut Criterion) {
+    use coopckpt::campaign::{run_suite, CampaignOptions, Suite};
+    use coopckpt::montecarlo::OpPointCache;
+    use std::sync::Arc;
+
+    let suite = Suite::parse(
+        r#"{
+            "name": "bench",
+            "base": {
+                "platform": {"preset": "cielo", "bandwidth_gbps": 40},
+                "span_days": 0.25,
+                "samples": 1,
+                "seed": 1
+            },
+            "grid": {
+                "strategy": ["least-waste", "ordered-daly", "oblivious-daly"],
+                "bandwidth_gbps": [40, 160]
+            }
+        }"#,
+    )
+    .expect("bench suite parses");
+
+    let mut group = c.benchmark_group("campaign/6pt_quarter_day");
+    group.sample_size(10);
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            let opts = CampaignOptions {
+                threads: 0,
+                cache: None,
+                op_cache: Some(Arc::new(OpPointCache::new())),
+            };
+            black_box(run_suite(&suite, &opts).expect("suite runs").entries.len())
+        });
+    });
+    let shared = Arc::new(OpPointCache::new());
+    group.bench_function("warm", |b| {
+        b.iter(|| {
+            let opts = CampaignOptions {
+                threads: 0,
+                cache: None,
+                op_cache: Some(Arc::clone(&shared)),
+            };
+            black_box(run_suite(&suite, &opts).expect("suite runs").entries.len())
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
@@ -153,6 +206,7 @@ criterion_group!(
     bench_pfs,
     bench_lambda_solver,
     bench_failure_trace,
-    bench_end_to_end
+    bench_end_to_end,
+    bench_campaign
 );
 criterion_main!(benches);

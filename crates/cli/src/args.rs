@@ -3,8 +3,9 @@
 use std::collections::HashMap;
 
 /// Flags that take no value; `--help` anywhere in a command line asks for
-/// that subcommand's help text.
-const BOOL_FLAGS: &[&str] = &["help"];
+/// that subcommand's help text, `--list` makes `suite` print its expansion
+/// instead of running it.
+const BOOL_FLAGS: &[&str] = &["help", "list"];
 
 /// Parsed command line: a subcommand, positional arguments, and flags.
 #[derive(Debug, Clone, Default)]

@@ -7,9 +7,11 @@
 
 use crate::args::Args;
 use coopckpt::experiments::run_scenario;
+use coopckpt::json::Json;
 use coopckpt::prelude::*;
 use coopckpt_theory::{lower_bound, ClassParams};
 use coopckpt_workload::{classes_for, APEX_SPECS};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -26,6 +28,11 @@ COMMANDS:
   run         Execute one scenario: Monte-Carlo simulate one strategy at
               one operating point (or the file's sweep, if it has one).
   sweep       Sweep bandwidth, MTBF or tier depth across strategies.
+  suite       Execute a campaign suite file (many scenarios / a cartesian
+              grid) across a thread pool, with an optional resumable
+              on-disk result cache.
+  compare     Diff two campaign outputs and flag metric drift beyond a
+              relative tolerance.
   workload    Generate and dump one randomized job mix.
   trace       Simulate one instance and dump its execution trace.
   help        Show this message.
@@ -66,6 +73,8 @@ EXAMPLES:
   coopckpt sweep --axis tiers --values 0,1,2,3 --bandwidth 40
   coopckpt sweep --axis local-failure-share --tiers 3 --bandwidth 40
   coopckpt sweep --axis power-ratio --power cielo --values 0.5,1,2,4
+  coopckpt suite scenarios/paper_grid.json --cache .campaign --format json
+  coopckpt compare cold.json warm.json --tolerance 0.05
 ";
 
 /// `coopckpt run --help`
@@ -197,12 +206,78 @@ EXAMPLES:
   coopckpt trace --seed 7 --failures weibull:0.7 --span-days 2 --format json
 ";
 
+/// `coopckpt suite --help`
+pub const SUITE_HELP: &str = "\
+coopckpt suite — execute a campaign suite file across a thread pool
+
+USAGE:
+  coopckpt suite <suite.json> [--threads n] [--cache dir] [--flag value]...
+
+A suite file declares many scenarios at once: an optional `base` scenario,
+a `grid` of axes whose cartesian product is applied to the base
+(axes: strategy|bandwidth_gbps|mtbf_years|tiers|span_days|samples|seed|
+local_failure_share), and/or an explicit `scenarios` list. A plain
+scenario file is accepted as a one-point suite. Expansion is
+deduplicated and order-stable; each point is auto-named
+`prefix/axis=value/...`.
+
+Points are sharded across worker threads (work-stealing); the merged
+output is ordered by expansion, so it is bit-identical at any
+`--threads` value. With `--cache <dir>`, each point's report is stored
+under a content-addressed key (canonical scenario JSON + code-version
+salt): rerunning the suite skips computed points and the resumed output
+is bit-identical to a cold run. Progress streams to stderr as points
+finish.
+
+FLAGS:
+  --suite <file>       the suite file (or pass it as the positional)
+  --threads <n>        worker threads; 0 = one per core        [0]
+  --cache <dir>        content-addressed on-disk result cache (resumable)
+  --list               print the expansion (key + name per point) and exit
+  --format text|csv|json                                       [text]
+
+EXAMPLES:
+  coopckpt suite scenarios/paper_grid.json
+  coopckpt suite scenarios/paper_grid.json --list
+  coopckpt suite scenarios/paper_grid.json --cache .campaign --format json
+  coopckpt suite scenarios/cielo_baseline.json --threads 1
+";
+
+/// `coopckpt compare --help`
+pub const COMPARE_HELP: &str = "\
+coopckpt compare — diff two campaign outputs
+
+USAGE:
+  coopckpt compare <a.json> <b.json> [--tolerance t] [--format f]
+
+Reads two campaign documents (`coopckpt suite --format json` output; a
+single `run` report works too), matches points by name, sections by name
+and rows by position, and reports every numeric cell where
+|b - a| > tolerance * max(|a|, |b|) — a relative tolerance, so
+`--tolerance 0` (the default) demands bit-equality and `0.05` allows 5%
+drift. Structural changes (missing points/sections, row-count or column
+drift) always count. Exits non-zero when any difference is found, so CI
+can gate on it.
+
+FLAGS:
+  --tolerance <t>      relative tolerance for numeric cells   [0]
+  --format text|csv|json                                      [text]
+
+EXAMPLES:
+  coopckpt suite scenarios/paper_grid.json --format json > cold.json
+  coopckpt suite scenarios/paper_grid.json --format json > warm.json
+  coopckpt compare cold.json warm.json
+  coopckpt compare baseline.json candidate.json --tolerance 0.05
+";
+
 /// The help text for a subcommand, when it has a dedicated page.
 pub fn help_for(command: &str) -> Option<&'static str> {
     match command {
         "run" => Some(RUN_HELP),
         "sweep" => Some(SWEEP_HELP),
         "trace" => Some(TRACE_HELP),
+        "suite" => Some(SUITE_HELP),
+        "compare" => Some(COMPARE_HELP),
         _ => None,
     }
 }
@@ -267,10 +342,14 @@ const WORKLOAD_FLAGS: &[&str] = &[
     "help",
 ];
 
+const SUITE_FLAGS: &[&str] = &["suite", "threads", "cache", "list", "format", "help"];
+
+const COMPARE_FLAGS: &[&str] = &["tolerance", "format", "help"];
+
 /// Every dispatchable subcommand (used to distinguish "unknown command"
 /// from "unknown flag" errors).
 pub const COMMANDS: &[&str] = &[
-    "table1", "theory", "run", "sweep", "workload", "trace", "help",
+    "table1", "theory", "run", "sweep", "suite", "compare", "workload", "trace", "help",
 ];
 
 /// The flags a subcommand accepts, for typo detection
@@ -279,6 +358,8 @@ pub fn known_flags(command: &str) -> &'static [&'static str] {
     match command {
         "run" | "trace" => SCENARIO_FLAGS,
         "sweep" => SWEEP_FLAGS,
+        "suite" => SUITE_FLAGS,
+        "compare" => COMPARE_FLAGS,
         "table1" | "theory" => PLATFORM_FLAGS,
         "workload" => WORKLOAD_FLAGS,
         _ => &["help"],
@@ -320,21 +401,13 @@ fn scenario_from(args: &Args) -> Result<Scenario, Box<dyn std::error::Error>> {
         let gbps: f64 = raw
             .parse()
             .map_err(|_| format!("bad --bandwidth '{raw}'"))?;
-        let bw = Bandwidth::from_gbps(gbps);
-        match &mut sc.platform {
-            PlatformSpec::Preset { bandwidth, .. } => *bandwidth = Some(bw),
-            PlatformSpec::Custom(p) => *p = p.with_bandwidth(bw),
-        }
+        sc = sc.with_bandwidth_gbps(gbps);
     }
     if let Some(raw) = args.get("mtbf-years") {
         let years: f64 = raw
             .parse()
             .map_err(|_| format!("bad --mtbf-years '{raw}'"))?;
-        let mtbf = Duration::from_years(years);
-        match &mut sc.platform {
-            PlatformSpec::Preset { node_mtbf, .. } => *node_mtbf = Some(mtbf),
-            PlatformSpec::Custom(p) => *p = p.with_node_mtbf(mtbf),
-        }
+        sc = sc.with_mtbf_years(years);
     }
     if let Some(days) = args.get("span-days") {
         let d: f64 = days
@@ -547,6 +620,79 @@ pub fn sweep(args: &Args) -> CmdResult {
     }
     let report = run_scenario(&sc)?;
     emit(&report, args)
+}
+
+/// `coopckpt suite` — expand a campaign suite file and execute every
+/// point across the work-stealing runner.
+pub fn suite(args: &Args) -> CmdResult {
+    let path = args
+        .get("suite")
+        .or_else(|| args.positionals.first().map(String::as_str))
+        .ok_or("suite: give a suite file (`coopckpt suite <file.json>`)")?
+        .to_string();
+    let suite = Suite::load(&path)?;
+    let points = suite.expand()?;
+    let n = points.len();
+    if args.is_set("list") {
+        for sc in &points {
+            println!(
+                "{}  {}",
+                cache_key(sc),
+                sc.name.as_deref().unwrap_or("<unnamed>")
+            );
+        }
+        eprintln!("# {n} points");
+        return Ok(());
+    }
+    let opts = CampaignOptions {
+        threads: args.get_parsed_or("threads", 0usize, "an integer")?,
+        cache: match args.get("cache") {
+            Some(dir) => Some(ResultCache::new(dir)?),
+            None => None,
+        },
+        op_cache: None,
+    };
+    // Progress streams to stderr in completion order; the merged report
+    // on stdout stays in expansion order (thread-count independent).
+    let done = AtomicUsize::new(0);
+    let campaign = run_suite_with(&suite, &opts, |_, entry| {
+        let k = done.fetch_add(1, Ordering::Relaxed) + 1;
+        let tag = if entry.from_cache { " (cached)" } else { "" };
+        eprintln!("[{k}/{n}] {}{tag}", entry.label());
+    })?;
+    eprintln!(
+        "# suite complete: {} points, {} from cache",
+        campaign.entries.len(),
+        campaign.cached_points()
+    );
+    print!(
+        "{}",
+        campaign.render(format_from(args, OutputFormat::Text)?)
+    );
+    Ok(())
+}
+
+/// `coopckpt compare` — diff two campaign outputs; non-zero exit when any
+/// beyond-tolerance difference is found (CI gate).
+pub fn compare(args: &Args) -> CmdResult {
+    let [path_a, path_b] = args.positionals.as_slice() else {
+        return Err("compare: give exactly two campaign JSON files".into());
+    };
+    let tolerance: f64 = args.get_parsed_or("tolerance", 0.0, "a number")?;
+    let read = |path: &str| -> Result<Json, Box<dyn std::error::Error>> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        Ok(Json::parse(&text)?)
+    };
+    let outcome = compare_campaigns(&read(path_a)?, &read(path_b)?, tolerance, path_a, path_b)?;
+    emit(&outcome.report, args)?;
+    if outcome.differences > 0 {
+        return Err(format!(
+            "{} difference(s) beyond tolerance {tolerance}",
+            outcome.differences
+        )
+        .into());
+    }
+    Ok(())
 }
 
 /// `coopckpt trace`

@@ -6,6 +6,8 @@
 //! coopckpt theory  [--platform cielo] [--bandwidth 40] [--mtbf-years 2]
 //! coopckpt run     [--scenario file.json] [--strategy least-waste] ...
 //! coopckpt sweep   --axis bandwidth --values 40,80,120,160 ...
+//! coopckpt suite   scenarios/paper_grid.json [--cache .campaign]
+//! coopckpt compare cold.json warm.json [--tolerance 0.05]
 //! coopckpt workload [--seed 1] [--span-days 60]
 //! ```
 //!
@@ -53,6 +55,8 @@ fn main() {
         Some("theory") => commands::theory(&parsed),
         Some("run") => commands::run(&parsed),
         Some("sweep") => commands::sweep(&parsed),
+        Some("suite") => commands::suite(&parsed),
+        Some("compare") => commands::compare(&parsed),
         Some("workload") => commands::workload(&parsed),
         Some("trace") => commands::trace(&parsed),
         Some("help") | None => {

@@ -16,7 +16,7 @@
 //!   tiers scaled to the platform by
 //!   [`geometric_tiers`].
 
-use crate::montecarlo::{run_all, run_many, run_many_by, MonteCarloConfig};
+use crate::montecarlo::{run_many, run_many_by, MonteCarloConfig, OpPointCache};
 use crate::report::{candlestick_cells, Cell, Report, CANDLESTICK_COLUMNS};
 use crate::scenario::{Scenario, ScenarioError, Sweep, SweepAxis};
 use crate::sim::{
@@ -342,6 +342,21 @@ pub fn sweep_section(report: &mut Report, x_label: &str, points: &[SweepPoint]) 
 /// * with a sweep — the full strategy roster at every swept value (see
 ///   [`sweep_points`]).
 pub fn run_scenario(scenario: &Scenario) -> Result<Report, ScenarioError> {
+    run_scenario_with_cache(scenario, OpPointCache::global())
+}
+
+/// [`run_scenario`] against an explicit operating-point cache.
+///
+/// Single-point runs fetch their Monte-Carlo instances through `cache`,
+/// so scenarios sharing an operating point (same platform, strategy,
+/// span, sampling, ...) compute it once per process — the campaign
+/// runner's work-sharing path, also used by the heavyweight test suites.
+/// Sweeps execute uncached: each sweep point is an internal config the
+/// caller never re-requests.
+pub fn run_scenario_with_cache(
+    scenario: &Scenario,
+    cache: &OpPointCache,
+) -> Result<Report, ScenarioError> {
     if scenario.samples == 0 {
         // Caught here (not just in JSON parsing) so flag-built scenarios
         // error cleanly instead of tripping the thread pool's assert.
@@ -402,7 +417,7 @@ pub fn run_scenario(scenario: &Scenario) -> Result<Report, ScenarioError> {
             sweep_section(&mut report, sweep.axis.as_str(), &points);
         }
         None => {
-            let results = run_all(&config, &mc);
+            let results = cache.run_all(&config, &mc);
             let metric = |f: fn(&SimResult) -> f64| -> Vec<f64> { results.iter().map(f).collect() };
             let waste = Candlestick::from_samples(&metric(|r| r.waste_ratio));
             report
@@ -441,7 +456,7 @@ pub fn run_scenario(scenario: &Scenario) -> Result<Report, ScenarioError> {
                     Cell::float(max, precision),
                 ]);
             }
-            energy_sections(&mut report, &results);
+            energy_sections(&mut report, &results[..]);
         }
     }
     Ok(report)

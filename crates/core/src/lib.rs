@@ -39,6 +39,7 @@
 //! assert!(result.waste_ratio >= 0.0 && result.waste_ratio <= 1.0);
 //! ```
 
+pub mod campaign;
 pub mod experiments;
 pub mod json;
 pub mod montecarlo;
@@ -47,6 +48,11 @@ pub mod scenario;
 pub mod sim;
 pub mod strategy;
 
+pub use campaign::{
+    cache_key, compare_campaigns, run_suite, run_suite_with, Campaign, CampaignEntry,
+    CampaignError, CampaignOptions, CompareOutcome, GridAxis, ResultCache, Suite,
+};
+pub use montecarlo::OpPointCache;
 pub use report::{Cell, OutputFormat, Report, Section};
 pub use scenario::{PlatformSpec, Scenario, ScenarioError, Sweep, SweepAxis, TiersSpec};
 pub use sim::{
@@ -57,8 +63,12 @@ pub use strategy::{CheckpointPolicy, IoDiscipline, Strategy};
 
 /// Convenience re-exports for downstream users.
 pub mod prelude {
-    pub use crate::experiments::run_scenario;
-    pub use crate::montecarlo::{run_all, run_many, MonteCarloConfig};
+    pub use crate::campaign::{
+        cache_key, compare_campaigns, run_suite, run_suite_with, Campaign, CampaignEntry,
+        CampaignError, CampaignOptions, CompareOutcome, GridAxis, ResultCache, Suite,
+    };
+    pub use crate::experiments::{run_scenario, run_scenario_with_cache};
+    pub use crate::montecarlo::{run_all, run_many, MonteCarloConfig, OpPointCache};
     pub use crate::report::{Cell, OutputFormat, Report, Section};
     pub use crate::scenario::{
         PlatformSpec, Scenario, ScenarioError, Sweep, SweepAxis, TiersSpec, WorkloadSource,

@@ -6,10 +6,13 @@
 //! seed, so the returned sample set is identical regardless of thread count
 //! or scheduling.
 
+use crate::scenario::Scenario;
 use crate::sim::{run_simulation, SimConfig, SimResult};
 use coopckpt_stats::Samples;
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// How many instances to run and how.
 #[derive(Debug, Clone)]
@@ -112,6 +115,85 @@ pub fn run_all(config: &SimConfig, mc: &MonteCarloConfig) -> Vec<SimResult> {
     run_map(config, mc, |r| r)
 }
 
+/// A memoizing front end to [`run_all`]: one entry per *operating point*
+/// (the canonical scenario JSON of the config plus the sample count and
+/// base seed), shared behind an `Arc` so repeated evaluations of the same
+/// point — different assertions in a test binary, different campaign
+/// scenarios that happen to coincide — pay for one set of simulated
+/// instances.
+///
+/// This is the library promotion of the test suites' ad-hoc
+/// `steady_mean_waste` memoization. Keying on the canonical
+/// [`Scenario::from_config`] serialization means any two configs that
+/// would produce identical instances share an entry, and any field that
+/// changes results (seed, span, strategy, failure mix, ...) changes the
+/// key. The Monte-Carlo `threads` knob is documented not to affect
+/// results and is deliberately *not* part of the key.
+///
+/// Fills are serialized **per key** (concurrent callers of the same point
+/// block on one computation; distinct points proceed in parallel), so a
+/// campaign runner sharding scenarios across threads is never funneled
+/// through a global lock.
+///
+/// Trace-recording configs bypass the cache entirely: `record_trace` is a
+/// run-mode flag outside the scenario spec, and cached entries must stay
+/// trace-free.
+/// A cache slot: filled once, then shared by every caller of the point.
+type OpPointSlot = Arc<OnceLock<Arc<Vec<SimResult>>>>;
+
+#[derive(Default)]
+pub struct OpPointCache {
+    map: Mutex<HashMap<String, OpPointSlot>>,
+}
+
+impl OpPointCache {
+    /// An empty cache (for injection into runners and tests; most callers
+    /// want [`OpPointCache::global`]).
+    pub fn new() -> OpPointCache {
+        OpPointCache::default()
+    }
+
+    /// The process-wide shared cache.
+    pub fn global() -> &'static OpPointCache {
+        static GLOBAL: OnceLock<OpPointCache> = OnceLock::new();
+        GLOBAL.get_or_init(OpPointCache::new)
+    }
+
+    /// Number of memoized operating points.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// True when nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The memoization key of one operating point.
+    fn key(config: &SimConfig, mc: &MonteCarloConfig) -> String {
+        let mut sc = Scenario::from_config(config);
+        sc.samples = mc.samples;
+        sc.seed = mc.base_seed;
+        sc.to_json_string()
+    }
+
+    /// [`run_all`], memoized per operating point. Results are ordered by
+    /// seed and shared behind an `Arc`; the first caller of a point
+    /// computes (with its own `mc.threads` setting — which cannot change
+    /// the results), concurrent callers of the *same* point wait for that
+    /// fill, and other points are unaffected.
+    pub fn run_all(&self, config: &SimConfig, mc: &MonteCarloConfig) -> Arc<Vec<SimResult>> {
+        if config.record_trace {
+            return Arc::new(run_all(config, mc));
+        }
+        let slot = {
+            let mut map = self.map.lock();
+            map.entry(Self::key(config, mc)).or_default().clone()
+        };
+        slot.get_or_init(|| Arc::new(run_all(config, mc))).clone()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,6 +264,53 @@ mod tests {
             assert_eq!(r.waste_ratio, w);
             assert!(r.utilization > 0.0);
         }
+    }
+
+    #[test]
+    fn op_cache_matches_uncached_results() {
+        let cfg = config();
+        let mc = MonteCarloConfig::new(4);
+        let cache = OpPointCache::new();
+        let cached = cache.run_all(&cfg, &mc);
+        let fresh = run_all(&cfg, &mc);
+        assert_eq!(cached.len(), fresh.len());
+        for (a, b) in cached.iter().zip(&fresh) {
+            assert_eq!(a.waste_ratio, b.waste_ratio);
+            assert_eq!(a.checkpoints_committed, b.checkpoints_committed);
+        }
+    }
+
+    #[test]
+    fn op_cache_shares_one_entry_per_point() {
+        let cfg = config();
+        let mc = MonteCarloConfig::new(2);
+        let cache = OpPointCache::new();
+        assert!(cache.is_empty());
+        let first = cache.run_all(&cfg, &mc);
+        assert_eq!(cache.len(), 1);
+        let second = cache.run_all(&cfg, &mc);
+        assert_eq!(cache.len(), 1, "same point must not add an entry");
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "repeat lookups must share the memoized allocation"
+        );
+        // The thread knob is not part of the key...
+        cache.run_all(&cfg, &mc.clone().with_threads(3));
+        assert_eq!(cache.len(), 1);
+        // ...but the seed and sample count are.
+        cache.run_all(&cfg, &mc.clone().with_base_seed(9));
+        assert_eq!(cache.len(), 2);
+        cache.run_all(&cfg, &MonteCarloConfig::new(3));
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn op_cache_bypasses_trace_runs() {
+        let cfg = config().with_trace();
+        let cache = OpPointCache::new();
+        let results = cache.run_all(&cfg, &MonteCarloConfig::new(1));
+        assert!(results[0].trace.is_some(), "trace must still be recorded");
+        assert!(cache.is_empty(), "trace runs must not be memoized");
     }
 
     #[test]

@@ -393,6 +393,29 @@ impl Scenario {
         self
     }
 
+    /// Builder: overrides the platform's aggregate PFS bandwidth, keeping
+    /// everything else about the spec (preset or custom) intact — the
+    /// `--bandwidth` flag and the campaign `bandwidth_gbps` grid axis.
+    pub fn with_bandwidth_gbps(mut self, gbps: f64) -> Self {
+        let bw = Bandwidth::from_gbps(gbps);
+        match &mut self.platform {
+            PlatformSpec::Preset { bandwidth, .. } => *bandwidth = Some(bw),
+            PlatformSpec::Custom(p) => *p = p.with_bandwidth(bw),
+        }
+        self
+    }
+
+    /// Builder: overrides the platform's node MTBF — the `--mtbf-years`
+    /// flag and the campaign `mtbf_years` grid axis.
+    pub fn with_mtbf_years(mut self, years: f64) -> Self {
+        let mtbf = Duration::from_years(years);
+        match &mut self.platform {
+            PlatformSpec::Preset { node_mtbf, .. } => *node_mtbf = Some(mtbf),
+            PlatformSpec::Custom(p) => *p = p.with_node_mtbf(mtbf),
+        }
+        self
+    }
+
     /// Resolves the platform description (preset + overrides, or custom).
     pub fn resolve_platform(&self) -> Result<Platform, ScenarioError> {
         match &self.platform {

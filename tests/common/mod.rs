@@ -4,8 +4,6 @@
 #![allow(dead_code)] // each test binary uses a subset
 
 use coopckpt::prelude::*;
-use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
 
 /// The simulated mean over a few instances may dip slightly below the
 /// Theorem 1 bound on lucky draws (fewer failures than expectation —
@@ -39,40 +37,26 @@ pub const STEADY_SPAN_DAYS: f64 = 10.0;
 /// Monte-Carlo instances per cached steady-state point.
 pub const STEADY_SAMPLES: usize = 8;
 
-type PointKey = (u64, u64, String);
-
-fn steady_cache() -> &'static Mutex<HashMap<PointKey, f64>> {
-    static CACHE: OnceLock<Mutex<HashMap<PointKey, f64>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
-}
-
 /// Mean simulated waste of `strategy` on the steady platform at
 /// `(bw_gbps, mtbf_years)`, over [`STEADY_SAMPLES`] instances of
 /// [`STEADY_SPAN_DAYS`] days.
 ///
-/// Results are memoized for the lifetime of the test binary, so several
-/// assertions (even in different `#[test]` functions) probing the same
-/// operating point share one set of simulated Monte-Carlo instances
-/// instead of re-running `run_many` per check. The lock is held across the
-/// computation on purpose: `run_many` already fans out over every core, so
-/// serializing cache fills avoids both duplicate work and thread
-/// oversubscription.
+/// Memoized through the library's [`OpPointCache`] (the promotion of this
+/// helper's original ad-hoc HashMap): several assertions (even in
+/// different `#[test]` functions) probing the same operating point share
+/// one set of simulated Monte-Carlo instances, and concurrent fills of the
+/// same point block on one computation instead of racing the all-core
+/// `run_many` pools against each other.
 pub fn steady_mean_waste(bw_gbps: f64, mtbf_years: f64, strategy: Strategy) -> f64 {
-    let key = (
-        (bw_gbps * 1e3) as u64,
-        (mtbf_years * 1e3) as u64,
-        strategy.name(),
-    );
-    let mut cache = steady_cache().lock().expect("steady cache poisoned");
-    if let Some(&mean) = cache.get(&key) {
-        return mean;
-    }
     let p = steady_platform(bw_gbps, mtbf_years);
     let cfg = SimConfig::new(p.clone(), steady_classes(&p), strategy)
         .with_span(Duration::from_days(STEADY_SPAN_DAYS));
-    let mean = run_many(&cfg, &MonteCarloConfig::new(STEADY_SAMPLES)).mean();
-    cache.insert(key, mean);
-    mean
+    let results = OpPointCache::global().run_all(&cfg, &MonteCarloConfig::new(STEADY_SAMPLES));
+    results
+        .iter()
+        .map(|r| r.waste_ratio)
+        .collect::<Samples>()
+        .mean()
 }
 
 /// Long jobs with modest checkpoints: a clean steady-state workload.

@@ -212,7 +212,9 @@ fn flag_equivalent_scenario_matches_the_historical_cli_assembly() {
 }
 
 /// Every checked-in preset loads, validates, converts, and survives the
-/// serialize → parse hop unchanged.
+/// serialize → parse hop unchanged. Suite files (e.g. `paper_grid.json`)
+/// load through [`coopckpt::campaign::Suite`] — a plain scenario is a
+/// one-point suite — and every expanded point must round-trip.
 #[test]
 fn checked_in_presets_load_and_round_trip() {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("scenarios");
@@ -227,21 +229,28 @@ fn checked_in_presets_load_and_round_trip() {
         "expected the preset suite, found {presets:?}"
     );
     for path in presets {
-        let sc =
-            Scenario::load(&path).unwrap_or_else(|e| panic!("{} must load: {e}", path.display()));
-        // Valid and convertible.
-        sc.into_config()
-            .unwrap_or_else(|e| panic!("{} must convert: {e}", path.display()));
-        // Round-trips unchanged through canonical serialization.
-        let back = Scenario::parse(&sc.to_json_string())
-            .unwrap_or_else(|e| panic!("{} must re-parse: {e}", path.display()));
-        assert_eq!(
-            back,
-            sc,
-            "{} changed across serialize → parse",
-            path.display()
-        );
-        // Presets must be labelled; reports echo the name.
-        assert!(sc.name.is_some(), "{} needs a name", path.display());
+        let suite = coopckpt::campaign::Suite::load(&path)
+            .unwrap_or_else(|e| panic!("{} must load: {e}", path.display()));
+        let points = suite
+            .expand()
+            .unwrap_or_else(|e| panic!("{} must expand: {e}", path.display()));
+        assert!(!points.is_empty(), "{} expands to nothing", path.display());
+        for sc in points {
+            // Valid and convertible.
+            sc.clone()
+                .into_config()
+                .unwrap_or_else(|e| panic!("{} must convert: {e}", path.display()));
+            // Round-trips unchanged through canonical serialization.
+            let back = Scenario::parse(&sc.to_json_string())
+                .unwrap_or_else(|e| panic!("{} must re-parse: {e}", path.display()));
+            assert_eq!(
+                back,
+                sc,
+                "{} changed across serialize → parse",
+                path.display()
+            );
+            // Presets must be labelled; reports echo the name.
+            assert!(sc.name.is_some(), "{} needs a name", path.display());
+        }
     }
 }

@@ -3,41 +3,30 @@
 //! and where the three behaviour classes sit (Section 6.1).
 //!
 //! This is the suite's Monte-Carlo heavyweight (full-size Cielo
-//! instances), so `mean_waste` memoizes per operating point: assertions in
-//! different tests probing the same `(strategy, bandwidth, MTBF)` share
-//! one set of simulated instances, and cache fills are serialized so the
-//! all-core `run_many` pools never compete with each other.
+//! instances), so `mean_waste` memoizes per operating point through the
+//! library's [`OpPointCache`]: assertions in different tests probing the
+//! same `(strategy, bandwidth, MTBF)` share one set of simulated
+//! instances, and concurrent fills of the same point block on one
+//! computation instead of racing the all-core `run_many` pools against
+//! each other.
 
 use coopckpt::prelude::*;
-use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
 
 /// Monte-Carlo instances per memoized operating point.
 const SAMPLES: usize = 5;
 
 fn mean_waste(strategy: Strategy, gbps: f64, mtbf_years: f64) -> f64 {
-    type Key = (String, u64, u64);
-    static CACHE: OnceLock<Mutex<HashMap<Key, f64>>> = OnceLock::new();
-    let key = (
-        strategy.name(),
-        (gbps * 1e3) as u64,
-        (mtbf_years * 1e3) as u64,
-    );
-    let mut cache = CACHE
-        .get_or_init(|| Mutex::new(HashMap::new()))
-        .lock()
-        .expect("mean_waste cache poisoned");
-    if let Some(&mean) = cache.get(&key) {
-        return mean;
-    }
     let platform = coopckpt_workload::cielo()
         .with_bandwidth(Bandwidth::from_gbps(gbps))
         .with_node_mtbf(Duration::from_years(mtbf_years));
     let classes = coopckpt_workload::classes_for(&platform);
     let cfg = SimConfig::new(platform, classes, strategy).with_span(Duration::from_days(10.0));
-    let mean = run_many(&cfg, &MonteCarloConfig::new(SAMPLES)).mean();
-    cache.insert(key, mean);
-    mean
+    let results = OpPointCache::global().run_all(&cfg, &MonteCarloConfig::new(SAMPLES));
+    results
+        .iter()
+        .map(|r| r.waste_ratio)
+        .collect::<Samples>()
+        .mean()
 }
 
 #[test]
