@@ -1,0 +1,294 @@
+//! Records and checks the repo's tracked bench baselines.
+//!
+//! The vendored criterion harness dumps raw results with
+//! `cargo bench -p coopckpt-bench --bench micro -- --save-json current.json`; this tool
+//! then either *records* them as the committed baselines or *checks* them
+//! against the committed ones:
+//!
+//! * `bench_baseline write <current.json>` — splits the results into
+//!   `BENCH_des.json` (kernel micro groups: `des/`, `io/`, `theory/`,
+//!   `failure/`) and `BENCH_e2e.json` (end-to-end groups: `sim/`,
+//!   `campaign/`) at the repo root, stamping the current commit.
+//! * `bench_baseline check <current.json>` — fails (exit 1) when any `des/`
+//!   benchmark regressed more than `COOPCKPT_BENCH_TOLERANCE` (default
+//!   0.25, i.e. 25%) against the committed `BENCH_des.json`, or when the
+//!   calendar queue's `des/event_queue_cancel_heavy` is not at least
+//!   `COOPCKPT_BENCH_MIN_SPEEDUP` (default 5×) faster than its
+//!   `…_cancel_heavy_heap` oracle companion *from the same run* — the
+//!   same-run ratio keeps the ≥5× gate machine-independent.
+//!
+//! Baselines record the median and iteration count per benchmark; medians
+//! on CI runners are noisy, so the regression tolerance is deliberately
+//! generous and only the in-run speedup ratio is held tight.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use coopckpt::json::Json;
+
+/// A parsed `(name, median_ns, iters)` triple.
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    name: String,
+    median_ns: f64,
+    iters: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let usage = "usage: bench_baseline <write|check> <current-results.json>";
+    let (mode, path) = match (args.get(1), args.get(2)) {
+        (Some(mode), Some(path)) => (mode.as_str(), path.as_str()),
+        _ => {
+            eprintln!("{usage}");
+            std::process::exit(2);
+        }
+    };
+    let current =
+        load_entries(Path::new(path)).unwrap_or_else(|e| fail(&format!("cannot load {path}: {e}")));
+    match mode {
+        "write" => write_baselines(&current),
+        "check" => check_baselines(&current),
+        other => {
+            eprintln!("unknown mode '{other}'; {usage}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("bench_baseline: {msg}");
+    std::process::exit(1);
+}
+
+/// The repo root, two levels above this crate's manifest.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves")
+}
+
+fn load_entries(path: &Path) -> Result<Vec<Entry>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let json = Json::parse(&text).map_err(|e| e.to_string())?;
+    parse_entries(&json)
+}
+
+fn parse_entries(json: &Json) -> Result<Vec<Entry>, String> {
+    let results = json
+        .get("results")
+        .and_then(Json::as_array)
+        .ok_or("missing 'results' array")?;
+    results
+        .iter()
+        .map(|r| {
+            Ok(Entry {
+                name: r
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("result missing 'name'")?
+                    .to_string(),
+                median_ns: r
+                    .get("median_ns")
+                    .and_then(Json::as_f64)
+                    .ok_or("result missing 'median_ns'")?,
+                iters: r
+                    .get("iters")
+                    .and_then(Json::as_u64)
+                    .ok_or("result missing 'iters'")?,
+            })
+        })
+        .collect()
+}
+
+/// Kernel micro-bench groups land in `BENCH_des.json`; end-to-end groups
+/// (full engine runs, campaign sweeps) in `BENCH_e2e.json`.
+fn is_e2e(name: &str) -> bool {
+    name.starts_with("sim/") || name.starts_with("campaign/")
+}
+
+fn git_commit() -> String {
+    Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(repo_root())
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn baseline_json(commit: &str, entries: &[Entry]) -> String {
+    let mut out = format!("{{\n  \"commit\": \"{commit}\",\n  \"results\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {}, \"iters\": {}}}{sep}\n",
+            e.name, e.median_ns, e.iters
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn write_baselines(current: &[Entry]) {
+    let commit = git_commit();
+    let root = repo_root();
+    let (e2e, des): (Vec<Entry>, Vec<Entry>) =
+        current.iter().cloned().partition(|e| is_e2e(&e.name));
+    for (file, entries) in [("BENCH_des.json", &des), ("BENCH_e2e.json", &e2e)] {
+        let path = root.join(file);
+        std::fs::write(&path, baseline_json(&commit, entries))
+            .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", path.display())));
+        println!(
+            "{}: {} benchmarks @ {commit}",
+            path.display(),
+            entries.len()
+        );
+    }
+}
+
+fn env_f64(var: &str, default: f64) -> f64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn check_baselines(current: &[Entry]) {
+    let tolerance = env_f64("COOPCKPT_BENCH_TOLERANCE", 0.25);
+    let min_speedup = env_f64("COOPCKPT_BENCH_MIN_SPEEDUP", 5.0);
+    let baseline_path = repo_root().join("BENCH_des.json");
+    let baseline = load_entries(&baseline_path)
+        .unwrap_or_else(|e| fail(&format!("cannot load {}: {e}", baseline_path.display())));
+
+    let mut failures = Vec::new();
+
+    // Gate 1: no des/ benchmark may regress past the tolerance.
+    for base in baseline.iter().filter(|e| e.name.starts_with("des/")) {
+        let Some(cur) = current.iter().find(|e| e.name == base.name) else {
+            failures.push(format!(
+                "{}: present in baseline but missing from the current run",
+                base.name
+            ));
+            continue;
+        };
+        let ratio = cur.median_ns / base.median_ns;
+        let verdict = if ratio > 1.0 + tolerance {
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<44} {:>12.0} ns vs baseline {:>12.0} ns  ({:+.1}%)  {verdict}",
+            base.name,
+            cur.median_ns,
+            base.median_ns,
+            (ratio - 1.0) * 100.0
+        );
+        if ratio > 1.0 + tolerance {
+            failures.push(format!(
+                "{}: {:.0} ns is {:.0}% over the baseline {:.0} ns (tolerance {:.0}%)",
+                base.name,
+                cur.median_ns,
+                (ratio - 1.0) * 100.0,
+                base.median_ns,
+                tolerance * 100.0
+            ));
+        }
+    }
+
+    // Gate 2: the calendar queue must hold its speedup over the heap
+    // oracle, measured within the current run (machine-independent).
+    let calendar = current
+        .iter()
+        .find(|e| e.name == "des/event_queue_cancel_heavy");
+    let heap = current
+        .iter()
+        .find(|e| e.name == "des/event_queue_cancel_heavy_heap");
+    match (calendar, heap) {
+        (Some(cal), Some(heap)) => {
+            let speedup = heap.median_ns / cal.median_ns;
+            println!(
+                "cancel-heavy speedup: {speedup:.1}x (calendar {:.0} ns vs heap {:.0} ns, floor {min_speedup}x)",
+                cal.median_ns, heap.median_ns
+            );
+            if speedup < min_speedup {
+                failures.push(format!(
+                    "calendar queue is only {speedup:.1}x faster than the heap oracle on \
+                     des/event_queue_cancel_heavy (required ≥{min_speedup}x)"
+                ));
+            }
+        }
+        _ => failures.push(
+            "current run is missing des/event_queue_cancel_heavy and/or its _heap companion"
+                .to_string(),
+        ),
+    }
+
+    if failures.is_empty() {
+        println!("bench_baseline: all gates passed");
+    } else {
+        for f in &failures {
+            eprintln!("bench_baseline: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_harness_schema() {
+        let json = Json::parse(
+            r#"{"results": [
+                {"name": "des/a", "median_ns": 1500, "iters": 10},
+                {"name": "sim/b", "median_ns": 2.5e6, "iters": 3}
+            ]}"#,
+        )
+        .unwrap();
+        let entries = parse_entries(&json).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].name, "des/a");
+        assert_eq!(entries[0].median_ns, 1500.0);
+        assert_eq!(entries[1].iters, 3);
+    }
+
+    #[test]
+    fn splits_groups_between_des_and_e2e_files() {
+        for (name, e2e) in [
+            ("des/event_queue_10k", false),
+            ("io/pfs_64_streams", false),
+            ("theory/lower_bound_apex", false),
+            ("failure/trace_60d_cielo", false),
+            ("sim/7day_cielo_40gbps/least-waste", true),
+            ("campaign/6pt_quarter_day/cold", true),
+        ] {
+            assert_eq!(is_e2e(name), e2e, "{name}");
+        }
+    }
+
+    #[test]
+    fn baseline_json_round_trips() {
+        let entries = vec![
+            Entry {
+                name: "des/a".into(),
+                median_ns: 123.0,
+                iters: 42,
+            },
+            Entry {
+                name: "des/b".into(),
+                median_ns: 4.5e9,
+                iters: 1,
+            },
+        ];
+        let text = baseline_json("abc1234", &entries);
+        let json = Json::parse(&text).unwrap();
+        assert_eq!(json.get("commit").and_then(Json::as_str), Some("abc1234"));
+        assert_eq!(parse_entries(&json).unwrap(), entries);
+    }
+}

@@ -56,8 +56,8 @@ pub use montecarlo::OpPointCache;
 pub use report::{Cell, OutputFormat, Report, Section};
 pub use scenario::{PlatformSpec, Scenario, ScenarioError, Sweep, SweepAxis, TiersSpec};
 pub use sim::{
-    geometric_tiers, run_simulation, EnergySummary, FailureClass, Phase, PowerModel, SimConfig,
-    SimResult, TierSpec,
+    geometric_tiers, run_simulation, use_heap_oracle, EnergySummary, FailureClass, Phase,
+    PowerModel, SimConfig, SimResult, TierSpec,
 };
 pub use strategy::{CheckpointPolicy, IoDiscipline, Strategy};
 
@@ -74,8 +74,8 @@ pub mod prelude {
         PlatformSpec, Scenario, ScenarioError, Sweep, SweepAxis, TiersSpec, WorkloadSource,
     };
     pub use crate::sim::{
-        geometric_tiers, run_simulation, EnergySummary, FailureClass, Phase, PowerModel, SimConfig,
-        SimResult, TierSpec,
+        geometric_tiers, run_simulation, use_heap_oracle, EnergySummary, FailureClass, Phase,
+        PowerModel, SimConfig, SimResult, TierSpec,
     };
     pub use crate::strategy::{CheckpointPolicy, IoDiscipline, Strategy};
     pub use coopckpt_des::{Duration, Time};

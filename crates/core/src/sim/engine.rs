@@ -34,7 +34,6 @@ use coopckpt_io::{
 use coopckpt_model::{Bytes, JobId, JobSpec, Platform};
 use coopckpt_sched::{AllocId, Scheduler};
 use coopckpt_stats::{Category, WasteLedger};
-use std::collections::HashMap;
 
 /// Work-progress comparisons tolerate this much floating-point slack.
 const EPS_WORK: f64 = 1e-6;
@@ -258,7 +257,10 @@ pub(super) struct Engine {
 
     jobs: Vec<Job>,
     scheduler: Scheduler<JobIdx>,
-    alloc_map: HashMap<AllocId, JobIdx>,
+    /// Job of each allocation ever issued, indexed by [`AllocId::index`]
+    /// (ids are dense and monotone, so this is a slab, not a map); `None`
+    /// once the allocation is released.
+    alloc_jobs: Vec<Option<JobIdx>>,
     pfs: Pfs<TMeta>,
     queue: RequestQueue<RMeta>,
     /// The multi-level checkpoint storage hierarchy (empty = PFS only).
@@ -360,7 +362,7 @@ impl Engine {
             discipline: config.strategy.discipline,
             jobs: Vec::with_capacity(specs.len() * 2),
             scheduler: Scheduler::new(platform.nodes),
-            alloc_map: HashMap::new(),
+            alloc_jobs: Vec::with_capacity(specs.len() * 2),
             pfs,
             queue: RequestQueue::new(),
             storage,
@@ -380,7 +382,16 @@ impl Engine {
             platform,
         };
 
+        // The queue backend is normally the calendar queue; the heap
+        // oracle is selectable process-wide for differential testing (see
+        // `super::use_heap_oracle`). Both are bit-identical by contract.
+        let queue = if super::heap_oracle_active() {
+            coopckpt_des::EventQueue::heap_oracle()
+        } else {
+            coopckpt_des::EventQueue::new()
+        };
         let mut sim: Simulator<Event> = Simulator::new()
+            .with_queue(queue)
             .with_horizon(horizon)
             .with_event_budget(500_000_000);
 
@@ -1063,7 +1074,7 @@ impl Engine {
             sim.cancel(key);
         }
         if let Some(alloc) = self.jobs[idx].alloc.take() {
-            self.alloc_map.remove(&alloc);
+            self.alloc_jobs[alloc.index()] = None;
             self.scheduler.release(alloc);
         }
         self.jobs_completed += 1;
@@ -1185,10 +1196,13 @@ impl Engine {
                                // The expected restore cost collapses to the plain `R_j` field
                                // read whenever no tier could ever serve a restore — the paper's
                                // default — so this grant hot path only pays for the class-mix
-                               // map when a sub-system class is actually configured.
+                               // table when a sub-system class is actually configured. The
+                               // table is a small sorted-by-insertion vector (one entry per
+                               // queued checkpoint), looked up linearly — the queue is short
+                               // and this beats hashing.
         let level_aware =
             !self.storage.is_empty() && !coopckpt_failure::is_system_only(&self.fclasses);
-        let expected_r: Option<HashMap<JobIdx, f64>> = level_aware.then(|| {
+        let expected_r: Option<Vec<(JobIdx, f64)>> = level_aware.then(|| {
             self.queue
                 .iter()
                 .filter(|req| req.meta.kind == Kind::Ckpt)
@@ -1197,7 +1211,13 @@ impl Engine {
         });
         let jobs = &self.jobs;
         let recovery_secs = |idx: JobIdx| match &expected_r {
-            Some(map) => map[&idx],
+            Some(table) => {
+                table
+                    .iter()
+                    .find(|(job, _)| *job == idx)
+                    .expect("every queued checkpoint has a table entry")
+                    .1
+            }
             None => jobs[idx].recovery_nominal.as_secs(),
         };
         for req in self.queue.iter() {
@@ -1277,7 +1297,10 @@ impl Engine {
             let idx = s.payload;
             debug_assert_eq!(self.jobs[idx].state, JState::Waiting);
             self.jobs[idx].alloc = Some(s.alloc);
-            self.alloc_map.insert(s.alloc, idx);
+            if self.alloc_jobs.len() <= s.alloc.index() {
+                self.alloc_jobs.resize(s.alloc.index() + 1, None);
+            }
+            self.alloc_jobs[s.alloc.index()] = Some(idx);
             self.jobs[idx].state_since = now;
             let kind = if self.jobs[idx].spec.is_restart {
                 Kind::Recovery
@@ -1452,10 +1475,7 @@ impl Engine {
             });
             return; // idle node
         };
-        let idx = *self
-            .alloc_map
-            .get(&alloc)
-            .expect("every allocation maps to a job");
+        let idx = self.alloc_jobs[alloc.index()].expect("every allocation maps to a job");
         self.failures_hitting_jobs += 1;
         // Include the open computing interval in the lost-work figure (the
         // ledger reclassification in `kill_and_restart` does the same after
@@ -1565,7 +1585,7 @@ impl Engine {
             sim.cancel(key);
         }
         if let Some(alloc) = self.jobs[idx].alloc.take() {
-            self.alloc_map.remove(&alloc);
+            self.alloc_jobs[alloc.index()] = None;
             self.scheduler.release(alloc);
         }
         self.jobs[idx].state = JState::Dead;

@@ -29,6 +29,39 @@ pub use coopckpt_energy::{EnergyMeter, EnergySummary, Phase, PowerModel};
 pub use coopckpt_failure::FailureClass;
 pub use coopckpt_io::hierarchy::{RetainedCopies, TierSpec};
 
+/// Process-wide event-queue backend selector: 0 = unset (consult the
+/// `COOPCKPT_QUEUE` environment variable), 1 = calendar, 2 = heap oracle.
+static QUEUE_BACKEND: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+/// Selects the engine's event-queue backend for every subsequent
+/// [`run_simulation`] in this process: `true` routes runs through the
+/// original binary-heap implementation
+/// ([`EventQueue::heap_oracle`](coopckpt_des::EventQueue::heap_oracle)),
+/// `false` through the default calendar queue.
+///
+/// Both backends are bit-identical by contract — this switch exists so the
+/// differential suites (`tests/queue_equivalence.rs`, the
+/// `--features heap-oracle` lane of `tests/report_stability.rs`) can prove
+/// it on full campaign runs. Until the first call, the `COOPCKPT_QUEUE=heap`
+/// environment variable selects the oracle, which lets the differential CI
+/// lane drive released binaries without a code hook.
+pub fn use_heap_oracle(enabled: bool) {
+    QUEUE_BACKEND.store(
+        if enabled { 2 } else { 1 },
+        std::sync::atomic::Ordering::SeqCst,
+    );
+}
+
+/// True when [`use_heap_oracle`] (or `COOPCKPT_QUEUE=heap`) routed the
+/// engine onto the heap-oracle backend.
+pub(crate) fn heap_oracle_active() -> bool {
+    match QUEUE_BACKEND.load(std::sync::atomic::Ordering::SeqCst) {
+        1 => false,
+        2 => true,
+        _ => std::env::var("COOPCKPT_QUEUE").is_ok_and(|v| v == "heap"),
+    }
+}
+
 /// Interference model selection (mirrors `coopckpt_io`'s models as plain
 /// data so configs stay `Clone + Send`).
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -10,13 +10,18 @@
 //! * [`Time`] is a newtype over `f64` seconds with a **total order**
 //!   (`f64::total_cmp`), so it can live inside ordered collections. The
 //!   kernel rejects NaN times at insertion.
-//! * [`EventQueue`] is a binary-heap priority queue with deterministic
-//!   FIFO tie-breaking: two events scheduled for the same instant pop in
-//!   insertion order, making simulations reproducible for a fixed seed.
-//! * Scheduled events can be *cancelled* cheaply through [`EventKey`]s:
-//!   cancellation marks a slot and the event is skipped on pop (lazy
-//!   deletion), which is the standard technique for fluid-flow models where
-//!   completion times are recomputed whenever bandwidth shares change.
+//! * [`EventQueue`] is a bucketed **calendar queue** (Brown 1988) with
+//!   deterministic FIFO tie-breaking: two events scheduled for the same
+//!   instant pop in insertion order, making simulations reproducible for a
+//!   fixed seed. The original binary-heap implementation is retained as a
+//!   differential-test oracle behind [`EventQueue::heap_oracle`]; both
+//!   backends produce bit-identical pop sequences.
+//! * Scheduled events can be *cancelled* in O(1) through [`EventKey`]s:
+//!   keys embed the slab slot, so cancellation is a direct index and (on
+//!   the calendar backend) physically removes the event — essential for
+//!   fluid-flow models where completion times are recomputed whenever
+//!   bandwidth shares change, and for the engine's re-armed checkpoint
+//!   timers.
 //! * [`Simulator`] drives a user-provided [`Process`] until the queue runs
 //!   dry or a horizon is reached.
 //!

@@ -1,0 +1,401 @@
+//! Bucketed calendar queue (Brown 1988), the default [`EventQueue`]
+//! backend.
+//!
+//! Time is divided into *years* of `nbuckets × width` seconds; each year
+//! into `nbuckets` *days* of `width` seconds. An event at time `t` lives in
+//! virtual bucket `⌊t / width⌋`, stored physically at that index modulo
+//! `nbuckets` (a power of two, so the modulo is a mask). Buckets are plain
+//! unsorted vectors of slab-slot indices, and every entry carries a
+//! back-pointer `(bucket, pos)` to its position:
+//!
+//! * **insert** — push onto the target bucket: O(1).
+//! * **cancel** — `swap_remove` at the recorded position and fix the one
+//!   back-pointer the swap moved: O(1), and the event is *gone*. This is
+//!   the whole point versus the heap backend: the engine's dominant
+//!   pattern (checkpoint-due / milestone events re-armed far more often
+//!   than they fire) produces no tombstones at all.
+//! * **pop** — scan the cursor's bucket for events belonging to the
+//!   cursor's year and take the minimum `(time, seq)`; FIFO tie-breaking
+//!   falls out because equal timestamps always share a bucket. Empty
+//!   virtual buckets advance the cursor; a full fruitless round falls back
+//!   to a direct global-minimum search (events sparse relative to the year
+//!   span) and jumps the cursor there.
+//!
+//! The bucket count tracks the live population (doubling above 2 events
+//! per bucket, shrinking below 1/4) and each rebuild re-estimates the
+//! width from the live time span, targeting ~2 events per bucket.
+//!
+//! [`EventQueue`]: super::EventQueue
+
+use super::EventKey;
+use crate::time::Time;
+
+/// Smallest bucket array; also the shrink floor.
+const MIN_BUCKETS: usize = 16;
+
+struct Entry<E> {
+    seq: u64,
+    time: Time,
+    /// `Some` while the event is pending; taken on pop/cancel, which also
+    /// frees the slot (a `None` here marks a free or in-flight slot, so
+    /// stale keys whose slot was freed but not yet recycled stay no-ops).
+    payload: Option<E>,
+    /// Physical bucket currently holding this slot.
+    bucket: u32,
+    /// Position inside that bucket's vector.
+    pos: u32,
+}
+
+pub(super) struct CalendarQueue<E> {
+    entries: Vec<Entry<E>>,
+    /// Free slots in `entries` available for reuse.
+    free: Vec<u32>,
+    /// Unsorted slot indices, one vector per physical bucket. Length is
+    /// always a power of two.
+    buckets: Vec<Vec<u32>>,
+    /// Bucket width in seconds; finite and strictly positive.
+    width: f64,
+    /// Virtual bucket index of the pop cursor. Invariant: no live event
+    /// maps to a virtual bucket below it.
+    cursor: i64,
+    len: usize,
+}
+
+impl<E> CalendarQueue<E> {
+    pub(super) fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    pub(super) fn with_capacity(cap: usize) -> Self {
+        CalendarQueue {
+            entries: Vec::with_capacity(cap),
+            free: Vec::new(),
+            buckets: vec![Vec::new(); MIN_BUCKETS],
+            width: 1.0,
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    pub(super) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Virtual bucket index for `time`. The `as i64` cast saturates for
+    /// extreme times; saturated indices still hash consistently and
+    /// ordering is enforced by the explicit `(time, seq)` comparison, so
+    /// correctness survives (only bucket spread degrades).
+    #[inline]
+    fn vbucket(&self, time: Time) -> i64 {
+        (time.as_secs() / self.width).floor() as i64
+    }
+
+    /// Physical bucket for a virtual index: modulo the power-of-two bucket
+    /// count. Masking the low bits of the two's-complement representation
+    /// handles negative indices.
+    #[inline]
+    fn phys(&self, vb: i64) -> usize {
+        (vb & (self.buckets.len() as i64 - 1)) as usize
+    }
+
+    pub(super) fn schedule(&mut self, seq: u64, time: Time, payload: E) -> u32 {
+        let vb = self.vbucket(time);
+        let b = self.phys(vb);
+        let entry = Entry {
+            seq,
+            time,
+            payload: Some(payload),
+            bucket: b as u32,
+            pos: self.buckets[b].len() as u32,
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.entries[slot as usize] = entry;
+                slot
+            }
+            None => {
+                assert!(
+                    self.entries.len() < u32::MAX as usize,
+                    "event slab overflow"
+                );
+                self.entries.push(entry);
+                (self.entries.len() - 1) as u32
+            }
+        };
+        self.buckets[b].push(slot);
+        if self.len == 0 || vb < self.cursor {
+            self.cursor = vb;
+        }
+        self.len += 1;
+        if self.len > self.buckets.len() * 2 {
+            self.rebuild();
+        }
+        slot
+    }
+
+    pub(super) fn cancel(&mut self, key: EventKey) -> Option<E> {
+        let entry = self.entries.get_mut(key.slot as usize)?;
+        if entry.seq != key.seq || entry.payload.is_none() {
+            return None;
+        }
+        let payload = entry.payload.take();
+        let (b, pos) = (entry.bucket as usize, entry.pos as usize);
+        self.detach(b, pos);
+        self.free.push(key.slot);
+        self.len -= 1;
+        self.maybe_shrink();
+        payload
+    }
+
+    pub(super) fn peek_time(&mut self) -> Option<Time> {
+        self.next_slot()
+            .map(|slot| self.entries[slot as usize].time)
+    }
+
+    pub(super) fn pop(&mut self) -> Option<(Time, E)> {
+        let slot = self.next_slot()?;
+        let entry = &mut self.entries[slot as usize];
+        let time = entry.time;
+        let payload = entry.payload.take().expect("live entry holds a payload");
+        let (b, pos) = (entry.bucket as usize, entry.pos as usize);
+        self.detach(b, pos);
+        self.free.push(slot);
+        self.len -= 1;
+        self.maybe_shrink();
+        Some((time, payload))
+    }
+
+    pub(super) fn clear(&mut self) {
+        self.entries.clear();
+        self.free.clear();
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.cursor = 0;
+        self.len = 0;
+    }
+
+    /// Removes the bucket slot at `(b, pos)` via `swap_remove`, fixing the
+    /// back-pointer of the one slot the swap moved.
+    fn detach(&mut self, b: usize, pos: usize) {
+        self.buckets[b].swap_remove(pos);
+        if let Some(&moved) = self.buckets[b].get(pos) {
+            self.entries[moved as usize].pos = pos as u32;
+        }
+    }
+
+    /// Advances the cursor to the first virtual bucket holding a live event
+    /// and returns the minimum-`(time, seq)` slot in it. Only empty virtual
+    /// buckets are skipped, so calling this from `peek_time` (without
+    /// popping) is safe.
+    fn next_slot(&mut self) -> Option<u32> {
+        if self.len == 0 {
+            return None;
+        }
+        for _ in 0..self.buckets.len() {
+            let b = self.phys(self.cursor);
+            if let Some(slot) = self.min_in_year(b, self.cursor) {
+                return Some(slot);
+            }
+            self.cursor += 1;
+        }
+        // A full round without an in-year event: the population is sparse
+        // relative to the year span. Find the global minimum directly and
+        // jump the cursor to it.
+        let mut best: Option<u32> = None;
+        for bucket in &self.buckets {
+            for &slot in bucket {
+                let e = &self.entries[slot as usize];
+                let better = match best {
+                    None => true,
+                    Some(cur) => {
+                        let c = &self.entries[cur as usize];
+                        (e.time, e.seq) < (c.time, c.seq)
+                    }
+                };
+                if better {
+                    best = Some(slot);
+                }
+            }
+        }
+        let slot = best.expect("len > 0 implies a live event");
+        self.cursor = self.vbucket(self.entries[slot as usize].time);
+        Some(slot)
+    }
+
+    /// Minimum-`(time, seq)` slot among the events in physical bucket `b`
+    /// that belong to virtual bucket `vb` (i.e. to the cursor's year).
+    fn min_in_year(&self, b: usize, vb: i64) -> Option<u32> {
+        let mut best: Option<u32> = None;
+        for &slot in &self.buckets[b] {
+            let e = &self.entries[slot as usize];
+            if self.vbucket(e.time) != vb {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some(cur) => {
+                    let c = &self.entries[cur as usize];
+                    (e.time, e.seq) < (c.time, c.seq)
+                }
+            };
+            if better {
+                best = Some(slot);
+            }
+        }
+        best
+    }
+
+    fn maybe_shrink(&mut self) {
+        if self.buckets.len() > MIN_BUCKETS && self.len * 4 < self.buckets.len() {
+            self.rebuild();
+        }
+    }
+
+    /// Rebuilds the bucket array sized for the current population: bucket
+    /// count is the next power of two ≥ `len`, width re-estimated so a
+    /// uniform spread lands ~2 live events per bucket. O(len), amortized
+    /// over the ≥ len/2 inserts or removals since the last rebuild.
+    fn rebuild(&mut self) {
+        let target = self.len.next_power_of_two().max(MIN_BUCKETS);
+        let live: Vec<u32> = self.buckets.iter().flatten().copied().collect();
+        debug_assert_eq!(live.len(), self.len);
+        let mut min_t = f64::INFINITY;
+        let mut max_t = f64::NEG_INFINITY;
+        for &slot in &live {
+            let t = self.entries[slot as usize].time.as_secs();
+            min_t = min_t.min(t);
+            max_t = max_t.max(t);
+        }
+        if self.len >= 2 && max_t > min_t {
+            self.width = (max_t - min_t) / self.len as f64 * 2.0;
+        }
+        if !(self.width.is_finite() && self.width > 0.0) {
+            // Degenerate span (all-equal or pathological times): any
+            // positive width is correct, ordering comes from (time, seq).
+            self.width = 1.0;
+        }
+        self.buckets = vec![Vec::new(); target];
+        for &slot in &live {
+            let vb = self.vbucket(self.entries[slot as usize].time);
+            let b = self.phys(vb);
+            self.entries[slot as usize].bucket = b as u32;
+            self.entries[slot as usize].pos = self.buckets[b].len() as u32;
+            self.buckets[b].push(slot);
+        }
+        if self.len > 0 {
+            self.cursor = self.vbucket(Time::from_secs(min_t));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::EventQueue;
+    use super::*;
+
+    /// Peeks inside the facade at the calendar backend.
+    fn inner<E>(q: &EventQueue<E>) -> &CalendarQueue<E> {
+        match &q.backend {
+            super::super::Backend::Calendar(c) => c,
+            super::super::Backend::Heap(_) => panic!("expected calendar backend"),
+        }
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut q = EventQueue::new();
+        for round in 0..10 {
+            for i in 0..100 {
+                q.schedule(Time::from_secs((round * 100 + i) as f64), i);
+            }
+            while q.pop().is_some() {}
+        }
+        // Cancellation/pop frees slots eagerly, so the slab never grows
+        // past the maximum concurrent population.
+        assert!(
+            inner(&q).entries.len() <= 100,
+            "slab grew to {}",
+            inner(&q).entries.len()
+        );
+    }
+
+    #[test]
+    fn heavy_cancellation_leaves_no_tombstones() {
+        // The engine's pattern: far-future events scheduled and almost all
+        // cancelled before firing. The calendar queue removes cancelled
+        // events physically, so total stored slots == live events.
+        let mut q = EventQueue::new();
+        for round in 0..1000 {
+            let keys: Vec<_> = (0..64)
+                .map(|i| q.schedule(Time::from_secs(1e7 + (round * 64 + i) as f64), i))
+                .collect();
+            for k in &keys[1..] {
+                q.cancel(*k);
+            }
+        }
+        assert_eq!(q.len(), 1000);
+        let stored: usize = inner(&q).buckets.iter().map(Vec::len).sum();
+        assert_eq!(stored, 1000, "cancelled events left residue in buckets");
+        // And every surviving event still pops, in order.
+        let mut popped = 0;
+        let mut last = f64::NEG_INFINITY;
+        while let Some((t, _)) = q.pop() {
+            assert!(t.as_secs() >= last);
+            last = t.as_secs();
+            popped += 1;
+        }
+        assert_eq!(popped, 1000);
+    }
+
+    #[test]
+    fn bucket_count_tracks_population() {
+        let mut q = EventQueue::new();
+        let keys: Vec<_> = (0..10_000)
+            .map(|i| q.schedule(Time::from_secs(i as f64), i))
+            .collect();
+        let grown = inner(&q).buckets.len();
+        assert!(grown >= 10_000 / 2, "buckets did not grow: {grown}");
+        for k in &keys[..9_990] {
+            q.cancel(*k);
+        }
+        let shrunk = inner(&q).buckets.len();
+        assert!(
+            shrunk <= MIN_BUCKETS * 4,
+            "buckets did not shrink: {shrunk}"
+        );
+        assert_eq!(q.len(), 10);
+    }
+
+    #[test]
+    fn clustered_times_far_from_origin_stay_ordered() {
+        // A tight cluster at a huge offset: width shrinks at rebuild and
+        // virtual bucket indices become large; order must survive.
+        let mut q = EventQueue::new();
+        for i in 0..500 {
+            q.schedule(Time::from_secs(1e9 + (i % 50) as f64 * 1e-3), i);
+        }
+        let mut last = (f64::NEG_INFINITY, 0usize);
+        let mut n = 0;
+        while let Some((t, i)) = q.pop() {
+            assert!(
+                (t.as_secs(), i) > last || n == 0,
+                "order violated at {t:?}, {i}"
+            );
+            last = (t.as_secs(), i);
+            n += 1;
+        }
+        assert_eq!(n, 500);
+    }
+
+    #[test]
+    fn sparse_events_use_the_global_min_fallback() {
+        // Events many "years" apart force the fruitless-round fallback.
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.schedule(Time::from_secs(i as f64 * 1e12), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+}

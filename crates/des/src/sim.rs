@@ -80,6 +80,22 @@ impl<E> Simulator<E> {
         self
     }
 
+    /// Replaces the future-event list with `queue`, selecting its backend
+    /// (e.g. [`EventQueue::heap_oracle`] for differential testing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue` is not empty or events were already scheduled —
+    /// swapping a populated queue would silently drop events.
+    pub fn with_queue(mut self, queue: EventQueue<E>) -> Self {
+        assert!(
+            queue.is_empty() && self.queue.is_empty(),
+            "with_queue requires empty queues"
+        );
+        self.queue = queue;
+        self
+    }
+
     /// Caps the total number of events processed (a livelock guard).
     pub fn with_event_budget(mut self, budget: u64) -> Self {
         self.budget = budget;

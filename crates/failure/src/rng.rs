@@ -106,6 +106,23 @@ impl Xoshiro256pp {
         (m >> 64) as u64
     }
 
+    /// Advances the state by one position without computing an output word:
+    /// the state transition of [`next_raw`](Self::next_raw) minus the
+    /// rotate-and-add result path, which never feeds back into the state.
+    /// [`jump`](Self::jump) discards 256 outputs per call, so batching its
+    /// steps through this transition-only path removes the dead result
+    /// computation while landing on the exact same state.
+    #[inline]
+    fn step(&mut self) {
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+    }
+
     /// The "jump" function: advances the stream by 2^128 steps, producing a
     /// non-overlapping substream. Used to derive independent per-component
     /// streams (failures vs. workload jitter) from one master seed.
@@ -125,7 +142,7 @@ impl Xoshiro256pp {
                     s[2] ^= self.s[2];
                     s[3] ^= self.s[3];
                 }
-                self.next_raw();
+                self.step();
             }
         }
         self.s = s;
@@ -240,6 +257,46 @@ mod tests {
     #[should_panic(expected = "bound must be positive")]
     fn bounded_rejects_zero() {
         Xoshiro256pp::seed_from_u64(0).next_bounded(0);
+    }
+
+    #[test]
+    fn fast_jump_matches_the_draw_discarding_reference() {
+        // jump() batches its 256 state advances through the output-free
+        // `step`; the original implementation called next_raw and threw
+        // the result away. Both must land on bit-identical state — this is
+        // what keeps every downstream drawn sequence unchanged.
+        fn reference_jump(rng: &mut Xoshiro256pp) {
+            const JUMP: [u64; 4] = [
+                0x180E_C6D3_3CFD_0ABA,
+                0xD5A6_1266_F0C9_392C,
+                0xA958_2618_E03F_C9AA,
+                0x39AB_DC45_29B1_661C,
+            ];
+            let mut s = [0u64; 4];
+            for j in JUMP {
+                for b in 0..64 {
+                    if (j & (1u64 << b)) != 0 {
+                        s[0] ^= rng.s[0];
+                        s[1] ^= rng.s[1];
+                        s[2] ^= rng.s[2];
+                        s[3] ^= rng.s[3];
+                    }
+                    rng.next_raw();
+                }
+            }
+            rng.s = s;
+        }
+        for seed in [0, 1, 42, u64::MAX] {
+            let mut fast = Xoshiro256pp::seed_from_u64(seed);
+            let mut reference = Xoshiro256pp::seed_from_u64(seed);
+            fast.jump();
+            reference_jump(&mut reference);
+            assert_eq!(fast, reference, "jump diverged for seed {seed}");
+            // And the streams they produce afterwards agree too.
+            for _ in 0..64 {
+                assert_eq!(fast.next_raw(), reference.next_raw());
+            }
+        }
     }
 
     #[test]

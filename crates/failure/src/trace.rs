@@ -98,7 +98,7 @@ impl FailureTrace {
         horizon: Time,
     ) -> Self {
         assert!(horizon.is_finite(), "horizon must be finite");
-        let mut events = Vec::new();
+        let mut events = Vec::with_capacity(expected_events(inter_arrival.mean(), horizon));
         let mut t = 0.0;
         loop {
             t += inter_arrival.sample(rng);
@@ -149,7 +149,10 @@ impl FailureTrace {
         assert!(!classes.is_empty(), "need at least one failure class");
         assert!(horizon.is_finite(), "horizon must be finite");
         let system_mean = node_mtbf.as_secs() / nodes as f64;
-        let mut events: Vec<FailureEvent> = Vec::new();
+        // The merged schedule has the full system rate regardless of how
+        // it is shared out, so one up-front reservation covers the extends.
+        let mut events: Vec<FailureEvent> =
+            Vec::with_capacity(expected_events(system_mean, horizon));
         for (idx, class) in classes.iter().enumerate() {
             // Split unconditionally so every class owns a stable stream.
             let mut class_rng = rng.split();
@@ -220,6 +223,18 @@ impl FailureTrace {
         }
         counts
     }
+}
+
+/// Capacity estimate for a trace: the expected event count `horizon/mean`
+/// plus a four-sigma Poisson margin, so almost every generation runs
+/// without reallocating. Clamped so a pathological mean cannot demand an
+/// absurd up-front allocation.
+fn expected_events(mean: f64, horizon: Time) -> usize {
+    if !(mean.is_finite() && mean > 0.0) || horizon.as_secs() <= 0.0 {
+        return 0;
+    }
+    let expected = horizon.as_secs() / mean;
+    (expected + 4.0 * expected.sqrt() + 8.0).min(4_000_000.0) as usize
 }
 
 impl<'a> IntoIterator for &'a FailureTrace {

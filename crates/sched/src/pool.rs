@@ -1,10 +1,20 @@
 //! The node pool: who occupies which node.
 
-use std::collections::HashMap;
-
 /// Identifier of one allocation (a job's set of nodes). Never reused.
+///
+/// Ids are dense and monotone (0, 1, 2, …), so they double as direct
+/// indices — see [`index`](AllocId::index) — letting the pool and the
+/// simulation engine keep per-allocation state in plain vectors instead of
+/// hash maps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AllocId(u64);
+
+impl AllocId {
+    /// The allocation's dense slab index (its position in issue order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
 
 /// Tracks the occupancy of the platform's nodes.
 ///
@@ -18,8 +28,11 @@ pub struct NodePool {
     assignment: Vec<Option<AllocId>>,
     /// Free node indices, kept sorted descending so `pop` yields the lowest.
     free: Vec<usize>,
-    /// Nodes of each live allocation.
-    allocs: HashMap<AllocId, Vec<usize>>,
+    /// Nodes of each allocation ever issued, indexed by [`AllocId::index`];
+    /// `None` once released. Ids are dense, so this is a slab, not a map.
+    allocs: Vec<Option<Vec<usize>>>,
+    /// Number of live (unreleased) allocations.
+    live: usize,
     next_id: u64,
 }
 
@@ -34,7 +47,8 @@ impl NodePool {
         NodePool {
             assignment: vec![None; nodes],
             free: (0..nodes).rev().collect(),
-            allocs: HashMap::new(),
+            allocs: Vec::new(),
+            live: 0,
             next_id: 0,
         }
     }
@@ -74,14 +88,17 @@ impl NodePool {
             debug_assert!(self.assignment[n].is_none());
             self.assignment[n] = Some(id);
         }
-        self.allocs.insert(id, nodes);
+        debug_assert_eq!(self.allocs.len(), id.index());
+        self.allocs.push(Some(nodes));
+        self.live += 1;
         Some(id)
     }
 
     /// Releases an allocation, freeing its nodes. Returns the freed node
     /// indices, or `None` if the id is unknown (already released).
     pub fn release(&mut self, id: AllocId) -> Option<Vec<usize>> {
-        let nodes = self.allocs.remove(&id)?;
+        let nodes = self.allocs.get_mut(id.index())?.take()?;
+        self.live -= 1;
         for &n in &nodes {
             debug_assert_eq!(self.assignment[n], Some(id));
             self.assignment[n] = None;
@@ -103,12 +120,12 @@ impl NodePool {
 
     /// The nodes of a live allocation.
     pub fn nodes_of(&self, id: AllocId) -> Option<&[usize]> {
-        self.allocs.get(&id).map(|v| v.as_slice())
+        self.allocs.get(id.index())?.as_deref()
     }
 
     /// Number of live allocations.
     pub fn live_allocations(&self) -> usize {
-        self.allocs.len()
+        self.live
     }
 }
 

@@ -1,0 +1,253 @@
+//! Differential determinism: the calendar queue vs the binary-heap oracle.
+//!
+//! PR 7 replaced the DES core's binary heap with a bucketed calendar
+//! queue; the old heap stays alive behind `EventQueue::heap_oracle()` as
+//! a test oracle. Two layers of evidence keep the swap honest:
+//!
+//! * **Queue-level** — proptest drives random interleavings of schedule /
+//!   cancel (live, stale, and double) / pop / peek through both backends
+//!   and demands identical observable behaviour at every step, including
+//!   the FIFO tie-break for equal timestamps and `None` for stale cancels.
+//! * **Engine-level** — full simulations (every paper strategy, flat and
+//!   3-tier storage, classless and mixed failure-class presets) run once
+//!   per backend via the process-wide [`use_heap_oracle`] switch and must
+//!   produce bit-identical results *and* bit-identical execution traces.
+//!
+//! A third layer — the `paper_grid` campaign diffed at tolerance 0 — lives
+//! in `report_stability.rs` behind the `heap-oracle` feature.
+
+use coopckpt::prelude::*;
+use coopckpt::sim::FailureClass;
+use coopckpt_des::{EventQueue, Time as DesTime};
+// No glob import of proptest::prelude: it would pull in the `Strategy`
+// strategy trait, shadowing the paper's `Strategy` type.
+use proptest::{prop_assert, prop_assert_eq, proptest};
+
+// ---------------------------------------------------------------------------
+// Queue-level differential: random op interleavings.
+
+/// One scripted operation, decoded from a proptest `(selector, time)` pair.
+/// Schedules dominate (the engine's mix) so runs grow long enough for the
+/// calendar queue to resize; cancels target live, stale, and already
+/// cancelled keys alike.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Schedule(f64),
+    /// Cancel the key at `index % issued` (twice-cancelled keys and keys
+    /// whose slot was since recycled both decode here).
+    Cancel(usize),
+    Pop,
+    Peek,
+}
+
+fn decode(selector: u8, time: f64) -> Op {
+    match selector % 10 {
+        0..=4 => Op::Schedule(time),
+        5..=6 => Op::Cancel(time as usize),
+        7..=8 => Op::Pop,
+        _ => Op::Peek,
+    }
+}
+
+/// Applies the same op script to both backends, asserting identical
+/// observable behaviour after every single step.
+fn run_differential(script: &[(u8, f64)]) {
+    let mut calendar: EventQueue<usize> = EventQueue::new();
+    let mut heap: EventQueue<usize> = EventQueue::heap_oracle();
+    assert!(!calendar.is_heap_oracle() && heap.is_heap_oracle());
+    // The same script yields the same key sequence on both backends, but
+    // keys are backend-private (slot layout differs) — track them per side.
+    let mut cal_keys = Vec::new();
+    let mut heap_keys = Vec::new();
+    for (i, &(selector, time)) in script.iter().enumerate() {
+        match decode(selector, time) {
+            Op::Schedule(t) => {
+                cal_keys.push(calendar.schedule(DesTime::from_secs(t), i));
+                heap_keys.push(heap.schedule(DesTime::from_secs(t), i));
+            }
+            Op::Cancel(raw) => {
+                if !cal_keys.is_empty() {
+                    let k = raw % cal_keys.len();
+                    let a = calendar.cancel(cal_keys[k]);
+                    let b = heap.cancel(heap_keys[k]);
+                    prop_assert_eq!(a, b, "cancel #{} diverged", i);
+                }
+            }
+            Op::Pop => {
+                let a = calendar.pop();
+                let b = heap.pop();
+                prop_assert_eq!(a, b, "pop #{} diverged", i);
+            }
+            Op::Peek => {
+                prop_assert_eq!(calendar.peek_time(), heap.peek_time(), "peek #{}", i);
+            }
+        }
+        prop_assert_eq!(calendar.len(), heap.len(), "len after op #{}", i);
+        prop_assert_eq!(calendar.is_empty(), heap.is_empty());
+    }
+    // Drain whatever is left: the full residual order must agree too.
+    loop {
+        let (a, b) = (calendar.pop(), heap.pop());
+        prop_assert_eq!(a, b, "drain diverged");
+        if a.is_none() {
+            prop_assert!(calendar.is_empty() && heap.is_empty());
+            return;
+        }
+    }
+}
+
+proptest! {
+    /// Random interleavings over a wide time range (resizes trigger).
+    #[test]
+    fn backends_agree_on_random_interleavings(
+        script in proptest::collection::vec((0u8..=255, 0.0f64..1e9), 1..400),
+    ) {
+        run_differential(&script);
+    }
+
+    /// Clustered timestamps: many collisions per calendar bucket, so the
+    /// FIFO tie-break and in-bucket min scans are exercised hard.
+    #[test]
+    fn backends_agree_under_heavy_time_collisions(
+        script in proptest::collection::vec((0u8..=255, 0.0f64..16.0), 1..300),
+    ) {
+        // Quantize to whole seconds: most events tie exactly.
+        let script: Vec<_> = script.iter().map(|&(s, t)| (s, t.floor())).collect();
+        run_differential(&script);
+    }
+
+    /// Cancel-heavy scripts with sparse far-apart times: the calendar
+    /// queue's global-min fallback path and slot recycling under churn.
+    #[test]
+    fn backends_agree_on_sparse_cancel_heavy_scripts(
+        script in proptest::collection::vec((0u8..=255, 0.0f64..1e15), 1..200),
+    ) {
+        // Re-weight toward cancels: map the schedule-heavy decode onto a
+        // cancel-heavy one by folding selectors 2..=4 into cancels.
+        let script: Vec<_> = script
+            .iter()
+            .map(|&(s, t)| (if (2..=4).contains(&(s % 10)) { 5 } else { s }, t))
+            .collect();
+        run_differential(&script);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level differential: full simulations on both backends.
+
+/// A small, failure-prone platform: short instances, many failures, every
+/// event type exercised.
+fn diff_platform() -> Platform {
+    Platform::new(
+        "queue-diff",
+        128,
+        8,
+        Bytes::from_gb(16.0),
+        Bandwidth::from_gbps(8.0),
+        Duration::from_years(0.5),
+    )
+    .unwrap()
+}
+
+fn diff_classes(p: &Platform) -> Vec<AppClass> {
+    vec![AppClass {
+        name: "only".into(),
+        q_nodes: 32,
+        walltime: Duration::from_hours(30.0),
+        resource_share: 1.0,
+        input_bytes: Bytes::from_gb(32.0),
+        output_bytes: Bytes::from_gb(64.0),
+        ckpt_bytes: p.mem_per_node * 32.0,
+        regular_io_bytes: Bytes::ZERO,
+    }]
+}
+
+/// Runs `config` once per queue backend and demands bit-identical results,
+/// counters, and execution traces.
+///
+/// [`use_heap_oracle`] is process-wide, and the two engine tests in this
+/// binary run concurrently — a mutex keeps each paired comparison under a
+/// consistent flag (without it a pair could silently compare calendar
+/// against calendar and prove nothing).
+fn assert_backends_identical(config: &SimConfig, seed: u64, tag: &str) {
+    static BACKEND_FLAG: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = BACKEND_FLAG.lock().unwrap_or_else(|e| e.into_inner());
+    use_heap_oracle(false);
+    let a = run_simulation(config, seed);
+    use_heap_oracle(true);
+    let b = run_simulation(config, seed);
+    use_heap_oracle(false);
+
+    assert_eq!(
+        a.waste_ratio.to_bits(),
+        b.waste_ratio.to_bits(),
+        "{tag}: waste ratio diverged (calendar {} vs heap {})",
+        a.waste_ratio,
+        b.waste_ratio
+    );
+    assert_eq!(
+        a.efficiency.to_bits(),
+        b.efficiency.to_bits(),
+        "{tag}: efficiency"
+    );
+    assert_eq!(a.breakdown, b.breakdown, "{tag}: waste breakdown");
+    assert_eq!(
+        a.utilization.to_bits(),
+        b.utilization.to_bits(),
+        "{tag}: utilization"
+    );
+    assert_eq!(
+        a.failures_total, b.failures_total,
+        "{tag}: failures injected"
+    );
+    assert_eq!(
+        a.failures_hitting_jobs, b.failures_hitting_jobs,
+        "{tag}: failures hitting jobs"
+    );
+    assert_eq!(
+        a.checkpoints_committed, b.checkpoints_committed,
+        "{tag}: checkpoints"
+    );
+    assert_eq!(a.jobs_completed, b.jobs_completed, "{tag}: jobs completed");
+    assert_eq!(a.restarts, b.restarts, "{tag}: restarts");
+    assert_eq!(a.tier_restores, b.tier_restores, "{tag}: tier restores");
+    assert_eq!(a.events, b.events, "{tag}: DES event count");
+    let (ta, tb) = (
+        a.trace.expect("trace recorded"),
+        b.trace.expect("trace recorded"),
+    );
+    assert_eq!(ta.events(), tb.events(), "{tag}: execution trace diverged");
+}
+
+/// Every paper strategy on the flat (PFS-only, classless) platform.
+#[test]
+fn engine_is_bit_identical_across_backends_flat() {
+    let p = diff_platform();
+    for strategy in Strategy::all_seven() {
+        let config = SimConfig::new(p.clone(), diff_classes(&p), strategy)
+            .with_span(Duration::from_days(2.0))
+            .with_trace();
+        assert_backends_identical(&config, 11, &format!("{} flat", strategy.name()));
+    }
+}
+
+/// Every paper strategy plus the tiered strategy on a 3-tier hierarchy
+/// with a mixed failure-class preset (shallow + system severities).
+#[test]
+fn engine_is_bit_identical_across_backends_tiered_mixed_classes() {
+    let p = diff_platform();
+    let mix = vec![
+        FailureClass::new("local", 0.5, 1),
+        FailureClass::system("system", 0.5),
+    ];
+    let mut strategies = Strategy::all_seven().to_vec();
+    strategies.push(Strategy::tiered(CheckpointPolicy::Daly));
+    for strategy in strategies {
+        let config = SimConfig::new(p.clone(), diff_classes(&p), strategy)
+            .with_span(Duration::from_days(2.0))
+            .with_tiers(geometric_tiers(&p, 3))
+            .with_failure_classes(mix.clone())
+            .with_trace();
+        assert_backends_identical(&config, 13, &format!("{} tiered+mixed", strategy.name()));
+    }
+}

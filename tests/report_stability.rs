@@ -94,6 +94,51 @@ fn check_golden(preset: &str) {
     }
 }
 
+/// Campaign-level queue differential (the `heap-oracle` CI lane): the
+/// checked-in `paper_grid` suite — all seven strategies at two bandwidth
+/// points — runs once on the default calendar queue and once on the
+/// binary-heap oracle, and the merged campaign documents are diffed with
+/// [`compare_campaigns`] at **relative tolerance 0**, i.e. bit-equality
+/// on every numeric cell of every point's report.
+///
+/// Each run gets a *fresh* [`OpPointCache`]: with a shared (or the
+/// process-global) cache the second run would be served memoized results
+/// from the first and the comparison would be vacuous.
+///
+/// Off by default (it doubles this suite's runtime); CI enables it with
+/// `--features heap-oracle`.
+#[cfg(feature = "heap-oracle")]
+#[test]
+fn paper_grid_campaign_is_bit_identical_on_the_heap_oracle() {
+    use std::sync::Arc;
+
+    let suite_path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("scenarios")
+        .join("paper_grid.json");
+    let suite = Suite::load(&suite_path).expect("paper_grid suite loads");
+    let run_with_backend = |heap: bool| {
+        use_heap_oracle(heap);
+        let opts = CampaignOptions {
+            threads: 2,
+            cache: None,
+            op_cache: Some(Arc::new(OpPointCache::new())),
+        };
+        let campaign = run_suite(&suite, &opts).expect("paper_grid runs");
+        use_heap_oracle(false);
+        campaign.to_json()
+    };
+    let calendar = run_with_backend(false);
+    let heap = run_with_backend(true);
+    let outcome = compare_campaigns(&calendar, &heap, 0.0, "calendar-queue", "heap-oracle")
+        .expect("campaign documents are comparable");
+    assert_eq!(
+        outcome.differences,
+        0,
+        "paper_grid diverged between queue backends:\n{}",
+        outcome.report.to_text()
+    );
+}
+
 #[test]
 fn golden_report_custom_lab() {
     check_golden("custom_lab");

@@ -14,11 +14,77 @@
 //! Benches declare `harness = false` in their manifest exactly as with the
 //! real criterion, so swapping the real crate back in later is a
 //! manifest-only change.
+//!
+//! One extension beyond the real criterion's surface: results accumulate
+//! in a process-wide registry, and passing `--save-json <path>` to the
+//! bench binary (i.e. `cargo bench -- --save-json out.json`) writes them
+//! as JSON — `{"results": [{"name", "median_ns", "iters"}, …]}` — which
+//! the `bench_baseline` tool turns into the repo's tracked `BENCH_*.json`
+//! baselines.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 const WARMUP_MS: u64 = 50;
 const MEASURE_MS: u64 = 300;
+
+/// One finished benchmark: name, median per-iteration time, sample count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchResult {
+    /// Full benchmark name (`group/name` for grouped benches).
+    pub name: String,
+    /// Median per-iteration wall time in nanoseconds.
+    pub median_ns: u128,
+    /// Number of timed iterations behind the median.
+    pub iters: usize,
+}
+
+/// Every result reported so far in this process, in run order.
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Snapshots the results reported so far (used by `--save-json` and tests).
+pub fn collected_results() -> Vec<BenchResult> {
+    RESULTS.lock().expect("results lock").clone()
+}
+
+/// Serializes the collected results to the JSON schema documented on the
+/// crate: `{"results": [{"name": …, "median_ns": …, "iters": …}, …]}`.
+pub fn results_to_json() -> String {
+    let results = collected_results();
+    let mut out = String::from("{\n  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {}, \"iters\": {}}}{sep}\n",
+            json_escape(&r.name),
+            r.median_ns,
+            r.iters
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Honors `--save-json <path>` from the process arguments; called by the
+/// `criterion_main!`-generated `main` after every group has run. Other
+/// harness flags (`--bench` etc.) are ignored as before.
+pub fn save_results_from_args() {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--save-json" {
+            let path = args
+                .next()
+                .expect("--save-json requires a file path argument");
+            std::fs::write(&path, results_to_json())
+                .unwrap_or_else(|e| panic!("failed to write bench results to {path}: {e}"));
+            eprintln!("bench results saved to {path}");
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
 
 /// How `iter_batched` amortizes setup cost. The stub runs one setup per
 /// measured iteration regardless of the hint, so the variants only
@@ -91,11 +157,18 @@ impl Bencher {
 
 fn report(name: &str, bencher: &Bencher) {
     match bencher.median() {
-        Some(t) => println!(
-            "{name:<40} {:>12} ({} samples)",
-            format_duration(t),
-            bencher.samples.len()
-        ),
+        Some(t) => {
+            println!(
+                "{name:<40} {:>12} ({} samples)",
+                format_duration(t),
+                bencher.samples.len()
+            );
+            RESULTS.lock().expect("results lock").push(BenchResult {
+                name: name.to_string(),
+                median_ns: t.as_nanos(),
+                iters: bencher.samples.len(),
+            });
+        }
         None => println!("{name:<40} {:>12}", "no samples"),
     }
 }
@@ -182,9 +255,11 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            // `cargo bench` passes harness flags like `--bench`; this
-            // harness has no options, so arguments are ignored.
+            // `cargo bench` passes harness flags like `--bench`; the only
+            // option this harness honors is `--save-json <path>`, the rest
+            // are ignored.
             $( $group(); )+
+            $crate::save_results_from_args();
         }
     };
 }
@@ -220,5 +295,19 @@ mod tests {
         group.sample_size(10);
         group.bench_function("inner", |b| b.iter(|| 1 + 1));
         group.finish();
+        // The registry records the prefixed name (other tests may have
+        // added entries concurrently, so check containment, not equality).
+        assert!(collected_results().iter().any(|r| r.name == "g/inner"));
+    }
+
+    #[test]
+    fn results_registry_serializes_to_json() {
+        let mut c = Criterion::default();
+        c.bench_function("self/json_probe", |b| b.iter(|| 2 + 2));
+        let json = results_to_json();
+        assert!(json.contains("\"results\""));
+        assert!(json.contains("\"name\": \"self/json_probe\""));
+        assert!(json.contains("\"median_ns\": "));
+        assert!(json.contains("\"iters\": "));
     }
 }
