@@ -168,6 +168,39 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
+/// Scale stress: stream a 100k-job synthetic trace through the engine
+/// (10k jobs under `COOPCKPT_BENCH_FAST`). The jobs are produced lazily
+/// by the streaming `JobSource`, so trace generation, admission at
+/// submit time, and per-project accounting are all inside the measured
+/// loop; peak resident jobs track the arrival/completion balance, not
+/// the trace length.
+fn bench_trace_stream(c: &mut Criterion) {
+    let fast = std::env::var("COOPCKPT_BENCH_FAST").is_ok_and(|v| !v.is_empty() && v != "0");
+    let jobs = if fast { 10_000 } else { 100_000 };
+    // Short jobs on a tight arrival clock: 100k jobs fit inside ~35
+    // simulated days with O(100) resident at any instant.
+    let spec = format!(
+        "synthetic:jobs={jobs},seed=1,projects=16,max_nodes=512,\
+         mean_walltime_hours=1,max_walltime_hours=4,mean_interarrival_secs=30"
+    );
+    let sc = Scenario {
+        workload: WorkloadSource::Trace(spec),
+        span: Duration::from_days(45.0),
+        ..Scenario::default()
+    };
+    let config = sc.into_config().expect("trace scenario compiles");
+    let mut group = c.benchmark_group("e2e");
+    group.sample_size(10);
+    let mut seed = 0u64;
+    group.bench_function("trace_100k_jobs", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(run_simulation(&config, seed).peak_live_jobs)
+        });
+    });
+    group.finish();
+}
+
 /// Campaign throughput: a small suite through the work-stealing runner,
 /// cold (fresh operating-point cache per iteration — every point
 /// simulates) vs warm (one shared cache — after the first iteration every
@@ -229,6 +262,7 @@ criterion_group!(
     bench_lambda_solver,
     bench_failure_trace,
     bench_end_to_end,
+    bench_trace_stream,
     bench_campaign
 );
 criterion_main!(benches);

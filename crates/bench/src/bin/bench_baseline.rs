@@ -103,9 +103,10 @@ fn parse_entries(json: &Json) -> Result<Vec<Entry>, String> {
 }
 
 /// Kernel micro-bench groups land in `BENCH_des.json`; end-to-end groups
-/// (full engine runs, campaign sweeps) in `BENCH_e2e.json`.
+/// (full engine runs, trace streaming, campaign sweeps) in
+/// `BENCH_e2e.json`.
 fn is_e2e(name: &str) -> bool {
-    name.starts_with("sim/") || name.starts_with("campaign/")
+    name.starts_with("sim/") || name.starts_with("campaign/") || name.starts_with("e2e/")
 }
 
 fn git_commit() -> String {
@@ -267,6 +268,7 @@ mod tests {
             ("failure/trace_60d_cielo", false),
             ("sim/7day_cielo_40gbps/least-waste", true),
             ("campaign/6pt_quarter_day/cold", true),
+            ("e2e/trace_100k_jobs", true),
         ] {
             assert_eq!(is_e2e(name), e2e, "{name}");
         }

@@ -4,8 +4,9 @@ use std::collections::HashMap;
 
 /// Flags that take no value; `--help` anywhere in a command line asks for
 /// that subcommand's help text, `--list` makes `suite` print its expansion
-/// instead of running it.
-const BOOL_FLAGS: &[&str] = &["help", "list"];
+/// instead of running it, `--gc` makes `suite` sweep stale entries out of
+/// its `--cache` directory.
+const BOOL_FLAGS: &[&str] = &["help", "list", "gc"];
 
 /// Parsed command line: a subcommand, positional arguments, and flags.
 #[derive(Debug, Clone, Default)]
@@ -233,6 +234,10 @@ mod tests {
         assert_eq!(a.get("samples"), Some("5"));
         let a = Args::parse(["run", "--samples", "5"]).unwrap();
         assert!(!a.is_set("help"));
+        // `--gc` is boolean too: it consumes no value.
+        let a = Args::parse(["suite", "--gc", "grid.json"]).unwrap();
+        assert!(a.is_set("gc"));
+        assert_eq!(a.positionals, vec!["grid.json"]);
     }
 
     #[test]

@@ -42,7 +42,8 @@ Run `coopckpt <command> --help` for per-command flags and examples.
 COMMON FLAGS:
   --scenario <file.json>         load a declarative scenario file; the
                                  remaining flags override its fields
-  --platform cielo|prospective   target machine          [cielo]
+  --platform cielo|prospective|exascale
+                                 target machine          [cielo]
   --bandwidth <GB/s>             PFS bandwidth override
   --mtbf-years <years>           node MTBF override
   --span-days <days>             simulated span          [14]
@@ -52,7 +53,12 @@ COMMON FLAGS:
                                  ordered-fixed|ordered-daly|
                                  ordered-nb-fixed|ordered-nb-daly|
                                  least-waste|tiered|tiered-fixed
-                                                          [least-waste]
+                                 (any -daly accepts -daly-usage: cadence
+                                 in consumed node-hours)  [least-waste]
+  --workload apex|<trace>|synthetic:...
+                                 job mix: the APEX paper mix, a job-log
+                                 file (CSV or JSON lines), or a seeded
+                                 synthetic trace            [apex]
   --interference linear|degraded:<a>|equal               [linear]
   --failures exponential|weibull:<k>|none                [exponential]
   --failure-classes <name>:<share>:<severity>,...        [system:1:system]
@@ -73,7 +79,11 @@ EXAMPLES:
   coopckpt sweep --axis tiers --values 0,1,2,3 --bandwidth 40
   coopckpt sweep --axis local-failure-share --tiers 3 --bandwidth 40
   coopckpt sweep --axis power-ratio --power cielo --values 0.5,1,2,4
+  coopckpt sweep --axis ckpt-mem-fraction --platform exascale
+  coopckpt run --workload scenarios/traces/sample_1k.csv --span-days 14
+  coopckpt run --workload synthetic:jobs=5000,seed=3 --strategy ordered-nb-daly-usage
   coopckpt suite scenarios/paper_grid.json --cache .campaign --format json
+  coopckpt suite --cache .campaign --gc
   coopckpt compare cold.json warm.json --tolerance 0.05
 ";
 
@@ -96,10 +106,19 @@ FLAGS:
   --strategy <name>    oblivious-fixed|oblivious-daly|ordered-fixed|
                        ordered-daly|ordered-nb-fixed|ordered-nb-daly|
                        least-waste|tiered|tiered-fixed   [least-waste]
+                       every -daly discipline also accepts -daly-usage
+                       (checkpoint cadence in consumed node-hours)
+  --workload <source>  apex (the paper's Table 1 mix), a job-log trace
+                       file (CSV or JSON lines: project, submit_time,
+                       nodes, walltime[, ckpt_bytes]), or a generated
+                       trace `synthetic:jobs=N,seed=S,...`      [apex]
+                       Trace runs stream jobs at their submit times and
+                       add a per-project waste breakdown ('projects'
+                       section) to the report.
   --tiers <n>          storage-hierarchy depth: n tiers scaled to the
                        platform (node-local, burst-buffer, campaign, ...);
                        0 = the paper's PFS-only platform  [0]
-  --platform cielo|prospective                            [cielo]
+  --platform cielo|prospective|exascale                   [cielo]
   --bandwidth <GB/s>   PFS bandwidth override
   --mtbf-years <y>     node MTBF override
   --span-days <days>   simulated span per instance        [14]
@@ -129,6 +148,8 @@ EXAMPLES:
   coopckpt run --scenario scenarios/multilevel_recovery.json --format json
   coopckpt run --scenario scenarios/weibull_ablation.json --samples 50
   coopckpt run --scenario scenarios/energy_tradeoff.json --format json
+  coopckpt run --workload scenarios/traces/sample_1k.csv --span-days 14
+  coopckpt run --workload synthetic:jobs=5000,projects=12,seed=3
 ";
 
 /// `coopckpt sweep --help`
@@ -150,11 +171,14 @@ FLAGS:
   --axis <name>        bandwidth (GB/s, Fig. 1) | mtbf (years, Fig. 2) |
                        tiers (hierarchy depth) | weibull-shape |
                        power-ratio (energy metric) |
-                       local-failure-share (recovery mix)  [bandwidth]
+                       local-failure-share (recovery mix) |
+                       ckpt-mem-fraction (checkpointed share of node
+                       memory, in (0, 1])                  [bandwidth]
   --values a,b,c       swept values
                        [bandwidth: 40..160; mtbf: 2..50; tiers: 0..3;
                         weibull-shape: 0.5..2; power-ratio: 0.25..4;
-                        local-failure-share: 0..0.9]
+                        local-failure-share: 0..0.9;
+                        ckpt-mem-fraction: 0.05..1]
   --samples <n>        Monte-Carlo instances per point     [10]
   --seed <n>           base seed                           [1]
   --power <model>      base power model for power-ratio    [cielo]
@@ -166,6 +190,12 @@ classes per point (total failure rate unchanged): local failures restore
 from the shallowest surviving storage tier, so waste falls as x grows —
 run it with `--tiers` >= 2 to give restores somewhere to read from.
 
+The ckpt-mem-fraction axis rescales every class's checkpoint volume to
+the given fraction of its nodes' memory (comd-ft progress-rate style);
+pair it with `--platform exascale` for the projective study. It is
+incompatible with trace workloads, whose checkpoint sizes come from the
+trace itself.
+
 EXAMPLES:
   coopckpt sweep --axis bandwidth --values 40,80,120,160 --samples 50
   coopckpt sweep --axis mtbf --values 2,5,10,20,50 --bandwidth 40
@@ -173,6 +203,7 @@ EXAMPLES:
   coopckpt sweep --axis weibull-shape --values 0.5,0.7,1,1.5 --bandwidth 40
   coopckpt sweep --axis power-ratio --power cielo --bandwidth 40
   coopckpt sweep --axis local-failure-share --tiers 3 --bandwidth 40
+  coopckpt sweep --axis ckpt-mem-fraction --platform exascale --samples 20
   coopckpt sweep --scenario scenarios/cielo_baseline.json --axis mtbf
 ";
 
@@ -216,10 +247,10 @@ USAGE:
 A suite file declares many scenarios at once: an optional `base` scenario,
 a `grid` of axes whose cartesian product is applied to the base
 (axes: strategy|bandwidth_gbps|mtbf_years|tiers|span_days|samples|seed|
-local_failure_share), and/or an explicit `scenarios` list. A plain
-scenario file is accepted as a one-point suite. Expansion is
+local_failure_share|workload), and/or an explicit `scenarios` list. A
+plain scenario file is accepted as a one-point suite. Expansion is
 deduplicated and order-stable; each point is auto-named
-`prefix/axis=value/...`.
+`prefix/axis=value/...` (slashes in values become underscores).
 
 Points are sharded across worker threads (work-stealing); the merged
 output is ordered by expansion, so it is bit-identical at any
@@ -234,6 +265,10 @@ FLAGS:
   --threads <n>        worker threads; 0 = one per core        [0]
   --cache <dir>        content-addressed on-disk result cache (resumable)
   --list               print the expansion (key + name per point) and exit
+  --gc                 sweep the --cache directory first: evict entries
+                       from older code versions, corrupt files and
+                       abandoned .tmp spills; without a suite file,
+                       collect and exit
   --format text|csv|json                                       [text]
 
 EXAMPLES:
@@ -241,6 +276,7 @@ EXAMPLES:
   coopckpt suite scenarios/paper_grid.json --list
   coopckpt suite scenarios/paper_grid.json --cache .campaign --format json
   coopckpt suite scenarios/cielo_baseline.json --threads 1
+  coopckpt suite --cache .campaign --gc
 ";
 
 /// `coopckpt compare --help`
@@ -293,6 +329,7 @@ const SCENARIO_FLAGS: &[&str] = &[
     "seed",
     "threads",
     "strategy",
+    "workload",
     "interference",
     "failures",
     "failure-classes",
@@ -311,6 +348,7 @@ const SWEEP_FLAGS: &[&str] = &[
     "samples",
     "seed",
     "threads",
+    "workload",
     "interference",
     "failures",
     "failure-classes",
@@ -342,7 +380,7 @@ const WORKLOAD_FLAGS: &[&str] = &[
     "help",
 ];
 
-const SUITE_FLAGS: &[&str] = &["suite", "threads", "cache", "list", "format", "help"];
+const SUITE_FLAGS: &[&str] = &["suite", "threads", "cache", "list", "gc", "format", "help"];
 
 const COMPARE_FLAGS: &[&str] = &["tolerance", "format", "help"];
 
@@ -430,6 +468,14 @@ fn scenario_from(args: &Args) -> Result<Scenario, Box<dyn std::error::Error>> {
     if let Some(raw) = args.get("tiers") {
         let depth: usize = raw.parse().map_err(|_| format!("bad --tiers '{raw}'"))?;
         sc.tiers = TiersSpec::Geometric(depth);
+    }
+    if let Some(raw) = args.get("workload") {
+        sc.workload = match raw {
+            "apex" => WorkloadSource::Apex,
+            // Anything else is a trace spec: a job-log path or a
+            // `synthetic:...` generator spec (validated at compile time).
+            spec => WorkloadSource::Trace(spec.to_string()),
+        };
     }
     if let Some(raw) = args.get("failure-classes") {
         sc.failure_classes = parse_failure_classes(raw)?;
@@ -556,7 +602,7 @@ pub fn table1(args: &Args) -> CmdResult {
 pub fn theory(args: &Args) -> CmdResult {
     let sc = scenario_from(args)?;
     let platform = sc.resolve_platform()?;
-    let classes = sc.resolve_classes(&platform);
+    let classes = sc.resolve_classes(&platform)?;
     let params: Vec<ClassParams> = classes
         .iter()
         .map(|c| ClassParams::from_app_class(c, &platform))
@@ -625,6 +671,22 @@ pub fn sweep(args: &Args) -> CmdResult {
 /// `coopckpt suite` — expand a campaign suite file and execute every
 /// point across the work-stealing runner.
 pub fn suite(args: &Args) -> CmdResult {
+    if args.is_set("gc") {
+        // Garbage-collect the result cache: evict entries whose
+        // code-version salt no longer matches (they can never hit again),
+        // corrupt files, and abandoned `.tmp` spills. Standalone
+        // `suite --cache <dir> --gc` collects and exits; with a suite
+        // file, the run proceeds against the freshly swept cache.
+        let dir = args
+            .get("cache")
+            .ok_or("suite: --gc needs --cache <dir> to know which cache to sweep")?;
+        let cache = ResultCache::new(dir)?;
+        let (kept, evicted) = cache.gc()?;
+        eprintln!("# cache gc: kept {kept} live entries, evicted {evicted} stale files");
+        if args.get("suite").is_none() && args.positionals.is_empty() {
+            return Ok(());
+        }
+    }
     let path = args
         .get("suite")
         .or_else(|| args.positionals.first().map(String::as_str))
@@ -750,7 +812,7 @@ pub fn workload(args: &Args) -> CmdResult {
         sc.span = Duration::from_days(60.0);
     }
     let platform = sc.resolve_platform()?;
-    let classes = sc.resolve_classes(&platform);
+    let classes = sc.resolve_classes(&platform)?;
     let spec = WorkloadSpec::new(classes.clone()).with_min_span(sc.span);
     let mut rng = Xoshiro256pp::seed_from_u64(sc.seed);
     let jobs = spec.generate(&platform, &mut rng);
@@ -955,7 +1017,12 @@ mod tests {
 
     #[test]
     fn new_sweep_axes_are_accepted() {
-        for axis in ["weibull-shape", "power-ratio", "local-failure-share"] {
+        for axis in [
+            "weibull-shape",
+            "power-ratio",
+            "local-failure-share",
+            "ckpt-mem-fraction",
+        ] {
             let parsed: SweepAxis = axis.parse().unwrap();
             assert_eq!(parsed.as_str(), axis);
         }
@@ -965,6 +1032,37 @@ mod tests {
         assert!(known_flags("run").contains(&"failure-classes"));
         assert!(known_flags("sweep").contains(&"failure-classes"));
         assert!(!known_flags("table1").contains(&"failure-classes"));
+        assert!(known_flags("run").contains(&"workload"));
+        assert!(known_flags("sweep").contains(&"workload"));
+        assert!(!known_flags("table1").contains(&"workload"));
+        assert!(known_flags("suite").contains(&"gc"));
+        assert!(!known_flags("run").contains(&"gc"));
+    }
+
+    #[test]
+    fn workload_flag_selects_a_source() {
+        // Default stays the paper's APEX mix.
+        let sc = scenario_from(&args(&["run"])).unwrap();
+        assert_eq!(sc.workload, WorkloadSource::Apex);
+        let sc = scenario_from(&args(&["run", "--workload", "apex"])).unwrap();
+        assert_eq!(sc.workload, WorkloadSource::Apex);
+        // Any other value is a trace spec, carried verbatim; validation
+        // happens when the scenario compiles.
+        let sc = scenario_from(&args(&["run", "--workload", "synthetic:jobs=40,seed=2"])).unwrap();
+        assert_eq!(
+            sc.workload,
+            WorkloadSource::Trace("synthetic:jobs=40,seed=2".to_string())
+        );
+        let cfg = sc.into_config().unwrap();
+        assert!(cfg.workload_source.is_some());
+        let sc = scenario_from(&args(&["run", "--workload", "/no/such/trace.csv"])).unwrap();
+        assert!(sc.into_config().is_err());
+    }
+
+    #[test]
+    fn exascale_platform_flag_resolves() {
+        let sc = scenario_from(&args(&["run", "--platform", "exascale"])).unwrap();
+        assert_eq!(sc.resolve_platform().unwrap().name, "Exascale");
     }
 
     #[test]
@@ -1061,8 +1159,10 @@ mod tests {
         for (cmd, needle) in [
             ("run", "--tiers <n>"),
             ("run", "--power <model>"),
+            ("run", "--workload <source>"),
             ("sweep", "power-ratio"),
             ("sweep", "weibull-shape"),
+            ("sweep", "ckpt-mem-fraction"),
             ("trace", "tier_absorb"),
         ] {
             let page = help_for(cmd).expect("dedicated help page");
@@ -1075,5 +1175,10 @@ mod tests {
         }
         assert!(help_for("table1").is_none());
         assert!(USAGE.contains("--format text|csv|json"));
+        let suite_page = help_for("suite").unwrap();
+        assert!(suite_page.contains("--gc"));
+        assert!(suite_page.contains("workload"));
+        assert!(USAGE.contains("exascale"));
+        assert!(USAGE.contains("--gc"));
     }
 }

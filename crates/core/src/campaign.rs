@@ -44,7 +44,7 @@ use crate::experiments::{local_failure_mix, run_scenario_with_cache};
 use crate::json::{Json, JsonError};
 use crate::montecarlo::OpPointCache;
 use crate::report::{Cell, OutputFormat, Report};
-use crate::scenario::{Scenario, ScenarioError, MAX_TIER_DEPTH};
+use crate::scenario::{Scenario, ScenarioError, WorkloadSource, MAX_TIER_DEPTH};
 use crate::strategy::Strategy;
 use parking_lot::Mutex;
 use std::collections::HashSet;
@@ -159,11 +159,14 @@ pub enum GridAxis {
     /// `{local: x, system: 1 - x}` two-class mix (the paper's class-mix
     /// axis; `0` is the single-class model).
     LocalFailureShare(Vec<f64>),
+    /// Workload sources: `"apex"`, or a trace path / `synthetic:...`
+    /// generator spec (the scenario `workload.trace` grammar).
+    Workload(Vec<String>),
 }
 
 /// The accepted `grid` keys, for error messages.
 const GRID_KEYS: &str =
-    "strategy|bandwidth_gbps|mtbf_years|tiers|span_days|samples|seed|local_failure_share";
+    "strategy|bandwidth_gbps|mtbf_years|tiers|span_days|samples|seed|local_failure_share|workload";
 
 impl GridAxis {
     /// The axis's JSON key (and auto-name label).
@@ -177,6 +180,7 @@ impl GridAxis {
             GridAxis::Samples(_) => "samples",
             GridAxis::Seed(_) => "seed",
             GridAxis::LocalFailureShare(_) => "local_failure_share",
+            GridAxis::Workload(_) => "workload",
         }
     }
 
@@ -188,6 +192,7 @@ impl GridAxis {
             GridAxis::SpanDays(v) | GridAxis::LocalFailureShare(v) => v.len(),
             GridAxis::Tiers(v) | GridAxis::Samples(v) => v.len(),
             GridAxis::Seed(v) => v.len(),
+            GridAxis::Workload(v) => v.len(),
         }
     }
 
@@ -207,6 +212,7 @@ impl GridAxis {
             GridAxis::SpanDays(v) | GridAxis::LocalFailureShare(v) => format!("{}", v[i]),
             GridAxis::Tiers(v) | GridAxis::Samples(v) => format!("{}", v[i]),
             GridAxis::Seed(v) => format!("{}", v[i]),
+            GridAxis::Workload(v) => v[i].clone(),
         }
     }
 
@@ -227,6 +233,14 @@ impl GridAxis {
                 sc.with_sampling(samples, v[i])
             }
             GridAxis::LocalFailureShare(v) => sc.with_failure_classes(local_failure_mix(v[i])),
+            GridAxis::Workload(v) => {
+                let mut sc = sc;
+                sc.workload = match v[i].as_str() {
+                    "apex" => WorkloadSource::Apex,
+                    spec => WorkloadSource::Trace(spec.to_string()),
+                };
+                sc
+            }
         }
     }
 
@@ -313,6 +327,18 @@ impl GridAxis {
                 ))
             }
             "seed" => Ok(GridAxis::Seed(ints("seeds must be non-negative integers")?)),
+            "workload" => values
+                .iter()
+                .map(|v| {
+                    v.as_str().map(str::to_string).ok_or_else(|| {
+                        CampaignError::invalid(
+                            &field,
+                            "expected workload specs (\"apex\", a trace path, or synthetic:...)",
+                        )
+                    })
+                })
+                .collect::<Result<Vec<String>, CampaignError>>()
+                .map(GridAxis::Workload),
             other => Err(CampaignError::invalid(
                 format!("grid.{other}"),
                 format!("unknown grid axis (expected {GRID_KEYS})"),
@@ -467,7 +493,11 @@ impl Suite {
                 let mut label = Vec::with_capacity(self.grid.len());
                 for (axis, &i) in self.grid.iter().zip(&idx) {
                     sc = axis.apply(sc, i);
-                    label.push(format!("{}={}", axis.key(), axis.label(i)));
+                    // `/` separates the name's axis segments (and these
+                    // names become file-ish labels downstream), so values
+                    // carrying one — trace paths — are flattened to `_`.
+                    let value = axis.label(i).replace('/', "_");
+                    label.push(format!("{}={}", axis.key(), value));
                 }
                 let label = label.join("/");
                 sc.name = Some(match &prefix {
@@ -593,6 +623,55 @@ impl ResultCache {
             text: v.get("text")?.as_str()?.to_string(),
             csv: v.get("csv")?.as_str()?.to_string(),
         })
+    }
+
+    /// Evicts every entry the running binary can never hit: files whose
+    /// embedded salt differs from [`CACHE_SALT`] (older versions keyed
+    /// and salted differently, so they read as misses forever), whose
+    /// `key` field disagrees with the file name, or that fail to parse
+    /// at all — plus any `.tmp` leftovers from crashed writers. Files
+    /// without a `.json` extension are foreign and left untouched.
+    /// Returns `(kept, evicted)` counts.
+    pub fn gc(&self) -> Result<(usize, usize), CampaignError> {
+        let mut kept = 0usize;
+        let mut evicted = 0usize;
+        let entries = std::fs::read_dir(&self.dir).map_err(|e| CampaignError::io(&self.dir, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| CampaignError::io(&self.dir, e))?;
+            let path = entry.path();
+            let Some(name) = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .map(str::to_string)
+            else {
+                continue;
+            };
+            let evict = || -> Result<(), CampaignError> {
+                std::fs::remove_file(&path).map_err(|e| CampaignError::io(&path, e))
+            };
+            if name.ends_with(".tmp") {
+                evict()?;
+                evicted += 1;
+                continue;
+            }
+            let Some(key) = name.strip_suffix(".json") else {
+                continue;
+            };
+            let live = std::fs::read_to_string(&path)
+                .ok()
+                .and_then(|text| Json::parse(&text).ok())
+                .is_some_and(|v| {
+                    v.get("salt").and_then(Json::as_str) == Some(CACHE_SALT)
+                        && v.get("key").and_then(Json::as_str) == Some(key)
+                });
+            if live {
+                kept += 1;
+            } else {
+                evict()?;
+                evicted += 1;
+            }
+        }
+        Ok((kept, evicted))
     }
 
     fn store(&self, key: &str, entry: &CampaignEntry) -> Result<(), CampaignError> {
@@ -1155,4 +1234,96 @@ pub fn compare_campaigns(
         report,
         differences,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("coopckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn entry(key: &str) -> CampaignEntry {
+        CampaignEntry {
+            name: Some("p".to_string()),
+            key: key.to_string(),
+            report: Json::obj([("sections", Json::Arr(Vec::new()))]),
+            text: "t".to_string(),
+            csv: "c".to_string(),
+            from_cache: false,
+        }
+    }
+
+    #[test]
+    fn gc_evicts_salt_mismatched_entries_and_keeps_live_ones() {
+        let dir = temp_dir("gc");
+        let cache = ResultCache::new(&dir).unwrap();
+        // A live entry, written the way the runner writes them.
+        cache.store("aaaa", &entry("aaaa")).unwrap();
+        // A stale entry from a previous salt, a corrupt one, a crashed
+        // writer's temp file, and a foreign file.
+        let stale = Json::obj([
+            ("salt", Json::str("coopckpt-campaign-v0:0.0.1")),
+            ("key", Json::str("bbbb")),
+            ("report", Json::obj([("sections", Json::Arr(Vec::new()))])),
+            ("text", Json::str("t")),
+            ("csv", Json::str("c")),
+        ]);
+        std::fs::write(dir.join("bbbb.json"), stale.pretty()).unwrap();
+        std::fs::write(dir.join("cccc.json"), "{ not json").unwrap();
+        std::fs::write(dir.join("dddd.12345.tmp"), "half-written").unwrap();
+        std::fs::write(dir.join("README.txt"), "not a cache entry").unwrap();
+
+        let (kept, evicted) = cache.gc().unwrap();
+        assert_eq!((kept, evicted), (1, 3));
+        // The live entry still hits; the stale ones are gone; foreign
+        // files are untouched.
+        assert!(cache.load("aaaa").is_some());
+        assert!(!dir.join("bbbb.json").exists());
+        assert!(!dir.join("cccc.json").exists());
+        assert!(!dir.join("dddd.12345.tmp").exists());
+        assert!(dir.join("README.txt").exists());
+        // A second pass finds nothing left to evict.
+        assert_eq!(cache.gc().unwrap(), (1, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn expand_sanitizes_slashes_in_axis_values() {
+        let dir = temp_dir("expand");
+        let trace = dir.join("tiny.csv");
+        std::fs::write(
+            &trace,
+            "project,submit_time,nodes,walltime\nalpha,0,64,3600\nbeta,600,128,7200\n",
+        )
+        .unwrap();
+        let doc = format!(
+            r#"{{
+                "name": "sanitize",
+                "base": {{"span_days": 2, "samples": 1}},
+                "grid": {{"workload": ["apex", "{}"]}}
+            }}"#,
+            trace.display()
+        );
+        let suite = Suite::parse(&doc).unwrap();
+        let points = suite.expand().unwrap();
+        assert_eq!(points.len(), 2);
+        // The apex point keeps its plain label; the trace path's slashes
+        // are flattened so they cannot masquerade as axis separators.
+        assert_eq!(points[0].name.as_deref(), Some("sanitize/workload=apex"));
+        let name = points[1].name.as_deref().unwrap();
+        let value = name.strip_prefix("sanitize/workload=").unwrap();
+        assert!(!value.contains('/'), "{name}");
+        assert!(value.ends_with("tiny.csv"), "{name}");
+        // And the point itself still carries the real (unsanitized) path.
+        assert!(matches!(
+            &points[1].workload,
+            WorkloadSource::Trace(s) if s == trace.to_str().unwrap()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

@@ -24,8 +24,8 @@ use crate::sim::{
 };
 use crate::strategy::{CheckpointPolicy, Strategy};
 use coopckpt_des::Duration;
-use coopckpt_model::{AppClass, Bandwidth, Platform};
-use coopckpt_stats::Candlestick;
+use coopckpt_model::{AppClass, Bandwidth, Bytes, Platform};
+use coopckpt_stats::{Candlestick, Category, ProjectLedger, WasteLedger};
 use coopckpt_theory::{lower_bound, ClassParams};
 
 /// One measured operating point of a sweep.
@@ -222,6 +222,52 @@ pub fn waste_vs_local_failure_share(
     points
 }
 
+/// The comd-ft progress-rate sweep: waste ratio as a function of the
+/// fraction `f` of each job's memory footprint written per checkpoint.
+/// Each point replaces every class's checkpoint volume with
+/// `f × q_nodes × mem_per_node` (the footprint of a full-memory dump),
+/// keeping walltimes and shares fixed, so the axis isolates checkpoint
+/// *size* from everything else. Pair with the `exascale` platform preset
+/// to reproduce the study's operating point. The Theorem 1 bound is
+/// re-evaluated per point (it prices checkpoints at the PFS commit cost
+/// of the scaled volume), so the "Theoretical Model" series tracks the
+/// axis.
+pub fn waste_vs_ckpt_mem_fraction(
+    template: &SimConfig,
+    fractions: &[f64],
+    strategies: &[Strategy],
+    mc: &MonteCarloConfig,
+) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for &f in fractions {
+        let classes: Vec<AppClass> = template
+            .classes
+            .iter()
+            .map(|c| AppClass {
+                ckpt_bytes: Bytes::new(
+                    template.platform.mem_per_node.as_bytes() * c.q_nodes as f64 * f,
+                ),
+                ..c.clone()
+            })
+            .collect();
+        for strat in strategies {
+            let cfg = SimConfig {
+                strategy: *strat,
+                classes: classes.clone(),
+                ..template.clone()
+            };
+            let samples = run_many(&cfg, mc);
+            points.push(SweepPoint {
+                x: f,
+                series: strat.name(),
+                stats: samples.candlestick(),
+            });
+        }
+        points.push(bound_point(f, &template.platform, &classes));
+    }
+    points
+}
+
 /// The time-vs-energy trade-off sweep: **energy** waste ratio as a
 /// function of the checkpoint/compute power ratio `ρ_ckpt / ρ_comp`. The
 /// template's power model (the Cielo preset when it has none) supplies
@@ -305,6 +351,27 @@ pub fn sweep_points(
             let mut strategies = strategies.to_vec();
             strategies.push(Strategy::tiered(CheckpointPolicy::Daly));
             Ok(waste_vs_local_failure_share(
+                template,
+                &sweep.values,
+                &strategies,
+                mc,
+            ))
+        }
+        SweepAxis::CkptMemFraction => {
+            crate::scenario::validate_fraction_values(&sweep.values)?;
+            if template.workload_source.is_some() {
+                // Trace-driven classes carry the trace's own checkpoint
+                // volumes (they key the stream's shape table); rescaling
+                // them would desynchronize the stream from its scan.
+                return Err(ScenarioError::Invalid {
+                    field: "sweep.axis".to_string(),
+                    message: "ckpt-mem-fraction rescales class checkpoint volumes, \
+                              which trace workloads derive from the trace itself; use \
+                              an apex or classes workload for this axis"
+                        .to_string(),
+                });
+            }
+            Ok(waste_vs_ckpt_mem_fraction(
                 template,
                 &sweep.values,
                 &strategies,
@@ -457,9 +524,61 @@ pub fn run_scenario_with_cache(
                 ]);
             }
             energy_sections(&mut report, &results[..]);
+            projects_section(&mut report, &results[..]);
         }
     }
     Ok(report)
+}
+
+/// Appends the `projects` section when the instances carried per-project
+/// accounting (trace-driven runs; a no-op otherwise). Ledgers are merged
+/// across the Monte-Carlo instances; the closing `TOTAL` row is
+/// [`ProjectLedger::totals`] — the in-order fold of the project rows —
+/// so the per-project rows sum to it exactly, bit for bit.
+fn projects_section(report: &mut Report, results: &[SimResult]) {
+    let mut merged: Option<ProjectLedger> = None;
+    for r in results {
+        if let Some(p) = &r.projects {
+            match &mut merged {
+                Some(m) => m.merge(p),
+                None => merged = Some(p.clone()),
+            }
+        }
+    }
+    let Some(merged) = merged else { return };
+    const NH: f64 = 3600.0;
+    let cells = |l: &WasteLedger| {
+        [
+            Cell::float((l.useful() + l.wasted()) / NH, 1),
+            Cell::float(l.useful() / NH, 1),
+            Cell::float(l.get(Category::CkptCommit) / NH, 1),
+            Cell::float(l.get(Category::LostWork) / NH, 1),
+            Cell::float(l.waste_ratio(), 4),
+        ]
+    };
+    let section = report.section(
+        "projects",
+        [
+            "project",
+            "node_hours",
+            "useful_nh",
+            "ckpt_nh",
+            "lost_nh",
+            "waste_ratio",
+        ],
+    );
+    for (name, ledger) in merged.iter() {
+        section.row(
+            [Cell::text(name.to_string())]
+                .into_iter()
+                .chain(cells(ledger)),
+        );
+    }
+    section.row(
+        [Cell::text("TOTAL")]
+            .into_iter()
+            .chain(cells(&merged.totals())),
+    );
 }
 
 /// Appends the `energy` and `energy_breakdown` sections when the instances
@@ -817,6 +936,68 @@ mod tests {
         for p in &pts {
             assert!(p.stats.mean > 0.0 && p.stats.mean < 1.0);
         }
+    }
+
+    #[test]
+    fn ckpt_mem_fraction_sweep_produces_all_series() {
+        let t = template();
+        let pts = waste_vs_ckpt_mem_fraction(
+            &t,
+            &[0.1, 1.0],
+            &[Strategy::least_waste()],
+            &MonteCarloConfig::new(2),
+        );
+        // Two x-values × (one strategy + the bound).
+        assert_eq!(pts.len(), 4);
+        let bounds: Vec<f64> = pts
+            .iter()
+            .filter(|p| p.series == "Theoretical Model")
+            .map(|p| p.stats.mean)
+            .collect();
+        // Smaller checkpoints cannot raise the analytic bound.
+        assert!(bounds[0] <= bounds[1] + 1e-12);
+    }
+
+    #[test]
+    fn ckpt_mem_fraction_sweep_rejects_trace_workloads() {
+        let mut sc = Scenario::from_config(&template()).with_sampling(1, 1);
+        sc.workload = crate::scenario::WorkloadSource::Trace(
+            "synthetic:jobs=20,seed=1,projects=2,max_nodes=8,mean_walltime_hours=1,\
+             max_walltime_hours=2,mean_interarrival_secs=600,gb_per_node=2"
+                .into(),
+        );
+        sc.sweep = Some(Sweep {
+            axis: SweepAxis::CkptMemFraction,
+            values: vec![0.5],
+        });
+        let e = run_scenario(&sc).unwrap_err();
+        assert!(e.to_string().contains("trace"), "{e}");
+    }
+
+    #[test]
+    fn trace_scenarios_report_a_projects_section() {
+        let mut sc = Scenario::from_config(&template()).with_sampling(2, 1);
+        sc.workload = crate::scenario::WorkloadSource::Trace(
+            "synthetic:jobs=60,seed=5,projects=3,max_nodes=8,mean_walltime_hours=1,\
+             max_walltime_hours=3,mean_interarrival_secs=900,gb_per_node=2"
+                .into(),
+        );
+        let report = run_scenario(&sc).unwrap();
+        let projects = report
+            .sections
+            .iter()
+            .find(|s| s.name == "projects")
+            .expect("trace runs carry a projects section");
+        // At least one project row plus the TOTAL fold.
+        assert!(projects.rows.len() >= 2, "{:?}", projects.rows);
+        match &projects.rows.last().unwrap()[0] {
+            Cell::Text(s) => assert_eq!(s, "TOTAL"),
+            other => panic!("expected the TOTAL row, got {other:?}"),
+        }
+        // Batch runs never emit one.
+        let sc = Scenario::from_config(&template()).with_sampling(1, 1);
+        let report = run_scenario(&sc).unwrap();
+        assert!(report.sections.iter().all(|s| s.name != "projects"));
     }
 
     #[test]

@@ -45,6 +45,7 @@ use crate::sim::{
 use crate::strategy::Strategy;
 use coopckpt_des::Duration;
 use coopckpt_model::{AppClass, Bandwidth, Bytes, Platform};
+use coopckpt_workload::trace_workload::{TraceClasses, TraceSpec};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -130,6 +131,12 @@ pub enum WorkloadSource {
     Apex,
     /// Explicit application classes.
     Custom(Vec<AppClass>),
+    /// A trace-driven workload: a job-log path (CSV or JSON-lines) or a
+    /// `synthetic:...` generator spec (see
+    /// [`coopckpt_workload::trace_workload::TraceSpec`]). Jobs are
+    /// streamed into the simulation at their submit times instead of all
+    /// arriving at `t = 0`, and results carry per-project accounting.
+    Trace(String),
 }
 
 /// Upper bound on geometric hierarchy depth. Real deployments stage
@@ -182,6 +189,12 @@ pub enum SweepAxis {
     /// two-class mix `{local: x, system: 1 − x}` at the platform's
     /// unchanged total failure rate. `x = 0` is the paper's model.
     LocalFailureShare,
+    /// Fraction of each job's memory footprint written per checkpoint
+    /// (the comd-ft progress-rate study): each point scales every
+    /// class's checkpoint volume to `f ×` its nominal size. Values live
+    /// in `(0, 1]`; pair with the `exascale` platform preset to
+    /// reproduce the study's operating point.
+    CkptMemFraction,
 }
 
 impl SweepAxis {
@@ -195,6 +208,7 @@ impl SweepAxis {
             SweepAxis::WeibullShape => "weibull-shape",
             SweepAxis::PowerRatio => "power-ratio",
             SweepAxis::LocalFailureShare => "local-failure-share",
+            SweepAxis::CkptMemFraction => "ckpt-mem-fraction",
         }
     }
 
@@ -207,6 +221,7 @@ impl SweepAxis {
             SweepAxis::WeibullShape => vec![0.5, 0.7, 1.0, 1.5, 2.0],
             SweepAxis::PowerRatio => vec![0.25, 0.5, 1.0, 2.0, 4.0],
             SweepAxis::LocalFailureShare => vec![0.0, 0.25, 0.5, 0.75, 0.9],
+            SweepAxis::CkptMemFraction => vec![0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0],
         }
     }
 }
@@ -222,9 +237,11 @@ impl std::str::FromStr for SweepAxis {
             "weibull-shape" => Ok(SweepAxis::WeibullShape),
             "power-ratio" => Ok(SweepAxis::PowerRatio),
             "local-failure-share" => Ok(SweepAxis::LocalFailureShare),
+            "ckpt-mem-fraction" => Ok(SweepAxis::CkptMemFraction),
             other => Err(format!(
                 "unknown sweep axis '{other}' \
-                 (bandwidth|mtbf|tiers|weibull-shape|power-ratio|local-failure-share)"
+                 (bandwidth|mtbf|tiers|weibull-shape|power-ratio|local-failure-share\
+                 |ckpt-mem-fraction)"
             )),
         }
     }
@@ -427,10 +444,11 @@ impl Scenario {
                 let mut p = match name.as_str() {
                     "cielo" => coopckpt_workload::cielo(),
                     "prospective" => coopckpt_workload::prospective(),
+                    "exascale" => coopckpt_workload::exascale(),
                     other => {
                         return Err(ScenarioError::invalid(
                             "platform.preset",
-                            format!("unknown platform '{other}' (cielo|prospective)"),
+                            format!("unknown platform '{other}' (cielo|prospective|exascale)"),
                         ))
                     }
                 };
@@ -452,12 +470,38 @@ impl Scenario {
         }
     }
 
-    /// The application classes on the given platform.
-    pub fn resolve_classes(&self, platform: &Platform) -> Vec<AppClass> {
+    /// The application classes on the given platform. Trace workloads
+    /// are scanned up to the scenario span and return the synthesized
+    /// shape table — which is why resolution can fail (missing file,
+    /// malformed record, no jobs inside the span).
+    pub fn resolve_classes(&self, platform: &Platform) -> Result<Vec<AppClass>, ScenarioError> {
         match &self.workload {
-            WorkloadSource::Apex => coopckpt_workload::classes_for(platform),
-            WorkloadSource::Custom(classes) => classes.clone(),
+            WorkloadSource::Apex => Ok(coopckpt_workload::classes_for(platform)),
+            WorkloadSource::Custom(classes) => Ok(classes.clone()),
+            WorkloadSource::Trace(spec) => Ok(self.scan_trace(spec, platform)?.0),
         }
+    }
+
+    /// Scans a trace workload spec into its shape table, returning the
+    /// classes and the canonical spec string (the value stored in
+    /// [`SimConfig::workload_source`]).
+    fn scan_trace(
+        &self,
+        spec: &str,
+        platform: &Platform,
+    ) -> Result<(Vec<AppClass>, String), ScenarioError> {
+        let spec = TraceSpec::parse(spec)
+            .map_err(|e| ScenarioError::invalid("workload.trace", e.to_string()))?;
+        let horizon = coopckpt_des::Time::ZERO + self.span;
+        let scanned = TraceClasses::scan_spec(&spec, platform, horizon)
+            .map_err(|e| ScenarioError::invalid("workload.trace", e.to_string()))?;
+        if scanned.classes.is_empty() {
+            return Err(ScenarioError::invalid(
+                "workload.trace",
+                "trace submits no jobs inside the scenario span",
+            ));
+        }
+        Ok((scanned.classes, spec.spec_string()))
     }
 
     /// Compiles the spec into the low-level [`SimConfig`] builder. The
@@ -469,7 +513,13 @@ impl Scenario {
             return Err(ScenarioError::invalid("span_secs", "span must be positive"));
         }
         let platform = self.resolve_platform()?;
-        let classes = self.resolve_classes(&platform);
+        let (classes, trace_source) = match &self.workload {
+            WorkloadSource::Trace(spec) => {
+                let (classes, canonical) = self.scan_trace(spec, &platform)?;
+                (classes, Some(canonical))
+            }
+            _ => (self.resolve_classes(&platform)?, None),
+        };
         if classes.is_empty() {
             return Err(ScenarioError::invalid(
                 "workload.classes",
@@ -480,6 +530,7 @@ impl Scenario {
             .with_span(self.span)
             .with_interference(self.interference)
             .with_failures(self.failures);
+        config.workload_source = trace_source;
         if !self.failure_classes.is_empty() {
             coopckpt_failure::validate_classes(&self.failure_classes)
                 .map_err(|e| ScenarioError::invalid("failure_classes", e))?;
@@ -558,7 +609,14 @@ impl Scenario {
         Scenario {
             name: None,
             platform: PlatformSpec::Custom(config.platform.clone()),
-            workload: WorkloadSource::Custom(config.classes.clone()),
+            workload: match &config.workload_source {
+                // The canonical spec string round-trips through a rescan:
+                // the classes ARE the scan of the spec at this span, so
+                // `into_config` rebuilds them identically (and cache keys
+                // distinguish trace configs from equal-shaped batch ones).
+                Some(spec) => WorkloadSource::Trace(spec.clone()),
+                None => WorkloadSource::Custom(config.classes.clone()),
+            },
             strategy: config.strategy,
             interference: config.interference,
             failures: config.failures,
@@ -604,6 +662,7 @@ impl Scenario {
                     "classes",
                     Json::Arr(classes.iter().map(class_to_json).collect()),
                 )]),
+                WorkloadSource::Trace(spec) => Json::obj([("trace", Json::str(spec.clone()))]),
             },
         ));
         pairs.push(("strategy".into(), Json::str(self.strategy.spec_name())));
@@ -1053,12 +1112,27 @@ fn workload_from_json(v: &Json) -> Result<WorkloadSource, ScenarioError> {
             "apex" => Ok(WorkloadSource::Apex),
             other => Err(ScenarioError::invalid(
                 "workload",
-                format!("unknown workload '{other}' (apex, or an object with classes)"),
+                format!("unknown workload '{other}' (apex, or an object with classes or trace)"),
             )),
         };
     }
     let pairs = as_object(v, "workload")?;
-    check_keys(pairs, &["classes"], "workload")?;
+    check_keys(pairs, &["classes", "trace"], "workload")?;
+    if let Some(trace) = field(pairs, "trace") {
+        if field(pairs, "classes").is_some() {
+            return Err(ScenarioError::invalid(
+                "workload",
+                "give either classes or trace, not both",
+            ));
+        }
+        let spec = trace.as_str().ok_or_else(|| {
+            ScenarioError::invalid(
+                "workload.trace",
+                "expected a job-log path or a synthetic:... spec string",
+            )
+        })?;
+        return Ok(WorkloadSource::Trace(spec.to_string()));
+    }
     let classes_v = field(pairs, "classes")
         .ok_or_else(|| ScenarioError::invalid("workload.classes", "required field is missing"))?;
     let items = classes_v
@@ -1503,6 +1577,20 @@ pub(crate) fn validate_share_values(values: &[f64]) -> Result<(), ScenarioError>
     Ok(())
 }
 
+/// Validates the swept values of the `ckpt-mem-fraction` axis: fractions
+/// of the memory footprint live in `(0, 1]`.
+pub(crate) fn validate_fraction_values(values: &[f64]) -> Result<(), ScenarioError> {
+    for &v in values {
+        if !(v.is_finite() && v > 0.0 && v <= 1.0) {
+            return Err(ScenarioError::invalid(
+                "sweep.values",
+                format!("ckpt-mem-fraction values must be in (0, 1], got {v}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Validates the swept values of the axes that require strictly positive
 /// numbers (Weibull shapes, power ratios).
 pub(crate) fn validate_positive_values(
@@ -1555,6 +1643,9 @@ fn sweep_from_json(v: &Json) -> Result<Sweep, ScenarioError> {
                 }
                 SweepAxis::LocalFailureShare => {
                     validate_share_values(&values)?;
+                }
+                SweepAxis::CkptMemFraction => {
+                    validate_fraction_values(&values)?;
                 }
                 SweepAxis::Bandwidth | SweepAxis::Mtbf => {}
             }
@@ -1914,6 +2005,75 @@ mod tests {
         let cfg = sc.into_config().unwrap();
         assert_eq!(cfg.tiers.len(), 3);
         assert_eq!(cfg.tiers[1].name, "burst-buffer");
+    }
+
+    #[test]
+    fn exascale_preset_resolves() {
+        let sc = Scenario::parse(r#"{"platform": "exascale"}"#).unwrap();
+        let p = sc.resolve_platform().unwrap();
+        assert_eq!(p.name, "Exascale");
+        assert_eq!(p.nodes, 12_655);
+    }
+
+    #[test]
+    fn trace_workload_parses_compiles_and_round_trips() {
+        let spec = "synthetic:jobs=50,seed=3,projects=2,max_nodes=8,\
+                    mean_walltime_hours=1,max_walltime_hours=2,\
+                    mean_interarrival_secs=300,gb_per_node=4";
+        let doc = format!(
+            r#"{{"platform": "prospective", "workload": {{"trace": "{spec}"}}, "span_days": 2}}"#
+        );
+        let sc = Scenario::parse(&doc).unwrap();
+        let WorkloadSource::Trace(s) = &sc.workload else {
+            panic!("trace workload expected");
+        };
+        assert_eq!(s, spec);
+        // Compiling scans the spec: classes are the shape table and the
+        // config remembers the canonical source string.
+        let cfg = sc.into_config().unwrap();
+        assert!(!cfg.classes.is_empty());
+        assert!(cfg.classes.iter().all(|c| c.name.starts_with('q')));
+        let source = cfg.workload_source.as_deref().unwrap();
+        assert!(source.starts_with("synthetic:jobs=50,"), "{source}");
+        // from_config keeps the trace identity (cache keys must see it)
+        // and the scenario survives a JSON hop.
+        let sc2 = Scenario::from_config(&cfg);
+        assert!(matches!(&sc2.workload, WorkloadSource::Trace(s) if s == source));
+        let back = Scenario::parse(&sc2.to_json_string()).unwrap();
+        assert_eq!(back, sc2);
+        // And recompiling the echo reproduces the same class table.
+        let cfg2 = sc2.into_config().unwrap();
+        assert_eq!(cfg2.classes, cfg.classes);
+        assert_eq!(cfg2.workload_source, cfg.workload_source);
+    }
+
+    #[test]
+    fn trace_workload_errors_carry_paths() {
+        // Missing file.
+        let sc = Scenario::parse(r#"{"workload": {"trace": "/nonexistent/trace.csv"}}"#).unwrap();
+        let e = sc.into_config().unwrap_err();
+        assert!(e.to_string().contains("workload.trace"), "{e}");
+        // Malformed synthetic spec.
+        let sc = Scenario::parse(r#"{"workload": {"trace": "synthetic:jobs=0"}}"#).unwrap();
+        assert!(sc.into_config().is_err());
+        // classes and trace are mutually exclusive; trace must be a string.
+        assert!(Scenario::parse(r#"{"workload": {"trace": "x", "classes": []}}"#).is_err());
+        assert!(Scenario::parse(r#"{"workload": {"trace": 3}}"#).is_err());
+    }
+
+    #[test]
+    fn ckpt_mem_fraction_axis_parses_and_validates() {
+        let sc = Scenario::parse(r#"{"sweep": {"axis": "ckpt-mem-fraction"}}"#).unwrap();
+        let sweep = sc.sweep.unwrap();
+        assert_eq!(sweep.axis, SweepAxis::CkptMemFraction);
+        assert_eq!(sweep.values, SweepAxis::CkptMemFraction.default_values());
+        for doc in [
+            r#"{"sweep": {"axis": "ckpt-mem-fraction", "values": [0]}}"#,
+            r#"{"sweep": {"axis": "ckpt-mem-fraction", "values": [1.5]}}"#,
+        ] {
+            let e = Scenario::parse(doc).unwrap_err();
+            assert!(e.to_string().contains("(0, 1]"), "{doc}: {e}");
+        }
     }
 
     #[test]

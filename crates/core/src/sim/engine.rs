@@ -33,7 +33,8 @@ use coopckpt_io::{
 };
 use coopckpt_model::{Bytes, JobId, JobSpec, Platform};
 use coopckpt_sched::{AllocId, Scheduler};
-use coopckpt_stats::{Category, WasteLedger};
+use coopckpt_stats::{Category, ProjectLedger, WasteLedger};
+use coopckpt_workload::trace_workload::{JobStream, SubmittedJob};
 
 /// Work-progress comparisons tolerate this much floating-point slack.
 const EPS_WORK: f64 = 1e-6;
@@ -91,6 +92,10 @@ struct RMeta {
 /// DES event payload.
 #[derive(Debug, Clone, Copy)]
 pub(super) enum Event {
+    /// The buffered trace submission's arrival time came: admit it and
+    /// pull the next record from the stream (trace-driven workloads only;
+    /// batch workloads admit everything up front and never see this).
+    Submit,
     /// Run a scheduler fit pass.
     FitPass,
     /// The earliest PFS transfer may have completed.
@@ -251,9 +256,34 @@ impl Job {
 pub(super) struct Engine {
     platform: Platform,
     discipline: IoDiscipline,
+    policy: CheckpointPolicy,
+    /// Per-class node counts, kept only to cross-check admitted specs.
+    class_nodes: Vec<usize>,
+    /// The platform-wide reference checkpoint usage cost `q·C` in
+    /// node-seconds under [`CheckpointPolicy::DalyUsage`] (the
+    /// share-weighted class mean; exactly the single class value on a
+    /// homogeneous mix, so the usage cadence then reproduces Daly
+    /// bit-identically).
+    usage_ref_cu: f64,
     full_bw: coopckpt_model::Bandwidth,
     node_mtbf_secs: f64,
     regular_io_chunks: u32,
+
+    /// Trace-driven workload stream, drained as simulated time reaches
+    /// each record's submit time (`None` = batch workload, or exhausted).
+    stream: Option<JobStream>,
+    /// The single record of stream lookahead: the submission whose
+    /// `Event::Submit` is armed.
+    pending_submit: Option<SubmittedJob>,
+    /// Per-project accounting (trace-driven workloads only).
+    projects: Option<ProjectLedger>,
+    /// Project id of each job, parallel to `jobs` (0 when per-project
+    /// accounting is off).
+    job_projects: Vec<usize>,
+    /// Jobs admitted but not yet Done/Dead, and the running maximum — the
+    /// bound proving a streamed trace never resides in memory at once.
+    live_jobs: usize,
+    peak_live_jobs: usize,
 
     jobs: Vec<Job>,
     scheduler: Scheduler<JobIdx>,
@@ -286,16 +316,56 @@ pub(super) struct Engine {
     tier_restores: u64,
 }
 
+/// How the engine receives its jobs: all at once at `t = 0` (the paper's
+/// batch model) or streamed one record at a time from a job log.
+pub(super) enum Feed {
+    Batch(Vec<JobSpec>),
+    Stream(JobStream),
+}
+
 impl Engine {
-    /// Builds and runs one simulation to completion.
+    /// Builds and runs one simulation over a batch workload to completion.
     pub(super) fn run(
         config: &SimConfig,
         specs: Vec<JobSpec>,
         failure_rng: &mut Xoshiro256pp,
         ledger: WasteLedger,
     ) -> SimResult {
+        Self::run_feed(config, Feed::Batch(specs), failure_rng, ledger)
+    }
+
+    /// Builds and runs one simulation over a streamed trace workload:
+    /// submissions are drawn from the stream as simulated time advances
+    /// (one record of lookahead), and every node-second is additionally
+    /// booked to the submitting job's project.
+    pub(super) fn run_stream(
+        config: &SimConfig,
+        stream: JobStream,
+        failure_rng: &mut Xoshiro256pp,
+        ledger: WasteLedger,
+    ) -> SimResult {
+        Self::run_feed(config, Feed::Stream(stream), failure_rng, ledger)
+    }
+
+    fn run_feed(
+        config: &SimConfig,
+        feed: Feed,
+        failure_rng: &mut Xoshiro256pp,
+        ledger: WasteLedger,
+    ) -> SimResult {
         let platform = config.platform.clone();
         let horizon = Time::ZERO + config.span;
+        let (batch, stream) = match feed {
+            Feed::Batch(specs) => (specs, None),
+            Feed::Stream(stream) => (Vec::new(), Some(stream)),
+        };
+        // Slab capacity: batch jobs are all known up front; a stream's
+        // total is unknown and its point is exactly *not* to presize for it.
+        let cap = if stream.is_some() {
+            1024
+        } else {
+            batch.len() * 2
+        };
 
         let pfs: Pfs<TMeta> = match config.interference {
             InterferenceKind::Linear => Pfs::new(platform.pfs_bandwidth, LinearShare),
@@ -354,15 +424,51 @@ impl Engine {
         let meter = config
             .power
             .map(|power| EnergyMeter::new(w0, w1, power, storage.levels()));
+        let projects = stream.is_some().then(|| ProjectLedger::new(w0, w1));
+
+        // The Daly-Usage reference cost: the share-weighted class mean of
+        // `q·C` node-seconds per checkpoint. A homogeneous mix short-cuts
+        // to the bare class value, so the `(share·x)/share` round trip can
+        // never perturb the exact-coincidence-with-Daly guarantee.
+        let usage_ref_cu = {
+            let vals: Vec<f64> = config
+                .classes
+                .iter()
+                .map(|c| {
+                    c.q_nodes as f64 * c.ckpt_bytes.transfer_time(platform.pfs_bandwidth).as_secs()
+                })
+                .collect();
+            if vals.windows(2).all(|w| w[0] == w[1]) {
+                vals[0]
+            } else {
+                let shares: f64 = config.classes.iter().map(|c| c.resource_share).sum();
+                let weighted: f64 = config
+                    .classes
+                    .iter()
+                    .zip(&vals)
+                    .map(|(c, v)| c.resource_share * v)
+                    .sum();
+                weighted / shares
+            }
+        };
 
         let mut engine = Engine {
             full_bw: platform.pfs_bandwidth,
             node_mtbf_secs: platform.node_mtbf.as_secs(),
             regular_io_chunks: config.regular_io_chunks as u32,
             discipline: config.strategy.discipline,
-            jobs: Vec::with_capacity(specs.len() * 2),
+            policy: config.strategy.policy,
+            class_nodes: config.classes.iter().map(|c| c.q_nodes).collect(),
+            usage_ref_cu,
+            stream,
+            pending_submit: None,
+            projects,
+            job_projects: Vec::with_capacity(cap),
+            live_jobs: 0,
+            peak_live_jobs: 0,
+            jobs: Vec::with_capacity(cap),
             scheduler: Scheduler::new(platform.nodes),
-            alloc_jobs: Vec::with_capacity(specs.len() * 2),
+            alloc_jobs: Vec::with_capacity(cap),
             pfs,
             queue: RequestQueue::new(),
             storage,
@@ -372,7 +478,7 @@ impl Engine {
             pfs_wake: None,
             fit_scheduled: false,
             trace: config.record_trace.then(Trace::new),
-            next_job_id: specs.len(),
+            next_job_id: batch.len(),
             failures_total: trace.len() as u64,
             failures_hitting_jobs: 0,
             ckpts_committed: 0,
@@ -410,11 +516,17 @@ impl Engine {
             sim.schedule_at(w0, Event::PowerMark(false));
             sim.schedule_at(w1, Event::PowerMark(true));
         }
-        for spec in specs {
-            engine.admit(config, spec);
+        if engine.stream.is_some() {
+            // Arm the first submission; everything else follows from
+            // `Event::Submit` as simulated time reaches each record.
+            engine.advance_stream(&mut sim);
+        } else {
+            for spec in batch {
+                engine.admit(spec, 0);
+            }
+            engine.fit_scheduled = true;
+            sim.schedule_at(Time::ZERO, Event::FitPass);
         }
-        engine.fit_scheduled = true;
-        sim.schedule_at(Time::ZERO, Event::FitPass);
 
         let outcome = sim.run(&mut engine);
         assert!(
@@ -444,14 +556,50 @@ impl Engine {
             restarts: engine.restarts,
             tier_restores: engine.tier_restores,
             events: sim.events_processed(),
+            peak_live_jobs: engine.peak_live_jobs as u64,
+            projects: engine.projects.take(),
             trace: engine.trace.take(),
             energy,
         }
     }
 
+    /// Arms an `Event::Submit` for the stream's next record, or drops the
+    /// exhausted stream. At most one record is ever buffered.
+    fn advance_stream(&mut self, sim: &mut Simulator<Event>) {
+        let Some(stream) = &mut self.stream else {
+            return;
+        };
+        match stream.next_submission() {
+            Some(sub) => {
+                let at = sub.submit;
+                self.pending_submit = Some(sub);
+                sim.schedule_at(at, Event::Submit);
+            }
+            None => self.stream = None,
+        }
+    }
+
+    /// The buffered submission's arrival time came: assign it an engine
+    /// job id, admit it under its project, and pull the next record.
+    fn on_submit(&mut self, sim: &mut Simulator<Event>, now: Time) {
+        let Some(sub) = self.pending_submit.take() else {
+            return;
+        };
+        let project = match &mut self.projects {
+            Some(projects) => projects.project_id(&sub.project),
+            None => 0,
+        };
+        let mut spec = sub.spec;
+        spec.id = JobId(self.next_job_id);
+        self.next_job_id += 1;
+        self.admit(spec, project);
+        self.schedule_fit_pass(sim, now);
+        self.advance_stream(sim);
+    }
+
     /// Creates the runtime entry for a job spec and submits it for nodes.
-    fn admit(&mut self, config: &SimConfig, spec: JobSpec) {
-        let class = &config.classes[spec.class.0];
+    fn admit(&mut self, spec: JobSpec, project: usize) {
+        debug_assert_eq!(self.class_nodes[spec.class.0], spec.q_nodes);
         let c_nominal = spec.ckpt_bytes.transfer_time(self.full_bw);
         // The commit cost the *job* observes: with a storage hierarchy the
         // job blocks only for the (fast) absorb, which shortens the Daly
@@ -467,13 +615,25 @@ impl Engine {
         } else {
             c_nominal
         };
-        let period = match config.strategy.policy {
+        let period = match self.policy {
             CheckpointPolicy::Fixed(p) => p,
-            CheckpointPolicy::Daly => {
-                let daly = coopckpt_model::young_daly_period(
-                    c_visible,
-                    self.platform.job_mtbf(spec.q_nodes),
-                );
+            CheckpointPolicy::Daly | CheckpointPolicy::DalyUsage => {
+                let mtbf = self.platform.job_mtbf(spec.q_nodes);
+                let daly = if self.policy == CheckpointPolicy::DalyUsage {
+                    // Usage-based cadence: pace the checkpoint in consumed
+                    // node-hours at the platform-wide quantum, so the wall
+                    // period scales as 1/q across job sizes instead of
+                    // Daly's 1/√q (and coincides with Daly exactly when
+                    // the job's `q·C` equals the reference).
+                    coopckpt_model::daly_usage_period(
+                        c_visible,
+                        mtbf,
+                        spec.q_nodes as f64 * c_nominal.as_secs(),
+                        self.usage_ref_cu,
+                    )
+                } else {
+                    coopckpt_model::young_daly_period(c_visible, mtbf)
+                };
                 if absorbing_level.is_some() {
                     // Drain-aware pacing: a cheap absorb invites a short
                     // period, but every checkpoint must still drain through
@@ -495,7 +655,6 @@ impl Engine {
         } else {
             0
         };
-        debug_assert_eq!(class.q_nodes, spec.q_nodes);
         let idx = self.jobs.len();
         let priority = spec.priority;
         let q = spec.q_nodes;
@@ -526,7 +685,17 @@ impl Engine {
             restore_level: None,
             restore_event: None,
         });
+        self.job_projects.push(project);
+        self.job_went_live();
         self.scheduler.submit(priority, q, idx);
+    }
+
+    /// Bumps the live-job count (admission or restart) and its peak.
+    fn job_went_live(&mut self) {
+        self.live_jobs += 1;
+        if self.live_jobs > self.peak_live_jobs {
+            self.peak_live_jobs = self.live_jobs;
+        }
     }
 
     fn record(&mut self, ev: TraceEvent) {
@@ -557,6 +726,9 @@ impl Engine {
     fn account(&mut self, idx: JobIdx, cat: Category, from: Time, to: Time) {
         let q = self.jobs[idx].q();
         self.ledger.record(cat, q, from, to);
+        if let Some(projects) = &mut self.projects {
+            projects.record(self.job_projects[idx], cat, q, from, to);
+        }
         if let Some(meter) = &mut self.meter {
             let id = self.jobs[idx].spec.id.0 as u64;
             meter.record(id, Self::phase_for(cat), q, from, to);
@@ -1070,6 +1242,7 @@ impl Engine {
     fn complete_job(&mut self, sim: &mut Simulator<Event>, idx: JobIdx, now: Time) {
         self.jobs[idx].state = JState::Done;
         self.jobs[idx].state_since = now;
+        self.live_jobs -= 1;
         if let Some(key) = self.jobs[idx].ckpt_event.take() {
             sim.cancel(key);
         }
@@ -1539,6 +1712,15 @@ impl Engine {
             let node_seconds = self.jobs[idx].q() as f64 * lost.as_secs();
             self.ledger
                 .reclassify(Category::Work, Category::LostWork, node_seconds, now);
+            if let Some(projects) = &mut self.projects {
+                projects.reclassify(
+                    self.job_projects[idx],
+                    Category::Work,
+                    Category::LostWork,
+                    node_seconds,
+                    now,
+                );
+            }
             if let Some(meter) = &mut self.meter {
                 // The voided progress drew compute power; its energy moves
                 // to the rework phase.
@@ -1589,6 +1771,7 @@ impl Engine {
             self.scheduler.release(alloc);
         }
         self.jobs[idx].state = JState::Dead;
+        self.live_jobs -= 1;
 
         // The strike's severity wipes the shallow retained copies; the
         // restart recovers from the shallowest survivor (token-free, at
@@ -1653,6 +1836,9 @@ impl Engine {
             restore_level,
             restore_event: None,
         });
+        // The restart charges to the killed job's project.
+        self.job_projects.push(self.job_projects[idx]);
+        self.job_went_live();
         self.scheduler.submit(priority, q, ridx);
         self.schedule_fit_pass(sim, now);
     }
@@ -1687,6 +1873,7 @@ impl Process for Engine {
 
     fn handle(&mut self, sim: &mut Simulator<Event>, now: Time, event: Event) -> StepControl {
         match event {
+            Event::Submit => self.on_submit(sim, now),
             Event::FitPass => self.on_fit_pass(sim, now),
             Event::PfsWake => self.on_pfs_wake(sim, now),
             Event::CkptDue(idx) => self.on_ckpt_due(sim, idx, now),

@@ -24,6 +24,9 @@ use coopckpt_failure::Xoshiro256pp;
 use coopckpt_model::{AppClass, Bandwidth, Bytes, Platform};
 use coopckpt_stats::WasteLedger;
 use coopckpt_workload::generator::WorkloadSpec;
+use coopckpt_workload::trace_workload::{JobStream, TraceClasses, TraceSpec};
+
+pub use coopckpt_stats::ProjectLedger;
 
 pub use coopckpt_energy::{EnergyMeter, EnergySummary, Phase, PowerModel};
 pub use coopckpt_failure::FailureClass;
@@ -238,6 +241,15 @@ pub struct SimConfig {
     /// without it. Only [`SimResult::events`] differs — by exactly the
     /// two window-boundary sampling events metering schedules.
     pub power: Option<PowerModel>,
+    /// Trace-driven workload source: a canonical
+    /// [`coopckpt_workload::trace_workload::TraceSpec`] string
+    /// (a job-log path, or `synthetic:...`). When set,
+    /// [`classes`](SimConfig::classes) must be the shape table a validation scan of
+    /// this very spec synthesized (scenario loading does this): jobs are
+    /// then *streamed* from the source at their submit times instead of
+    /// generated and admitted at `t = 0`, and [`SimResult::projects`]
+    /// carries the per-project accounting.
+    pub workload_source: Option<String>,
 }
 
 impl SimConfig {
@@ -259,6 +271,7 @@ impl SimConfig {
             failure_classes: Vec::new(),
             record_trace: false,
             power: None,
+            workload_source: None,
         }
     }
 
@@ -332,6 +345,24 @@ impl SimConfig {
         self
     }
 
+    /// Switches the workload to a trace stream: scans `spec` against the
+    /// platform (synthesizing the shape-class table) and installs its
+    /// canonical string as [`SimConfig::workload_source`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the scan's [`TraceError`](coopckpt_workload::TraceError)
+    /// rendered as a string when the trace is unreadable or invalid.
+    pub fn with_workload_source(mut self, spec: &str) -> Result<Self, String> {
+        let spec = TraceSpec::parse(spec).map_err(|e| e.to_string())?;
+        let horizon = coopckpt_des::Time::ZERO + self.span;
+        let scanned =
+            TraceClasses::scan_spec(&spec, &self.platform, horizon).map_err(|e| e.to_string())?;
+        self.classes = scanned.classes;
+        self.workload_source = Some(spec.spec_string());
+        Ok(self)
+    }
+
     /// The measurement window `[margin, span − margin]`.
     pub fn window(&self) -> (Duration, Duration) {
         (self.measure_margin, self.span - self.measure_margin)
@@ -366,6 +397,14 @@ pub struct SimResult {
     pub tier_restores: u64,
     /// DES events processed.
     pub events: u64,
+    /// Peak number of jobs simultaneously admitted-but-unfinished. For a
+    /// batch workload this is simply the job-list length (everything is
+    /// admitted at `t = 0`); for a trace stream it is the bound proving
+    /// the log was never resident at once.
+    pub peak_live_jobs: u64,
+    /// Per-project accounting, when the workload was a trace stream
+    /// ([`SimConfig::workload_source`]).
+    pub projects: Option<ProjectLedger>,
     /// The execution trace, when [`SimConfig::record_trace`] was set.
     pub trace: Option<trace::Trace>,
     /// Per-phase energy accounting, when [`SimConfig::power`] was set.
@@ -415,12 +454,29 @@ pub fn run_simulation(config: &SimConfig, seed: u64) -> SimResult {
     let mut workload_rng = master.split();
     let mut failure_rng = master.split();
 
+    let (w0, w1) = config.window();
+    let ledger = WasteLedger::new(coopckpt_des::Time::ZERO + w0, coopckpt_des::Time::ZERO + w1);
+
+    if let Some(source) = &config.workload_source {
+        // Trace-driven: re-open the already-validated source and stream
+        // it. The shape table is reconstructed from the config's classes
+        // (each class *is* one scanned shape), so no second scan pass is
+        // needed per seed. The workload RNG stays split off untouched: a
+        // trace is its own workload, but the failure substream must not
+        // shift relative to generated-workload runs.
+        let _ = workload_rng;
+        let spec = TraceSpec::parse(source)
+            .unwrap_or_else(|e| panic!("invalid workload source '{source}': {e}"));
+        let classes = TraceClasses::from_classes(&config.classes);
+        let horizon = coopckpt_des::Time::ZERO + config.span;
+        let stream = JobStream::open(&spec, &classes, &config.platform, horizon)
+            .unwrap_or_else(|e| panic!("cannot reopen workload source '{source}': {e}"));
+        return engine::Engine::run_stream(config, stream, &mut failure_rng, ledger);
+    }
+
     let spec = WorkloadSpec::new(config.classes.clone())
         .with_min_span(config.span * config.workload_slack.max(1.0));
     let jobs = spec.generate(&config.platform, &mut workload_rng);
-
-    let (w0, w1) = config.window();
-    let ledger = WasteLedger::new(coopckpt_des::Time::ZERO + w0, coopckpt_des::Time::ZERO + w1);
 
     engine::Engine::run(config, jobs, &mut failure_rng, ledger)
 }
@@ -754,6 +810,60 @@ mod tests {
             energy.energy_waste_ratio,
             r.waste_ratio
         );
+    }
+
+    #[test]
+    fn trace_workload_streams_deterministically_with_projects() {
+        let p = tiny_platform();
+        let source = "synthetic:jobs=400,seed=9,projects=4,max_nodes=8,\
+                      mean_walltime_hours=1,max_walltime_hours=3,\
+                      mean_interarrival_secs=600,gb_per_node=8";
+        let cfg = SimConfig::new(p.clone(), tiny_classes(&p), Strategy::least_waste())
+            .with_span(Duration::from_days(4.0))
+            .with_workload_source(source)
+            .expect("synthetic source must validate");
+        // The scan replaced the classes with the trace's shape table.
+        assert!(cfg.classes.iter().all(|c| c.name.starts_with('q')));
+        let a = run_simulation(&cfg, 7);
+        let b = run_simulation(&cfg, 7);
+        assert_eq!(a.waste_ratio, b.waste_ratio);
+        assert_eq!(a.events, b.events);
+        assert!(a.jobs_completed > 0);
+        // Streaming bound: arrivals spread over days, so the platform
+        // never holds anywhere near the full log.
+        assert!(
+            a.peak_live_jobs < 200,
+            "peak live {} of 400",
+            a.peak_live_jobs
+        );
+        let projects = a.projects.expect("trace runs carry per-project accounting");
+        assert!(!projects.is_empty() && projects.len() <= 4);
+        // The project rows fold to the platform totals (same data, only
+        // grouped): compare against the global ledger's breakdown.
+        let totals = projects.totals();
+        for (label, amount) in &a.breakdown {
+            let cat = coopckpt_stats::Category::ALL
+                .iter()
+                .copied()
+                .find(|c| c.label() == *label)
+                .unwrap();
+            let tol = 1e-9 * amount.abs() + 1e-6;
+            assert!(
+                (totals.get(cat) - amount).abs() <= tol,
+                "{label}: projects fold {} vs platform {amount}",
+                totals.get(cat)
+            );
+        }
+    }
+
+    #[test]
+    fn batch_workloads_carry_no_project_ledger() {
+        let p = tiny_platform();
+        let cfg = SimConfig::new(p.clone(), tiny_classes(&p), Strategy::least_waste())
+            .with_span(Duration::from_days(2.0));
+        let r = run_simulation(&cfg, 3);
+        assert!(r.projects.is_none());
+        assert!(r.peak_live_jobs > 0);
     }
 
     #[test]

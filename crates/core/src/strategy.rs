@@ -11,6 +11,14 @@ pub enum CheckpointPolicy {
     /// The Young/Daly optimum `P = √(2 µ_j C_j)`, with `C_j` the
     /// interference-free commit time at full PFS bandwidth.
     Daly,
+    /// Usage-based cadence (Graziani, Lusch & Messer): the platform
+    /// publishes one checkpoint quantum in *node-seconds*,
+    /// `U* = √(2 µ_node C_u)` with `C_u` a reference usage cost, and a
+    /// job on `q` nodes checkpoints every `U*/q` wall-clock seconds.
+    /// Wall cadence scales as `1/q` instead of Daly's `1/√q`; on a
+    /// homogeneous single-class workload the two coincide bit-exactly
+    /// (see [`coopckpt_model::daly_usage_period`]).
+    DalyUsage,
 }
 
 impl CheckpointPolicy {
@@ -24,6 +32,7 @@ impl CheckpointPolicy {
         match self {
             CheckpointPolicy::Fixed(_) => "Fixed",
             CheckpointPolicy::Daly => "Daly",
+            CheckpointPolicy::DalyUsage => "Daly-Usage",
         }
     }
 }
@@ -180,6 +189,7 @@ impl Strategy {
         };
         match self.policy {
             CheckpointPolicy::Daly => format!("{disc}-daly"),
+            CheckpointPolicy::DalyUsage => format!("{disc}-daly-usage"),
             CheckpointPolicy::Fixed(d) if d == Duration::HOUR => format!("{disc}-fixed"),
             CheckpointPolicy::Fixed(d) => format!("{disc}-fixed:{}s", d.as_secs()),
         }
@@ -192,9 +202,10 @@ impl std::str::FromStr for Strategy {
     /// Parses a strategy spec name (the CLI `--strategy` grammar):
     ///
     /// * `least-waste` — the cooperative heuristic (always Daly periods);
-    /// * `<discipline>-daly` or `<discipline>-fixed` with discipline one of
-    ///   `oblivious`, `ordered`, `ordered-nb`, `tiered` (`fixed` is the
-    ///   paper's 1-hour default);
+    /// * `<discipline>-daly`, `<discipline>-daly-usage` or
+    ///   `<discipline>-fixed` with discipline one of `oblivious`,
+    ///   `ordered`, `ordered-nb`, `tiered` (`fixed` is the paper's 1-hour
+    ///   default, `daly-usage` the node-hour cadence);
     /// * `<discipline>-fixed:<period>` with `<period>` a number of hours
     ///   (`2`, `0.5h`) or seconds (`1800s`);
     /// * `tiered` alone as shorthand for `tiered-daly`.
@@ -220,6 +231,7 @@ impl std::str::FromStr for Strategy {
             };
             let policy = match rest {
                 "daly" => CheckpointPolicy::Daly,
+                "daly-usage" => CheckpointPolicy::DalyUsage,
                 "fixed" => CheckpointPolicy::fixed_hourly(),
                 _ => {
                     let Some(period) = rest.strip_prefix("fixed:") else {
@@ -248,7 +260,8 @@ impl std::str::FromStr for Strategy {
         }
         Err(format!(
             "unknown strategy '{s}' (expected least-waste, or \
-             oblivious|ordered|ordered-nb|tiered with -daly, -fixed or -fixed:<period>)"
+             oblivious|ordered|ordered-nb|tiered with -daly, -daly-usage, \
+             -fixed or -fixed:<period>)"
         ))
     }
 }
@@ -341,6 +354,8 @@ mod tests {
         all.push(Strategy::ordered(CheckpointPolicy::Fixed(
             Duration::from_secs(1234.5),
         )));
+        all.push(Strategy::ordered_nb(CheckpointPolicy::DalyUsage));
+        all.push(Strategy::tiered(CheckpointPolicy::DalyUsage));
         for s in all {
             let name = s.spec_name();
             let back: Strategy = name.parse().expect(&name);
@@ -373,6 +388,10 @@ mod tests {
                 "ordered-nb-fixed:2",
                 Strategy::ordered_nb(CheckpointPolicy::Fixed(Duration::from_hours(2.0))),
             ),
+            (
+                "Ordered-NB-Daly-Usage",
+                Strategy::ordered_nb(CheckpointPolicy::DalyUsage),
+            ),
         ] {
             assert_eq!(input.parse::<Strategy>().unwrap(), expect, "{input}");
         }
@@ -380,6 +399,14 @@ mod tests {
         assert!("ordered-sometimes".parse::<Strategy>().is_err());
         assert!("ordered-fixed:-1".parse::<Strategy>().is_err());
         assert!("least-waste-sometimes".parse::<Strategy>().is_err());
+    }
+
+    #[test]
+    fn daly_usage_names() {
+        let s = Strategy::ordered_nb(CheckpointPolicy::DalyUsage);
+        assert_eq!(s.name(), "Ordered-NB-Daly-Usage");
+        assert_eq!(s.spec_name(), "ordered-nb-daly-usage");
+        assert_eq!("ordered-nb-daly-usage".parse::<Strategy>().unwrap(), s);
     }
 
     #[test]

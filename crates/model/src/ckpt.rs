@@ -127,6 +127,106 @@ pub fn daly_period_energy(c: Duration, mtbf: Duration, ckpt_w: f64, compute_w: f
     Duration::from_secs(daly.as_secs() * (ckpt_w / compute_w).sqrt())
 }
 
+/// The usage-based optimal checkpoint quantum (Graziani, Lusch & Messer):
+/// the amount of *usage* — consumed node-seconds — between checkpoints
+/// that minimizes expected waste platform-wide,
+///
+/// `U* = √(2 · M_u · C_u)`
+///
+/// where `M_u` is the platform's mean usage between failures in
+/// node-seconds (a platform of `N` nodes accrues usage at rate `N` and
+/// fails every `µ_node / N` seconds, so `M_u = µ_node` — the *per-node*
+/// MTBF, independent of platform size) and `C_u` is the checkpoint cost
+/// in node-seconds (`q · C` for a `q`-node job writing for `C` seconds).
+///
+/// The point of pacing in usage instead of wall-clock is operational: a
+/// shared platform can publish **one** quantum (e.g. "checkpoint every
+/// 10k node-hours") and every job converts it to its own wall cadence
+/// `U* / q` — see [`daly_usage_period`].
+///
+/// ```
+/// use coopckpt_des::Duration;
+/// use coopckpt_model::daly_usage_quantum;
+///
+/// // 1-year node MTBF, a checkpoint costing 51_200 node-seconds
+/// // (256 nodes x 200 s): U* = sqrt(2 * 31_536_000 * 51_200).
+/// let u = daly_usage_quantum(Duration::from_years(1.0), 51_200.0);
+/// assert!((u - (2.0f64 * 31_536_000.0 * 51_200.0).sqrt()).abs() < 1e-6);
+/// ```
+///
+/// # Panics
+///
+/// Panics when the node MTBF or the usage cost is not strictly positive
+/// and finite.
+pub fn daly_usage_quantum(node_mtbf: Duration, usage_cost_node_secs: f64) -> f64 {
+    assert!(
+        node_mtbf.is_finite() && node_mtbf.is_positive(),
+        "node MTBF must be positive, got {node_mtbf}"
+    );
+    assert!(
+        usage_cost_node_secs.is_finite() && usage_cost_node_secs > 0.0,
+        "usage cost must be positive node-seconds, got {usage_cost_node_secs}"
+    );
+    (2.0 * node_mtbf.as_secs() * usage_cost_node_secs).sqrt()
+}
+
+/// The wall-clock checkpoint period of a job pacing in *usage*
+/// (node-hours) under a platform-wide quantum (Graziani, Lusch &
+/// Messer): the platform publishes one usage quantum derived from a
+/// reference checkpoint cost `ref_usage_cost` (node-seconds), and a job
+/// consuming usage at rate `q` converts it to wall-clock as
+///
+/// `P_U = U*/q = √(2 µ_node · C_u^ref) / q
+///      = P_Daly · √(C_u^ref / C_u^job)`
+///
+/// where `C_u^job = q · C` is the job's own checkpoint cost in
+/// node-seconds and `P_Daly = √(2 µ_j C)` its wall-clock Young/Daly
+/// period. The rightmost form is how this function computes: it
+/// delegates to [`young_daly_period`] and scales by
+/// `√(C_u^ref / C_u^job)`, so when the reference cost *is* the job's own
+/// cost — every homogeneous single-class workload — the factor is
+/// exactly `1.0` and the usage-paced period is **bit-identical** to the
+/// wall-clock one:
+///
+/// ```
+/// use coopckpt_des::Duration;
+/// use coopckpt_model::{daly_usage_period, young_daly_period};
+///
+/// let c = Duration::from_secs(200.0);
+/// let mu = Duration::from_secs(10_000.0); // job MTBF (µ_node / q)
+/// // Homogeneous workload: the platform reference is the job itself.
+/// assert_eq!(
+///     daly_usage_period(c, mu, 51_200.0, 51_200.0),
+///     young_daly_period(c, mu)
+/// );
+/// // A heterogeneous platform whose reference cost is 4x the job's:
+/// // the shared quantum makes this job checkpoint half as often.
+/// let p = daly_usage_period(c, mu, 51_200.0, 4.0 * 51_200.0);
+/// assert!((p.as_secs() / young_daly_period(c, mu).as_secs() - 2.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics when `c` or `mtbf` is non-positive, or either usage cost is
+/// not strictly positive and finite.
+pub fn daly_usage_period(
+    c: Duration,
+    mtbf: Duration,
+    job_usage_cost: f64,
+    ref_usage_cost: f64,
+) -> Duration {
+    assert!(
+        job_usage_cost.is_finite() && job_usage_cost > 0.0,
+        "job usage cost must be positive node-seconds, got {job_usage_cost}"
+    );
+    assert!(
+        ref_usage_cost.is_finite() && ref_usage_cost > 0.0,
+        "reference usage cost must be positive node-seconds, got {ref_usage_cost}"
+    );
+    let daly = young_daly_period(c, mtbf);
+    Duration::from_secs(daly.as_secs() * (ref_usage_cost / job_usage_cost).sqrt())
+}
+
 /// Per-level *energy*-optimal periods for a multi-level checkpoint
 /// hierarchy: `P_ℓ = √(2 µ_ℓ C_ℓ · ρ_ℓ / ρ_comp)`, the energy twin of
 /// [`per_level_daly_periods`].
@@ -694,6 +794,47 @@ mod tests {
             0.0,
             100.0,
         );
+    }
+
+    #[test]
+    fn usage_period_is_bit_identical_to_daly_when_reference_matches() {
+        let c = Duration::from_secs(300.0);
+        let mu = Duration::from_secs(30_000.0);
+        let cu = 128.0 * 300.0;
+        assert_eq!(daly_usage_period(c, mu, cu, cu), young_daly_period(c, mu));
+    }
+
+    #[test]
+    fn usage_period_scales_inversely_with_node_count_at_a_shared_quantum() {
+        // Two jobs under one platform quantum: equal per-node checkpoint
+        // cost, 4x the nodes => 4x the usage rate => quarter the wall
+        // period (q * P_U is the same quantum for both).
+        let mu_node = Duration::from_years(1.0);
+        let c = Duration::from_secs(200.0);
+        let (q_small, q_big) = (64.0, 256.0);
+        let ref_cu = 100.0 * c.as_secs();
+        let p_small = daly_usage_period(
+            c,
+            Duration::from_secs(mu_node.as_secs() / q_small),
+            q_small * c.as_secs(),
+            ref_cu,
+        );
+        let p_big = daly_usage_period(
+            c,
+            Duration::from_secs(mu_node.as_secs() / q_big),
+            q_big * c.as_secs(),
+            ref_cu,
+        );
+        assert!((q_small * p_small.as_secs() - q_big * p_big.as_secs()).abs() < 1e-6);
+        // And both convert the same quantum.
+        let u = daly_usage_quantum(mu_node, ref_cu);
+        assert!((q_small * p_small.as_secs() - u).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "usage cost must be positive")]
+    fn usage_quantum_rejects_zero_cost() {
+        daly_usage_quantum(Duration::from_years(1.0), 0.0);
     }
 
     #[test]

@@ -26,10 +26,10 @@ pub mod units;
 
 pub use app::{AppClass, ClassId, JobId, JobSpec};
 pub use ckpt::{
-    class_restore_costs, daly_period_energy, daly_period_high_order, expected_restore_cost,
-    level_guard_mtbfs, per_level_commit_costs, per_level_daly_periods,
-    per_level_daly_periods_energy, steady_state_energy_waste, steady_state_waste,
-    steady_state_waste_mix, young_daly_period,
+    class_restore_costs, daly_period_energy, daly_period_high_order, daly_usage_period,
+    daly_usage_quantum, expected_restore_cost, level_guard_mtbfs, per_level_commit_costs,
+    per_level_daly_periods, per_level_daly_periods_energy, steady_state_energy_waste,
+    steady_state_waste, steady_state_waste_mix, young_daly_period,
 };
 pub use coopckpt_des::{Duration, Time};
 pub use platform::{Platform, PlatformError};

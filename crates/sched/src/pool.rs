@@ -26,8 +26,18 @@ impl AllocId {
 pub struct NodePool {
     /// Per-node occupant.
     assignment: Vec<Option<AllocId>>,
-    /// Free node indices, kept sorted descending so `pop` yields the lowest.
-    free: Vec<usize>,
+    /// Free-node bitset: bit `n % 64` of word `n / 64` is set iff node
+    /// `n` is free. Scanning words low-to-high keeps allocation
+    /// deterministic (lowest index first) at `O(n/64 + q)`, and release
+    /// is `O(q)` bit-sets — re-sorting a flat free list on every release
+    /// is what made 100k-job traces quadratic, and per-node heap ops are
+    /// what made large (thousands-of-nodes) allocations slow.
+    free_bits: Vec<u64>,
+    /// Number of set bits in `free_bits`.
+    free_count: usize,
+    /// Lowest word of `free_bits` that may contain a set bit (scan hint;
+    /// every word below it is known-empty).
+    first_maybe_free: usize,
     /// Nodes of each allocation ever issued, indexed by [`AllocId::index`];
     /// `None` once released. Ids are dense, so this is a slab, not a map.
     allocs: Vec<Option<Vec<usize>>>,
@@ -44,9 +54,16 @@ impl NodePool {
     /// Panics if `nodes` is zero.
     pub fn new(nodes: usize) -> Self {
         assert!(nodes > 0, "pool must have at least one node");
+        let words = nodes.div_ceil(64);
+        let mut free_bits = vec![!0u64; words];
+        if nodes % 64 != 0 {
+            free_bits[words - 1] = (1u64 << (nodes % 64)) - 1;
+        }
         NodePool {
             assignment: vec![None; nodes],
-            free: (0..nodes).rev().collect(),
+            free_bits,
+            free_count: nodes,
+            first_maybe_free: 0,
             allocs: Vec::new(),
             live: 0,
             next_id: 0,
@@ -60,7 +77,7 @@ impl NodePool {
 
     /// Number of free nodes.
     pub fn free_count(&self) -> usize {
-        self.free.len()
+        self.free_count
     }
 
     /// Number of allocated nodes.
@@ -73,17 +90,32 @@ impl NodePool {
         self.allocated_count() as f64 / self.total() as f64
     }
 
-    /// Allocates `q` nodes, or returns `None` if fewer are free.
+    /// Allocates `q` nodes (the `q` lowest-indexed free ones), or returns
+    /// `None` if fewer are free.
     pub fn allocate(&mut self, q: usize) -> Option<AllocId> {
         assert!(q > 0, "allocation must request at least one node");
-        if q > self.free.len() {
+        if q > self.free_count {
             return None;
         }
         let id = AllocId(self.next_id);
         self.next_id += 1;
-        let nodes: Vec<usize> = (0..q)
-            .map(|_| self.free.pop().expect("checked len"))
-            .collect();
+        let mut nodes = Vec::with_capacity(q);
+        let mut w = self.first_maybe_free;
+        while nodes.len() < q {
+            debug_assert!(w < self.free_bits.len(), "free_count overstated");
+            let mut bits = self.free_bits[w];
+            while bits != 0 && nodes.len() < q {
+                nodes.push(w * 64 + bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+            }
+            self.free_bits[w] = bits;
+            if nodes.len() < q {
+                w += 1;
+            }
+        }
+        // Every word below `w` was drained (or was already empty).
+        self.first_maybe_free = w;
+        self.free_count -= q;
         for &n in &nodes {
             debug_assert!(self.assignment[n].is_none());
             self.assignment[n] = Some(id);
@@ -102,10 +134,10 @@ impl NodePool {
         for &n in &nodes {
             debug_assert_eq!(self.assignment[n], Some(id));
             self.assignment[n] = None;
-            self.free.push(n);
+            self.free_bits[n / 64] |= 1u64 << (n % 64);
+            self.first_maybe_free = self.first_maybe_free.min(n / 64);
         }
-        // Keep the free stack deterministic (lowest index allocated first).
-        self.free.sort_unstable_by(|a, b| b.cmp(a));
+        self.free_count += nodes.len();
         Some(nodes)
     }
 

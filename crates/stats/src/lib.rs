@@ -12,6 +12,9 @@
 //! * [`WasteLedger`] — node-second accounting by category, clipped to a
 //!   measurement window; its [`waste_ratio`](WasteLedger::waste_ratio) is
 //!   the quantity plotted on the paper's y-axes.
+//! * [`ProjectLedger`] — the same node-second accounting broken down per
+//!   project for trace-driven workloads; platform totals are the in-order
+//!   fold of the project rows, so rows sum to totals bit-exactly.
 //! * [`Table`] — aligned text / CSV rendering for the bench binaries.
 //! * [`P2Quantile`] — the O(1)-memory P² streaming quantile estimator for
 //!   sweeps too large to buffer.
@@ -19,11 +22,13 @@
 pub mod ledger;
 pub mod online;
 pub mod p2;
+pub mod project;
 pub mod quantile;
 pub mod table;
 
 pub use ledger::{Category, WasteLedger};
 pub use online::OnlineStats;
 pub use p2::P2Quantile;
+pub use project::ProjectLedger;
 pub use quantile::{quantile, Candlestick, Samples};
 pub use table::Table;

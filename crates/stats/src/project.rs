@@ -1,0 +1,214 @@
+//! Per-project node-second accounting on top of [`WasteLedger`].
+//!
+//! Trace-driven workloads (Graziani, Lusch & Messer analyze 331,640
+//! production Frontier CY2024 jobs) tag every job with a *project*; center
+//! operators want to know not just the platform waste ratio but which
+//! allocations pay it. [`ProjectLedger`] keeps one [`WasteLedger`] per
+//! project — same measurement window, same clipping rules — plus a stable
+//! first-seen ordering so reports and cache keys are deterministic.
+//!
+//! The platform totals of a per-project report are defined as the
+//! *in-order fold* of the project rows ([`ProjectLedger::totals`]), so
+//! "rows sum to totals" holds bit-exactly by construction rather than up
+//! to floating-point reassociation.
+
+use crate::ledger::{Category, WasteLedger};
+use coopckpt_des::Time;
+use std::collections::HashMap;
+
+/// One [`WasteLedger`] per project, in first-seen order.
+#[derive(Debug, Clone)]
+pub struct ProjectLedger {
+    window_start: Time,
+    window_end: Time,
+    names: Vec<String>,
+    ledgers: Vec<WasteLedger>,
+    index: HashMap<String, usize>,
+}
+
+impl ProjectLedger {
+    /// Creates an empty per-project ledger over `[window_start, window_end]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the window is non-empty and finite (same contract as
+    /// [`WasteLedger::new`]).
+    pub fn new(window_start: Time, window_end: Time) -> Self {
+        // Validate the window eagerly even before the first project shows up.
+        let _ = WasteLedger::new(window_start, window_end);
+        ProjectLedger {
+            window_start,
+            window_end,
+            names: Vec::new(),
+            ledgers: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// The measurement window.
+    pub fn window(&self) -> (Time, Time) {
+        (self.window_start, self.window_end)
+    }
+
+    /// Returns the dense id for `name`, registering it on first sight.
+    /// Ids are assigned in first-seen order, so a deterministic job stream
+    /// yields a deterministic project ordering.
+    pub fn project_id(&mut self, name: &str) -> usize {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = self.names.len();
+        self.names.push(name.to_string());
+        self.ledgers
+            .push(WasteLedger::new(self.window_start, self.window_end));
+        self.index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Number of registered projects.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no project has been registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The project name for a dense id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` was never returned by [`project_id`](Self::project_id).
+    pub fn name(&self, id: usize) -> &str {
+        &self.names[id]
+    }
+
+    /// The per-project ledger for a dense id.
+    pub fn ledger(&self, id: usize) -> &WasteLedger {
+        &self.ledgers[id]
+    }
+
+    /// Records an interval for one project (see [`WasteLedger::record`]).
+    pub fn record(&mut self, id: usize, category: Category, q_nodes: usize, from: Time, to: Time) {
+        self.ledgers[id].record(category, q_nodes, from, to);
+    }
+
+    /// Records an instantaneous amount for one project
+    /// (see [`WasteLedger::record_amount`]).
+    pub fn record_amount(&mut self, id: usize, category: Category, node_seconds: f64, at: Time) {
+        self.ledgers[id].record_amount(category, node_seconds, at);
+    }
+
+    /// Moves mass between categories for one project
+    /// (see [`WasteLedger::reclassify`]).
+    pub fn reclassify(
+        &mut self,
+        id: usize,
+        from: Category,
+        to: Category,
+        node_seconds: f64,
+        at: Time,
+    ) {
+        self.ledgers[id].reclassify(from, to, node_seconds, at);
+    }
+
+    /// Iterates `(name, ledger)` pairs in first-seen order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &WasteLedger)> {
+        self.names
+            .iter()
+            .map(|n| n.as_str())
+            .zip(self.ledgers.iter())
+    }
+
+    /// Platform totals as the in-order fold of the project rows. Reports
+    /// built from this ledger use this as their totals row, so per-project
+    /// rows sum to it bit-exactly.
+    pub fn totals(&self) -> WasteLedger {
+        let mut total = WasteLedger::new(self.window_start, self.window_end);
+        for l in &self.ledgers {
+            total.merge(l);
+        }
+        total
+    }
+
+    /// Merges another per-project ledger (same window assumed), unioning
+    /// projects by name. Projects unseen here are appended in the other
+    /// ledger's order, so merging sample results in index order stays
+    /// deterministic regardless of worker-thread interleaving.
+    pub fn merge(&mut self, other: &ProjectLedger) {
+        for (name, ledger) in other.iter() {
+            let id = self.project_id(name);
+            self.ledgers[id].merge(ledger);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn projects() -> ProjectLedger {
+        ProjectLedger::new(Time::from_secs(0.0), Time::from_secs(1000.0))
+    }
+
+    #[test]
+    fn ids_are_first_seen_and_stable() {
+        let mut p = projects();
+        assert_eq!(p.project_id("astro"), 0);
+        assert_eq!(p.project_id("bio"), 1);
+        assert_eq!(p.project_id("astro"), 0);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.name(0), "astro");
+        assert_eq!(p.name(1), "bio");
+    }
+
+    #[test]
+    fn totals_are_the_in_order_fold_of_rows() {
+        let mut p = projects();
+        let a = p.project_id("astro");
+        let b = p.project_id("bio");
+        p.record(a, Category::Work, 3, Time::ZERO, Time::from_secs(100.0));
+        p.record(b, Category::Work, 5, Time::ZERO, Time::from_secs(70.0));
+        p.record(
+            b,
+            Category::CkptCommit,
+            5,
+            Time::from_secs(70.0),
+            Time::from_secs(100.0),
+        );
+        let totals = p.totals();
+        // Bit-exact: totals are defined as the fold of the rows.
+        let mut fold = WasteLedger::new(p.window().0, p.window().1);
+        for (_, l) in p.iter() {
+            fold.merge(l);
+        }
+        assert_eq!(totals, fold);
+        assert_eq!(totals.get(Category::Work), 3.0 * 100.0 + 5.0 * 70.0);
+        assert_eq!(totals.get(Category::CkptCommit), 5.0 * 30.0);
+    }
+
+    #[test]
+    fn merge_unions_projects_by_name() {
+        let mut p = projects();
+        let a = p.project_id("astro");
+        p.record(a, Category::Work, 1, Time::ZERO, Time::from_secs(10.0));
+        let mut q = projects();
+        let b = q.project_id("bio");
+        let a2 = q.project_id("astro");
+        q.record(b, Category::Work, 1, Time::ZERO, Time::from_secs(20.0));
+        q.record(a2, Category::IoWait, 1, Time::ZERO, Time::from_secs(5.0));
+        p.merge(&q);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.name(1), "bio");
+        assert_eq!(p.ledger(0).get(Category::Work), 10.0);
+        assert_eq!(p.ledger(0).get(Category::IoWait), 5.0);
+        assert_eq!(p.ledger(1).get(Category::Work), 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid measurement window")]
+    fn rejects_empty_window() {
+        ProjectLedger::new(Time::from_secs(5.0), Time::from_secs(5.0));
+    }
+}

@@ -12,6 +12,11 @@
 //! * [`generator`] instantiates a random job list matching the class
 //!   resource shares within tolerance and lasting at least the requested
 //!   span — Section 5's initial-condition sampling.
+//! * [`trace_workload`] replays a job log instead: streaming CSV /
+//!   JSON-lines ingestion (`project, submit_time, nodes, walltime[,
+//!   ckpt_bytes]`), a seeded `synthetic:...` generator, and the
+//!   [`JobSource`] seam that feeds the engine one submission at a time so
+//!   a 300k-job trace runs in bounded memory.
 //!
 //! ```
 //! use coopckpt_workload::{apex, generator::WorkloadSpec, platforms};
@@ -28,7 +33,12 @@
 pub mod apex;
 pub mod generator;
 pub mod platforms;
+pub mod trace_workload;
 
 pub use apex::{classes_for, ApexClassSpec, APEX_SPECS};
 pub use generator::WorkloadSpec;
-pub use platforms::{cielo, prospective};
+pub use platforms::{cielo, exascale, prospective};
+pub use trace_workload::{
+    JobSource, JobStream, MaterializedSource, SubmittedJob, SyntheticSource, SyntheticSpec,
+    TraceClasses, TraceError, TraceJob, TraceReader, TraceSpec,
+};

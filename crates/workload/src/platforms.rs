@@ -42,6 +42,23 @@ pub fn prospective() -> Platform {
     .expect("prospective preset must be valid")
 }
 
+/// The Exascale parameter preset of the comd-ft progress-rate study:
+/// 12,655 nodes with 2,432 GB of memory each (≈30 PB total) behind a
+/// 10 TB/s burst-capable file system, 1-year node MTBF — the operating
+/// point of the `ckpt-mem-fraction` sweep, where the checkpointed
+/// fraction of node memory is the swept quantity.
+pub fn exascale() -> Platform {
+    Platform::new(
+        "Exascale",
+        12_655,
+        64,
+        Bytes::from_gb(2432.0),
+        Bandwidth::from_tbps(10.0),
+        Duration::from_years(1.0),
+    )
+    .expect("Exascale preset must be valid")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,6 +87,22 @@ mod tests {
         assert!(
             (hours - 24.0).abs() < 0.6,
             "system MTBF at 50-year nodes: {hours} h"
+        );
+    }
+
+    #[test]
+    fn exascale_totals() {
+        let p = exascale();
+        assert_eq!(p.nodes, 12_655);
+        // ≈30 PB of aggregate memory.
+        assert!((p.total_memory().as_tb() - 12_655.0 * 2.432).abs() < 1e-6);
+        assert_eq!(p.pfs_bandwidth, Bandwidth::from_tbps(10.0));
+        // A full-memory checkpoint of the whole machine at peak bandwidth
+        // takes ~51 minutes — the sweep's f = 1 endpoint.
+        let full = p.total_memory().transfer_time(p.pfs_bandwidth);
+        assert!(
+            full.as_secs() > 2900.0 && full.as_secs() < 3300.0,
+            "full-memory commit {full}"
         );
     }
 
