@@ -158,48 +158,131 @@ fn env_f64(var: &str, default: f64) -> f64 {
         .unwrap_or(default)
 }
 
+/// One comparison-table row: the gated `des/` groups get an ok/FAIL
+/// verdict, the end-to-end groups are informational (`info`), and
+/// benchmarks present on only one side are flagged without failing
+/// unless the baseline side is gated.
+struct TableRow {
+    name: String,
+    baseline_ns: Option<f64>,
+    current_ns: Option<f64>,
+    verdict: &'static str,
+}
+
+fn delta_pct(baseline_ns: f64, current_ns: f64) -> f64 {
+    (current_ns / baseline_ns - 1.0) * 100.0
+}
+
+fn render_table(rows: &[TableRow]) -> String {
+    let mut out = format!(
+        "{:<44} {:>14} {:>14} {:>8}  {}\n",
+        "benchmark", "baseline ns", "current ns", "delta", "verdict"
+    );
+    let fmt_ns = |v: Option<f64>| match v {
+        Some(ns) => format!("{ns:.0}"),
+        None => "-".to_string(),
+    };
+    for r in rows {
+        let delta = match (r.baseline_ns, r.current_ns) {
+            (Some(b), Some(c)) => format!("{:+.1}%", delta_pct(b, c)),
+            _ => "-".to_string(),
+        };
+        out.push_str(&format!(
+            "{:<44} {:>14} {:>14} {:>8}  {}\n",
+            r.name,
+            fmt_ns(r.baseline_ns),
+            fmt_ns(r.current_ns),
+            delta,
+            r.verdict
+        ));
+    }
+    out
+}
+
 fn check_baselines(current: &[Entry]) {
     let tolerance = env_f64("COOPCKPT_BENCH_TOLERANCE", 0.25);
     let min_speedup = env_f64("COOPCKPT_BENCH_MIN_SPEEDUP", 5.0);
-    let baseline_path = repo_root().join("BENCH_des.json");
+    let root = repo_root();
+    let baseline_path = root.join("BENCH_des.json");
     let baseline = load_entries(&baseline_path)
         .unwrap_or_else(|e| fail(&format!("cannot load {}: {e}", baseline_path.display())));
+    // The e2e baselines are informational context only — wall-clock runs
+    // are too machine-dependent to gate — so a missing file is fine.
+    let e2e_baseline = load_entries(&root.join("BENCH_e2e.json")).unwrap_or_default();
 
     let mut failures = Vec::new();
+    let mut rows = Vec::new();
 
     // Gate 1: no des/ benchmark may regress past the tolerance.
     for base in baseline.iter().filter(|e| e.name.starts_with("des/")) {
         let Some(cur) = current.iter().find(|e| e.name == base.name) else {
+            rows.push(TableRow {
+                name: base.name.clone(),
+                baseline_ns: Some(base.median_ns),
+                current_ns: None,
+                verdict: "MISSING",
+            });
             failures.push(format!(
                 "{}: present in baseline but missing from the current run",
                 base.name
             ));
             continue;
         };
-        let ratio = cur.median_ns / base.median_ns;
-        let verdict = if ratio > 1.0 + tolerance {
-            "FAIL"
-        } else {
-            "ok"
-        };
-        println!(
-            "{:<44} {:>12.0} ns vs baseline {:>12.0} ns  ({:+.1}%)  {verdict}",
-            base.name,
-            cur.median_ns,
-            base.median_ns,
-            (ratio - 1.0) * 100.0
-        );
-        if ratio > 1.0 + tolerance {
+        let over = delta_pct(base.median_ns, cur.median_ns) > tolerance * 100.0;
+        rows.push(TableRow {
+            name: base.name.clone(),
+            baseline_ns: Some(base.median_ns),
+            current_ns: Some(cur.median_ns),
+            verdict: if over { "FAIL" } else { "ok" },
+        });
+        if over {
             failures.push(format!(
                 "{}: {:.0} ns is {:.0}% over the baseline {:.0} ns (tolerance {:.0}%)",
                 base.name,
                 cur.median_ns,
-                (ratio - 1.0) * 100.0,
+                delta_pct(base.median_ns, cur.median_ns),
                 base.median_ns,
                 tolerance * 100.0
             ));
         }
     }
+
+    // Informational rows: ungated kernel groups, then e2e groups, then
+    // current benchmarks with no committed baseline yet.
+    for base in baseline.iter().filter(|e| !e.name.starts_with("des/")) {
+        rows.push(TableRow {
+            name: base.name.clone(),
+            baseline_ns: Some(base.median_ns),
+            current_ns: current
+                .iter()
+                .find(|e| e.name == base.name)
+                .map(|e| e.median_ns),
+            verdict: "info",
+        });
+    }
+    for base in &e2e_baseline {
+        rows.push(TableRow {
+            name: base.name.clone(),
+            baseline_ns: Some(base.median_ns),
+            current_ns: current
+                .iter()
+                .find(|e| e.name == base.name)
+                .map(|e| e.median_ns),
+            verdict: "info",
+        });
+    }
+    let known = |name: &str| {
+        baseline.iter().any(|e| e.name == name) || e2e_baseline.iter().any(|e| e.name == name)
+    };
+    for cur in current.iter().filter(|e| !known(&e.name)) {
+        rows.push(TableRow {
+            name: cur.name.clone(),
+            baseline_ns: None,
+            current_ns: Some(cur.median_ns),
+            verdict: "new",
+        });
+    }
+    print!("{}", render_table(&rows));
 
     // Gate 2: the calendar queue must hold its speedup over the heap
     // oracle, measured within the current run (machine-independent).
@@ -272,6 +355,38 @@ mod tests {
         ] {
             assert_eq!(is_e2e(name), e2e, "{name}");
         }
+    }
+
+    #[test]
+    fn comparison_table_covers_every_row_shape() {
+        let rows = vec![
+            TableRow {
+                name: "des/event_queue_10k".into(),
+                baseline_ns: Some(1000.0),
+                current_ns: Some(1100.0),
+                verdict: "ok",
+            },
+            TableRow {
+                name: "sim/7day_cielo".into(),
+                baseline_ns: Some(2.0e9),
+                current_ns: None,
+                verdict: "info",
+            },
+            TableRow {
+                name: "des/brand_new".into(),
+                baseline_ns: None,
+                current_ns: Some(42.0),
+                verdict: "new",
+            },
+        ];
+        let table = render_table(&rows);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4, "header + one line per row:\n{table}");
+        assert!(lines[0].contains("baseline ns") && lines[0].contains("delta"));
+        assert!(lines[1].contains("+10.0%") && lines[1].ends_with("ok"));
+        assert!(lines[2].contains('-') && lines[2].ends_with("info"));
+        assert!(lines[3].ends_with("new"));
+        assert!((delta_pct(1000.0, 800.0) + 20.0).abs() < 1e-9);
     }
 
     #[test]

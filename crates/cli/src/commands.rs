@@ -65,6 +65,10 @@ COMMON FLAGS:
                                  failure severity mix; severity = number of
                                  storage levels a strike wipes, or 'system'
   --power cielo|prospective|none                         [none]
+  --telemetry <out.jsonl>        record engine/queue/cache counters and
+                                 phase timings; one JSON-lines journal
+                                 record per completed point (or set
+                                 COOPCKPT_TELEMETRY)
   --format text|csv|json                                 [text]
 
 EXAMPLES:
@@ -135,6 +139,10 @@ FLAGS:
                        token-free.             [system:1:system]
   --power <model>      meter per-phase energy under a power model:
                        cielo|prospective|none              [none]
+  --telemetry <file>   write a JSON-lines run journal and append a
+                       `telemetry` report section (counters, phase
+                       timings, sample quantiles); simulation results are
+                       bit-identical with or without it    [off]
   --format text|csv|json                                  [text]
 
 With `--power` (or a scenario `power` block) the report gains energy
@@ -183,7 +191,8 @@ FLAGS:
   --seed <n>           base seed                           [1]
   --power <model>      base power model for power-ratio    [cielo]
   --platform, --bandwidth, --mtbf-years, --span-days, --interference,
-  --failures, --failure-classes, --format as in `coopckpt run --help`
+  --failures, --failure-classes, --telemetry, --format as in
+  `coopckpt run --help`
 
 The local-failure-share axis installs `{local: x, system: 1-x}` severity
 classes per point (total failure rate unchanged): local failures restore
@@ -269,6 +278,9 @@ FLAGS:
                        from older code versions, corrupt files and
                        abandoned .tmp spills; without a suite file,
                        collect and exit
+  --telemetry <file>   write one JSON-lines journal record per point
+                       (queue/cache/engine counters, wall ms, worker id),
+                       sorted by point name — thread-count independent
   --format text|csv|json                                       [text]
 
 EXAMPLES:
@@ -335,6 +347,7 @@ const SCENARIO_FLAGS: &[&str] = &[
     "failure-classes",
     "tiers",
     "power",
+    "telemetry",
     "format",
     "help",
 ];
@@ -354,6 +367,7 @@ const SWEEP_FLAGS: &[&str] = &[
     "failure-classes",
     "tiers",
     "power",
+    "telemetry",
     "axis",
     "values",
     "format",
@@ -380,7 +394,16 @@ const WORKLOAD_FLAGS: &[&str] = &[
     "help",
 ];
 
-const SUITE_FLAGS: &[&str] = &["suite", "threads", "cache", "list", "gc", "format", "help"];
+const SUITE_FLAGS: &[&str] = &[
+    "suite",
+    "threads",
+    "cache",
+    "list",
+    "gc",
+    "telemetry",
+    "format",
+    "help",
+];
 
 const COMPARE_FLAGS: &[&str] = &["tolerance", "format", "help"];
 
@@ -717,10 +740,21 @@ pub fn suite(args: &Args) -> CmdResult {
     // Progress streams to stderr in completion order; the merged report
     // on stdout stays in expansion order (thread-count independent).
     let done = AtomicUsize::new(0);
-    let campaign = run_suite_with(&suite, &opts, |_, entry| {
+    let spent_ms = std::sync::atomic::AtomicU64::new(0);
+    let campaign = run_suite_with(&suite, &opts, |_, entry, wall_ms| {
         let k = done.fetch_add(1, Ordering::Relaxed) + 1;
+        let total_ms = spent_ms.fetch_add(wall_ms, Ordering::Relaxed) + wall_ms;
         let tag = if entry.from_cache { " (cached)" } else { "" };
-        eprintln!("[{k}/{n}] {}{tag}", entry.label());
+        // ETA from the running mean point cost; wall-clock under multiple
+        // workers divides by however many run concurrently, so this is an
+        // upper bound — good enough for a progress line.
+        let eta_s = (total_ms as f64 / k as f64) * (n - k) as f64 / 1e3;
+        let eta = if k < n {
+            format!(" eta {}s", eta_s.round() as u64)
+        } else {
+            String::new()
+        };
+        eprintln!("[{k}/{n}] {} {wall_ms}ms{tag}{eta}", entry.label());
     })?;
     eprintln!(
         "# suite complete: {} points, {} from cache",
@@ -1037,6 +1071,10 @@ mod tests {
         assert!(!known_flags("table1").contains(&"workload"));
         assert!(known_flags("suite").contains(&"gc"));
         assert!(!known_flags("run").contains(&"gc"));
+        assert!(known_flags("run").contains(&"telemetry"));
+        assert!(known_flags("sweep").contains(&"telemetry"));
+        assert!(known_flags("suite").contains(&"telemetry"));
+        assert!(!known_flags("table1").contains(&"telemetry"));
     }
 
     #[test]
@@ -1160,6 +1198,8 @@ mod tests {
             ("run", "--tiers <n>"),
             ("run", "--power <model>"),
             ("run", "--workload <source>"),
+            ("run", "--telemetry <file>"),
+            ("sweep", "--telemetry"),
             ("sweep", "power-ratio"),
             ("sweep", "weibull-shape"),
             ("sweep", "ckpt-mem-fraction"),
@@ -1178,6 +1218,8 @@ mod tests {
         let suite_page = help_for("suite").unwrap();
         assert!(suite_page.contains("--gc"));
         assert!(suite_page.contains("workload"));
+        assert!(suite_page.contains("--telemetry <file>"));
+        assert!(USAGE.contains("--telemetry <out.jsonl>"));
         assert!(USAGE.contains("exascale"));
         assert!(USAGE.contains("--gc"));
     }

@@ -50,6 +50,17 @@ fn main() {
             }
         }
     }
+    // Telemetry is opt-in: `--telemetry <out.jsonl>` wins over the
+    // COOPCKPT_TELEMETRY environment variable; neither leaves the
+    // zero-cost disabled path in place.
+    let telemetry = match parsed.get("telemetry") {
+        Some(path) => coopckpt_obs::init(Some(std::path::Path::new(path))),
+        None => coopckpt_obs::init_from_env(),
+    };
+    if let Err(e) = telemetry {
+        eprintln!("error: telemetry: {e}");
+        std::process::exit(2);
+    }
     let outcome = match parsed.command.as_deref() {
         Some("table1") => commands::table1(&parsed),
         Some("theory") => commands::theory(&parsed),

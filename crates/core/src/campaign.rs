@@ -824,7 +824,9 @@ fn run_point(
 ) -> Result<CampaignEntry, CampaignError> {
     let key = cache_key(sc);
     if let Some(c) = cache {
+        coopckpt_obs::count(coopckpt_obs::Counter::ResultCacheLookups, 1);
         if let Some(hit) = c.load(&key) {
+            coopckpt_obs::count(coopckpt_obs::Counter::ResultCacheHits, 1);
             return Ok(CampaignEntry {
                 name: sc.name.clone(),
                 key,
@@ -834,6 +836,7 @@ fn run_point(
                 from_cache: true,
             });
         }
+        coopckpt_obs::count(coopckpt_obs::Counter::ResultCacheMisses, 1);
     }
     let mut run_sc = sc.clone();
     run_sc.threads = inner_threads;
@@ -859,7 +862,7 @@ fn run_point(
 /// Runs a suite: [`Suite::expand`], then [`run_suite_with`] without a
 /// progress callback.
 pub fn run_suite(suite: &Suite, opts: &CampaignOptions) -> Result<Campaign, CampaignError> {
-    run_suite_with(suite, opts, |_, _| {})
+    run_suite_with(suite, opts, |_, _, _| {})
 }
 
 /// Executes every expanded point of `suite` across a work-stealing thread
@@ -868,17 +871,22 @@ pub fn run_suite(suite: &Suite, opts: &CampaignOptions) -> Result<Campaign, Camp
 /// Workers claim points through an atomic cursor (the same deterministic
 /// pattern as the Monte-Carlo pool); whenever more than one worker runs,
 /// each point's *inner* Monte-Carlo pool is pinned to a single thread so
-/// the campaign level owns the machine. `on_done(index, entry)` fires
-/// from worker threads as points finish — completion order, for streaming
-/// progress — while the merged [`Campaign`] stays in expansion order, so
-/// thread count can never change the output.
+/// the campaign level owns the machine. `on_done(index, entry, wall_ms)`
+/// fires from worker threads as points finish — completion order, for
+/// streaming progress — while the merged [`Campaign`] stays in expansion
+/// order, so thread count can never change the output.
+///
+/// With telemetry enabled, each point runs under its own attribution
+/// scope and contributes one run-journal record. Records are buffered and
+/// written sorted by point label after the pool joins, so the journal —
+/// like the merged campaign — is identical at any thread count.
 pub fn run_suite_with<F>(
     suite: &Suite,
     opts: &CampaignOptions,
     on_done: F,
 ) -> Result<Campaign, CampaignError>
 where
-    F: Fn(usize, &CampaignEntry) + Sync,
+    F: Fn(usize, &CampaignEntry, u64) + Sync,
 {
     let points = suite.expand()?;
     let n = points.len();
@@ -896,17 +904,42 @@ where
     let next = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<CampaignEntry>>> = Mutex::new((0..n).map(|_| None).collect());
     let failure: Mutex<Option<CampaignError>> = Mutex::new(None);
+    // (label, expansion index, record): sorted after the join so journal
+    // order is completion-order-independent.
+    let journal: Mutex<Vec<(String, usize, Json)>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
+        for worker in 0..workers {
+            // `move` is only for the worker index; everything else is
+            // captured as a shared borrow.
+            let (journal, points, next, slots, failure, on_done) =
+                (&journal, &points, &next, &slots, &failure, &on_done);
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                match run_point(&points[i], inner_threads, opts.cache.as_ref(), op_cache) {
+                let obs_scope = coopckpt_obs::enabled().then(coopckpt_obs::new_scope);
+                let start = std::time::Instant::now();
+                let result = {
+                    let _guard = obs_scope.as_ref().map(coopckpt_obs::enter);
+                    run_point(&points[i], inner_threads, opts.cache.as_ref(), op_cache)
+                };
+                match result {
                     Ok(entry) => {
-                        on_done(i, &entry);
+                        let wall_ms = start.elapsed().as_millis() as u64;
+                        if let Some(scope) = &obs_scope {
+                            let record = crate::telemetry::journal_record(
+                                entry.label(),
+                                start.elapsed().as_secs_f64() * 1e3,
+                                points[i].samples,
+                                entry.from_cache,
+                                worker,
+                                &scope.snapshot(),
+                            );
+                            journal.lock().push((entry.label().to_string(), i, record));
+                        }
+                        on_done(i, &entry, wall_ms);
                         slots.lock()[i] = Some(entry);
                     }
                     Err(e) => {
@@ -923,6 +956,11 @@ where
 
     if let Some(e) = failure.into_inner() {
         return Err(e);
+    }
+    let mut records = journal.into_inner();
+    records.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+    for (_, _, record) in &records {
+        coopckpt_obs::journal_line(&record.to_string());
     }
     let entries = slots
         .into_inner()
@@ -1034,8 +1072,15 @@ fn compare_reports(
             .unwrap_or("?")
             .to_string()
     };
+    // The telemetry section is diagnostic output, present only when the
+    // run had `--telemetry`; it never participates in comparisons, so a
+    // telemetry-on run stays zero-diff against a telemetry-off one.
+    let skipped = |name: &str| name == crate::telemetry::TELEMETRY_SECTION;
     for sb in sections_b {
         let nb = name_of(sb);
+        if skipped(&nb) {
+            continue;
+        }
         if !sections_a.iter().any(|sa| name_of(sa) == nb) {
             diffs.push(structural_diff(
                 point,
@@ -1048,6 +1093,9 @@ fn compare_reports(
     }
     for sa in sections_a {
         let name = name_of(sa);
+        if skipped(&name) {
+            continue;
+        }
         let Some(sb) = sections_b.iter().find(|s| name_of(s) == name) else {
             diffs.push(structural_diff(
                 point,

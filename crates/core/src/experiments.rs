@@ -409,7 +409,29 @@ pub fn sweep_section(report: &mut Report, x_label: &str, points: &[SweepPoint]) 
 /// * with a sweep — the full strategy roster at every swept value (see
 ///   [`sweep_points`]).
 pub fn run_scenario(scenario: &Scenario) -> Result<Report, ScenarioError> {
-    run_scenario_with_cache(scenario, OpPointCache::global())
+    if !coopckpt_obs::enabled() {
+        return run_scenario_with_cache(scenario, OpPointCache::global());
+    }
+    // Telemetry: run the scenario under a fresh attribution scope, then
+    // append the `telemetry` report section and emit one journal record.
+    // Only this top-level entry point is instrumented —
+    // `run_scenario_with_cache` stays telemetry-free so campaign result
+    // caches never store telemetry-bearing payloads (cold and resumed
+    // campaigns must render bit-identically).
+    let scope = coopckpt_obs::new_scope();
+    let start = std::time::Instant::now();
+    let mut report = {
+        let _guard = coopckpt_obs::enter(&scope);
+        run_scenario_with_cache(scenario, OpPointCache::global())?
+    };
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let snap = scope.snapshot();
+    crate::telemetry::append_section(&mut report, &snap, wall_ms);
+    let point = scenario.name.as_deref().unwrap_or("run");
+    let record =
+        crate::telemetry::journal_record(point, wall_ms, scenario.samples, false, 0, &snap);
+    coopckpt_obs::journal_line(&record.to_string());
+    Ok(report)
 }
 
 /// [`run_scenario`] against an explicit operating-point cache.

@@ -47,6 +47,7 @@ pub mod report;
 pub mod scenario;
 pub mod sim;
 pub mod strategy;
+pub mod telemetry;
 
 pub use campaign::{
     cache_key, compare_campaigns, run_suite, run_suite_with, Campaign, CampaignEntry,

@@ -69,10 +69,15 @@ where
     let threads = mc.effective_threads(n);
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+    // Worker threads adopt the caller's telemetry scope (if any) so
+    // per-point attribution survives the fan-out. `None` when telemetry
+    // is off — the guard below is then a no-op.
+    let obs_scope = coopckpt_obs::current_scope();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
+                let _obs_guard = obs_scope.as_ref().map(coopckpt_obs::enter);
                 let mut local: Vec<(usize, T)> = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -80,7 +85,11 @@ where
                         break;
                     }
                     let seed = mc.base_seed + i as u64;
-                    local.push((i, map(run_simulation(config, seed))));
+                    let result = {
+                        let _span = coopckpt_obs::span(coopckpt_obs::Phase::Sample);
+                        run_simulation(config, seed)
+                    };
+                    local.push((i, map(result)));
                 }
                 results.lock().extend(local);
             });
@@ -186,11 +195,27 @@ impl OpPointCache {
         if config.record_trace {
             return Arc::new(run_all(config, mc));
         }
+        coopckpt_obs::count(coopckpt_obs::Counter::OpCacheLookups, 1);
         let slot = {
             let mut map = self.map.lock();
             map.entry(Self::key(config, mc)).or_default().clone()
         };
-        slot.get_or_init(|| Arc::new(run_all(config, mc))).clone()
+        let mut computed = false;
+        let results = slot
+            .get_or_init(|| {
+                computed = true;
+                Arc::new(run_all(config, mc))
+            })
+            .clone();
+        coopckpt_obs::count(
+            if computed {
+                coopckpt_obs::Counter::OpCacheMisses
+            } else {
+                coopckpt_obs::Counter::OpCacheHits
+            },
+            1,
+        );
+        results
     }
 }
 

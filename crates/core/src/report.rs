@@ -235,6 +235,7 @@ impl Report {
 
     /// Renders in the requested format.
     pub fn render(&self, format: OutputFormat) -> String {
+        let _span = coopckpt_obs::span(coopckpt_obs::Phase::Render);
         match format {
             OutputFormat::Text => self.to_text(),
             OutputFormat::Csv => self.to_csv(),

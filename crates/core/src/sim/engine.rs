@@ -385,6 +385,7 @@ impl Engine {
         } else {
             config.failure_classes.clone()
         };
+        let trace_span = coopckpt_obs::span(coopckpt_obs::Phase::TraceGen);
         let trace = match config.failures {
             FailureModel::Exponential => FailureTrace::generate_mixed(
                 failure_rng,
@@ -404,6 +405,7 @@ impl Engine {
             ),
             FailureModel::None => FailureTrace::empty(),
         };
+        drop(trace_span);
 
         // The hierarchy config wins; a bare `burst_buffer` maps onto the
         // equivalent one-tier stack (node-local absorb semantics).
@@ -528,7 +530,10 @@ impl Engine {
             sim.schedule_at(Time::ZERO, Event::FitPass);
         }
 
+        let replay_span = coopckpt_obs::span(coopckpt_obs::Phase::Replay);
         let outcome = sim.run(&mut engine);
+        drop(replay_span);
+        sim.flush_telemetry();
         assert!(
             outcome != coopckpt_des::SimOutcome::BudgetExhausted,
             "simulation exhausted its event budget — this indicates an \
@@ -536,6 +541,10 @@ impl Engine {
         );
         let end = sim.now().min(horizon);
         engine.finalize(end);
+        coopckpt_obs::observe(
+            coopckpt_obs::Hist::PeakLiveJobs,
+            engine.peak_live_jobs as u64,
+        );
         let energy = engine.meter.take().map(|mut m| {
             m.finalize(engine.platform.nodes);
             m.summary()

@@ -476,7 +476,10 @@ pub fn run_simulation(config: &SimConfig, seed: u64) -> SimResult {
 
     let spec = WorkloadSpec::new(config.classes.clone())
         .with_min_span(config.span * config.workload_slack.max(1.0));
-    let jobs = spec.generate(&config.platform, &mut workload_rng);
+    let jobs = {
+        let _span = coopckpt_obs::span(coopckpt_obs::Phase::TraceGen);
+        spec.generate(&config.platform, &mut workload_rng)
+    };
 
     engine::Engine::run(config, jobs, &mut failure_rng, ledger)
 }

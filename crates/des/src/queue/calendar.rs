@@ -33,6 +33,36 @@ use crate::time::Time;
 /// Smallest bucket array; also the shrink floor.
 const MIN_BUCKETS: usize = 16;
 
+/// Calendar-internal telemetry, accumulated as plain integers so the hot
+/// path never touches an atomic: the telemetry switch is sampled once at
+/// construction into [`CalendarQueue::track`], and when it is off each
+/// update collapses to a predicted-untaken branch. The wrapper drains the
+/// tallies through [`EventQueue::flush_telemetry`] once per replay.
+///
+/// [`EventQueue::flush_telemetry`]: super::EventQueue::flush_telemetry
+#[derive(Debug, Default, Clone, Copy)]
+pub(super) struct CalendarStats {
+    /// Bucket-array rebuilds (grow or shrink).
+    pub(super) resizes: u64,
+    /// Bucket scans per successful `next_slot`: count/sum/max.
+    pub(super) scans_count: u64,
+    pub(super) scans_sum: u64,
+    pub(super) scans_max: u64,
+    /// Target-bucket occupancy after each insert: count/sum/max.
+    pub(super) occ_count: u64,
+    pub(super) occ_sum: u64,
+    pub(super) occ_max: u64,
+}
+
+impl CalendarStats {
+    #[inline]
+    fn scan(&mut self, scanned: u64) {
+        self.scans_count += 1;
+        self.scans_sum += scanned;
+        self.scans_max = self.scans_max.max(scanned);
+    }
+}
+
 struct Entry<E> {
     seq: u64,
     time: Time,
@@ -59,6 +89,10 @@ pub(super) struct CalendarQueue<E> {
     /// maps to a virtual bucket below it.
     cursor: i64,
     len: usize,
+    /// Whether telemetry was enabled when this queue was built; gates every
+    /// `stats` update so the disabled path costs one predictable branch.
+    track: bool,
+    stats: CalendarStats,
 }
 
 impl<E> CalendarQueue<E> {
@@ -74,7 +108,14 @@ impl<E> CalendarQueue<E> {
             width: 1.0,
             cursor: 0,
             len: 0,
+            track: coopckpt_obs::enabled(),
+            stats: CalendarStats::default(),
         }
+    }
+
+    /// Drains the accumulated telemetry counters.
+    pub(super) fn take_stats(&mut self) -> CalendarStats {
+        std::mem::take(&mut self.stats)
     }
 
     pub(super) fn len(&self) -> usize {
@@ -123,6 +164,12 @@ impl<E> CalendarQueue<E> {
             }
         };
         self.buckets[b].push(slot);
+        if self.track {
+            let occ = self.buckets[b].len() as u64;
+            self.stats.occ_count += 1;
+            self.stats.occ_sum += occ;
+            self.stats.occ_max = self.stats.occ_max.max(occ);
+        }
         if self.len == 0 || vb < self.cursor {
             self.cursor = vb;
         }
@@ -192,9 +239,14 @@ impl<E> CalendarQueue<E> {
         if self.len == 0 {
             return None;
         }
+        let mut scanned = 0u64;
         for _ in 0..self.buckets.len() {
             let b = self.phys(self.cursor);
+            scanned += 1;
             if let Some(slot) = self.min_in_year(b, self.cursor) {
+                if self.track {
+                    self.stats.scan(scanned);
+                }
                 return Some(slot);
             }
             self.cursor += 1;
@@ -220,6 +272,10 @@ impl<E> CalendarQueue<E> {
         }
         let slot = best.expect("len > 0 implies a live event");
         self.cursor = self.vbucket(self.entries[slot as usize].time);
+        if self.track {
+            // The fallback walked every bucket a second time.
+            self.stats.scan(scanned + self.buckets.len() as u64);
+        }
         Some(slot)
     }
 
@@ -257,6 +313,9 @@ impl<E> CalendarQueue<E> {
     /// uniform spread lands ~2 live events per bucket. O(len), amortized
     /// over the ≥ len/2 inserts or removals since the last rebuild.
     fn rebuild(&mut self) {
+        if self.track {
+            self.stats.resizes += 1;
+        }
         let target = self.len.next_power_of_two().max(MIN_BUCKETS);
         let live: Vec<u32> = self.buckets.iter().flatten().copied().collect();
         debug_assert_eq!(live.len(), self.len);

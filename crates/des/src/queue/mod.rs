@@ -22,7 +22,7 @@ mod calendar;
 mod heap;
 
 use crate::time::Time;
-use calendar::CalendarQueue;
+use calendar::{CalendarQueue, CalendarStats};
 use heap::HeapQueue;
 
 /// Handle to a scheduled event, used to cancel it before it fires.
@@ -83,6 +83,13 @@ pub struct EventQueue<E> {
     /// Next sequence number (ties broken FIFO by this; shared across
     /// backends so keys behave identically on both).
     next_seq: u64,
+    /// Telemetry tallies as plain integers — the hot path never touches
+    /// an atomic; [`flush_telemetry`] publishes and resets them.
+    ///
+    /// [`flush_telemetry`]: EventQueue::flush_telemetry
+    inserts: u64,
+    cancels: u64,
+    pops: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -94,26 +101,27 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue (calendar backend).
     pub fn new() -> Self {
-        EventQueue {
-            backend: Backend::Calendar(CalendarQueue::new()),
-            next_seq: 0,
-        }
+        Self::from_backend(Backend::Calendar(CalendarQueue::new()))
     }
 
     /// Creates an empty queue with room for `cap` events (calendar backend).
     pub fn with_capacity(cap: usize) -> Self {
-        EventQueue {
-            backend: Backend::Calendar(CalendarQueue::with_capacity(cap)),
-            next_seq: 0,
-        }
+        Self::from_backend(Backend::Calendar(CalendarQueue::with_capacity(cap)))
     }
 
     /// Creates an empty queue backed by the original binary-heap
     /// implementation — the differential-test oracle.
     pub fn heap_oracle() -> Self {
+        Self::from_backend(Backend::Heap(HeapQueue::new()))
+    }
+
+    fn from_backend(backend: Backend<E>) -> Self {
         EventQueue {
-            backend: Backend::Heap(HeapQueue::new()),
+            backend,
             next_seq: 0,
+            inserts: 0,
+            cancels: 0,
+            pops: 0,
         }
     }
 
@@ -159,6 +167,7 @@ impl<E> EventQueue<E> {
             Backend::Calendar(q) => q.schedule(seq, time, payload),
             Backend::Heap(q) => q.schedule(seq, time, payload),
         };
+        self.inserts += 1;
         Ok(EventKey { seq, slot })
     }
 
@@ -168,10 +177,14 @@ impl<E> EventQueue<E> {
     /// already fired or been cancelled (stale keys are harmless). On the
     /// calendar backend the event is physically removed — no tombstone.
     pub fn cancel(&mut self, key: EventKey) -> Option<E> {
-        match &mut self.backend {
+        let cancelled = match &mut self.backend {
             Backend::Calendar(q) => q.cancel(key),
             Backend::Heap(q) => q.cancel(key),
+        };
+        if cancelled.is_some() {
+            self.cancels += 1;
         }
+        cancelled
     }
 
     /// The time of the next pending event, if any.
@@ -184,10 +197,49 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the next pending event as `(time, payload)`.
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        match &mut self.backend {
+        let popped = match &mut self.backend {
             Backend::Calendar(q) => q.pop(),
             Backend::Heap(q) => q.pop(),
+        };
+        if popped.is_some() {
+            self.pops += 1;
         }
+        popped
+    }
+
+    /// Publishes the queue's accumulated telemetry into [`coopckpt_obs`]
+    /// and resets the tallies. The hot path only bumps plain integers;
+    /// this is the single point where they become obs counters and
+    /// histograms — the engine calls it once per replay, so the disabled
+    /// path costs nothing measurable.
+    pub fn flush_telemetry(&mut self) {
+        let inserts = std::mem::take(&mut self.inserts);
+        let cancels = std::mem::take(&mut self.cancels);
+        let pops = std::mem::take(&mut self.pops);
+        let cal = match &mut self.backend {
+            Backend::Calendar(q) => q.take_stats(),
+            Backend::Heap(_) => CalendarStats::default(),
+        };
+        if !coopckpt_obs::enabled() {
+            return;
+        }
+        use coopckpt_obs::{Counter, Hist};
+        coopckpt_obs::count(Counter::QueueInserts, inserts);
+        coopckpt_obs::count(Counter::QueueCancels, cancels);
+        coopckpt_obs::count(Counter::QueuePops, pops);
+        coopckpt_obs::count(Counter::QueueResizes, cal.resizes);
+        coopckpt_obs::observe_batch(
+            Hist::QueueBucketScans,
+            cal.scans_count,
+            cal.scans_sum,
+            cal.scans_max,
+        );
+        coopckpt_obs::observe_batch(
+            Hist::QueueBucketOccupancy,
+            cal.occ_count,
+            cal.occ_sum,
+            cal.occ_max,
+        );
     }
 
     /// Discards every pending event. Keys stay unique: sequence numbers

@@ -155,6 +155,16 @@ impl<E> Simulator<E> {
         self.queue.peek_time()
     }
 
+    /// Publishes the event queue's accumulated telemetry tallies into
+    /// `coopckpt_obs` and resets them (see
+    /// [`EventQueue::flush_telemetry`]). Call once after [`run`] returns.
+    ///
+    /// [`EventQueue::flush_telemetry`]: crate::queue::EventQueue::flush_telemetry
+    /// [`run`]: Simulator::run
+    pub fn flush_telemetry(&mut self) {
+        self.queue.flush_telemetry();
+    }
+
     /// Runs `process` until the queue drains, the horizon is crossed, the
     /// budget is exhausted, or the process halts.
     pub fn run<P: Process<Event = E>>(&mut self, process: &mut P) -> SimOutcome {

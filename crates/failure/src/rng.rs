@@ -127,6 +127,7 @@ impl Xoshiro256pp {
     /// non-overlapping substream. Used to derive independent per-component
     /// streams (failures vs. workload jitter) from one master seed.
     pub fn jump(&mut self) {
+        coopckpt_obs::count(coopckpt_obs::Counter::RngSubstreamDraws, 1);
         const JUMP: [u64; 4] = [
             0x180E_C6D3_3CFD_0ABA,
             0xD5A6_1266_F0C9_392C,

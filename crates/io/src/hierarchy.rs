@@ -413,12 +413,14 @@ impl StorageHierarchy {
                 self.tiers[level].reserve(volume);
                 self.tiers[level].stats.admitted += 1;
                 self.tiers[level].stats.bytes_absorbed += volume;
+                coopckpt_obs::count(coopckpt_obs::Counter::TierAbsorbs, 1);
                 return Placement::Tier {
                     level,
                     absorb_time: self.absorb_time(level, volume, writer_nodes),
                 };
             }
             self.tiers[level].stats.spills += 1;
+            coopckpt_obs::count(coopckpt_obs::Counter::TierSpills, 1);
         }
         Placement::Pfs
     }
@@ -442,6 +444,7 @@ impl StorageHierarchy {
                 };
             }
             self.tiers[level].stats.spills += 1;
+            coopckpt_obs::count(coopckpt_obs::Counter::TierSpills, 1);
         }
         DrainHop::Pfs
     }
@@ -458,6 +461,7 @@ impl StorageHierarchy {
     pub fn drain_complete(&mut self, from: usize, volume: Bytes) {
         self.tiers[from].release(volume);
         self.tiers[from].stats.bytes_drained_out += volume;
+        coopckpt_obs::count(coopckpt_obs::Counter::TierDrains, 1);
     }
 
     /// Discards `volume` bytes held at `level` without draining (the

@@ -69,6 +69,7 @@ impl<M> RequestQueue<M> {
         }
         let id = RequestId(self.next_id);
         self.next_id += 1;
+        coopckpt_obs::count(coopckpt_obs::Counter::TokenWaits, 1);
         self.queue.push_back(PendingRequest {
             id,
             arrived: now,

@@ -3,13 +3,39 @@
 //! Jain & Chlamtac (CACM 1985): estimates a single quantile of a stream in
 //! O(1) memory by maintaining five markers whose heights follow a
 //! piecewise-parabolic interpolation of the empirical CDF. Exact quantiles
-//! (`crate::quantile`) need the full sample; P² supports paper-scale
-//! Monte-Carlo sweeps (millions of instances) where buffering every waste
-//! ratio is unnecessary.
+//! (`coopckpt_stats::quantile`) need the full sample; P² supports
+//! paper-scale Monte-Carlo sweeps (millions of instances) where buffering
+//! every waste ratio is unnecessary.
+//!
+//! Lives in `coopckpt-obs` (the workspace's dependency-free leaf) so the
+//! telemetry layer can aggregate sample times without pulling
+//! `coopckpt-stats` — and with it the simulation-time types — into the
+//! instrumented kernel crates. `coopckpt-stats` re-exports it under the
+//! original `coopckpt_stats::P2Quantile` path.
 //!
 //! Accuracy is typically within a fraction of a percent of the exact
 //! quantile for unimodal distributions; the property tests quantify this
 //! against the exact estimator.
+
+/// Linear-interpolation quantile of a **sorted** slice (type-7 estimator,
+/// matching `coopckpt_stats::quantile`), used for exact small-sample
+/// estimates before the five P² markers fill.
+fn small_sample_quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = q * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = h - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
 
 /// Streaming estimator for one quantile `q` of an unbounded sample.
 #[derive(Debug, Clone)]
@@ -143,7 +169,7 @@ impl P2Quantile {
             n if n < 5 => {
                 let mut buf: Vec<f64> = self.heights[..n].to_vec();
                 buf.sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
-                Some(crate::quantile(&buf, self.q))
+                Some(small_sample_quantile(&buf, self.q))
             }
             _ => Some(self.heights[2]),
         }
@@ -160,7 +186,7 @@ mod tests {
 
     fn exact(values: &mut [f64], q: f64) -> f64 {
         values.sort_by(|a, b| a.total_cmp(b));
-        crate::quantile(values, q)
+        small_sample_quantile(values, q)
     }
 
     #[test]
@@ -266,7 +292,7 @@ mod proptests {
             let lo = sorted[0];
             let hi = sorted[sorted.len() - 1];
             prop_assert!(got >= lo && got <= hi, "estimate {got} escaped [{lo}, {hi}]");
-            let want = crate::quantile(&sorted, q);
+            let want = small_sample_quantile(&sorted, q);
             // Tolerance: 15 % of the sample range (P² is approximate for
             // small adversarial streams; typical error is far lower).
             prop_assert!(

@@ -100,7 +100,8 @@ impl NodePool {
         let id = AllocId(self.next_id);
         self.next_id += 1;
         let mut nodes = Vec::with_capacity(q);
-        let mut w = self.first_maybe_free;
+        let start_w = self.first_maybe_free;
+        let mut w = start_w;
         while nodes.len() < q {
             debug_assert!(w < self.free_bits.len(), "free_count overstated");
             let mut bits = self.free_bits[w];
@@ -115,6 +116,7 @@ impl NodePool {
         }
         // Every word below `w` was drained (or was already empty).
         self.first_maybe_free = w;
+        coopckpt_obs::observe(coopckpt_obs::Hist::PoolScanWords, (w - start_w + 1) as u64);
         self.free_count -= q;
         for &n in &nodes {
             debug_assert!(self.assignment[n].is_none());

@@ -17,14 +17,17 @@
 //!   fold of the project rows, so rows sum to totals bit-exactly.
 //! * [`Table`] — aligned text / CSV rendering for the bench binaries.
 //! * [`P2Quantile`] — the O(1)-memory P² streaming quantile estimator for
-//!   sweeps too large to buffer.
+//!   sweeps too large to buffer (implemented in `coopckpt-obs`, the
+//!   workspace's leaf crate, so the telemetry layer can reuse it;
+//!   re-exported here under its historical path).
 
 pub mod ledger;
 pub mod online;
-pub mod p2;
 pub mod project;
 pub mod quantile;
 pub mod table;
+
+pub use coopckpt_obs::p2;
 
 pub use ledger::{Category, WasteLedger};
 pub use online::OnlineStats;
