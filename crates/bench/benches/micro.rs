@@ -254,6 +254,53 @@ fn bench_campaign(c: &mut Criterion) {
     group.finish();
 }
 
+/// Tentpole gate for the two-level pool: a *one-point* suite with a big
+/// sample count, run through the campaign runner. `pooled` (threads = 0)
+/// lets every worker steal sample chunks from the single point;
+/// `scenario_sharded` (threads = 1) is what scenario-level-only sharding
+/// gives a lone point — one worker, samples in series. On a multi-core
+/// machine `bench_baseline check` requires `pooled` to beat
+/// `scenario_sharded` (the two coincide on a single core).
+fn bench_suite_single_big_point(c: &mut Criterion) {
+    use coopckpt::campaign::{run_suite, CampaignOptions, Suite};
+    use coopckpt::montecarlo::OpPointCache;
+    use std::sync::Arc;
+
+    let fast = std::env::var("COOPCKPT_BENCH_FAST").is_ok_and(|v| !v.is_empty() && v != "0");
+    let samples = if fast { 32 } else { 128 };
+    let suite = Suite::parse(&format!(
+        r#"{{
+            "name": "bigpoint",
+            "base": {{
+                "platform": {{"preset": "cielo", "bandwidth_gbps": 40}},
+                "span_days": 0.25,
+                "samples": {samples},
+                "seed": 7
+            }},
+            "grid": {{"strategy": ["least-waste"]}}
+        }}"#,
+    ))
+    .expect("big-point suite parses");
+
+    let mut group = c.benchmark_group("e2e/suite_single_big_point");
+    group.sample_size(10);
+    for (label, threads) in [("pooled", 0usize), ("scenario_sharded", 1usize)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                // A fresh operating-point cache per iteration, so every
+                // iteration really simulates all samples.
+                let opts = CampaignOptions {
+                    threads,
+                    cache: None,
+                    op_cache: Some(Arc::new(OpPointCache::new())),
+                };
+                black_box(run_suite(&suite, &opts).expect("suite runs").entries.len())
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
@@ -263,6 +310,7 @@ criterion_group!(
     bench_failure_trace,
     bench_end_to_end,
     bench_trace_stream,
-    bench_campaign
+    bench_campaign,
+    bench_suite_single_big_point
 );
 criterion_main!(benches);

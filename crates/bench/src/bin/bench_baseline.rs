@@ -11,11 +11,15 @@
 //!   `campaign/`) at the repo root, stamping the current commit.
 //! * `bench_baseline check <current.json>` — fails (exit 1) when any `des/`
 //!   benchmark regressed more than `COOPCKPT_BENCH_TOLERANCE` (default
-//!   0.25, i.e. 25%) against the committed `BENCH_des.json`, or when the
+//!   0.25, i.e. 25%) against the committed `BENCH_des.json`, when the
 //!   calendar queue's `des/event_queue_cancel_heavy` is not at least
 //!   `COOPCKPT_BENCH_MIN_SPEEDUP` (default 5×) faster than its
 //!   `…_cancel_heavy_heap` oracle companion *from the same run* — the
-//!   same-run ratio keeps the ≥5× gate machine-independent.
+//!   same-run ratio keeps the ≥5× gate machine-independent — or when the
+//!   two-level pool's `e2e/suite_single_big_point/pooled` does not beat
+//!   its `…/scenario_sharded` companion by the core-count-scaled floor
+//!   (2× at ≥4 cores, 1.2× at 2–3, skipped on a single core; override
+//!   with `COOPCKPT_BENCH_MIN_POOL_SPEEDUP`).
 //!
 //! Baselines record the median and iteration count per benchmark; medians
 //! on CI runners are noisy, so the regression tolerance is deliberately
@@ -148,6 +152,19 @@ fn write_baselines(current: &[Entry]) {
             path.display(),
             entries.len()
         );
+    }
+}
+
+/// Gate-3 floor for the two-level pool, by core count of the machine
+/// that ran (and is now checking) the bench. `None` = gate skipped: a
+/// single core has no parallelism to exploit. Two or three cores leave
+/// little headroom after scheduling overhead; four and up must show the
+/// full 2× the tentpole promises.
+fn pool_speedup_floor(cores: usize) -> Option<f64> {
+    match cores {
+        0 | 1 => None,
+        2 | 3 => Some(1.2),
+        _ => Some(2.0),
     }
 }
 
@@ -312,6 +329,55 @@ fn check_baselines(current: &[Entry]) {
         ),
     }
 
+    // Gate 3: the two-level work-sharing pool must make a single big
+    // point faster than scenario-only sharding, measured within the
+    // current run. The required speedup scales with the *checking*
+    // machine's core count — the same machine that just ran the bench —
+    // because a one-core runner cannot beat serial execution at all.
+    let pooled = current
+        .iter()
+        .find(|e| e.name == "e2e/suite_single_big_point/pooled");
+    let sharded = current
+        .iter()
+        .find(|e| e.name == "e2e/suite_single_big_point/scenario_sharded");
+    match (pooled, sharded) {
+        (Some(pooled), Some(sharded)) => {
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            let floor = std::env::var("COOPCKPT_BENCH_MIN_POOL_SPEEDUP")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .map_or_else(|| pool_speedup_floor(cores), Some);
+            let speedup = sharded.median_ns / pooled.median_ns;
+            match floor {
+                Some(floor) => {
+                    println!(
+                        "single-big-point pool speedup: {speedup:.1}x (pooled {:.0} ns vs \
+                         scenario-sharded {:.0} ns, floor {floor}x on {cores} cores)",
+                        pooled.median_ns, sharded.median_ns
+                    );
+                    if speedup < floor {
+                        failures.push(format!(
+                            "two-level pool is only {speedup:.1}x faster than scenario-only \
+                             sharding on e2e/suite_single_big_point (required ≥{floor}x on \
+                             {cores} cores)"
+                        ));
+                    }
+                }
+                None => println!(
+                    "single-big-point pool speedup: {speedup:.1}x \
+                     (single core — pool gate skipped)"
+                ),
+            }
+        }
+        _ => failures.push(
+            "current run is missing e2e/suite_single_big_point/pooled and/or its \
+             scenario_sharded companion"
+                .to_string(),
+        ),
+    }
+
     if failures.is_empty() {
         println!("bench_baseline: all gates passed");
     } else {
@@ -352,9 +418,19 @@ mod tests {
             ("sim/7day_cielo_40gbps/least-waste", true),
             ("campaign/6pt_quarter_day/cold", true),
             ("e2e/trace_100k_jobs", true),
+            ("e2e/suite_single_big_point/pooled", true),
         ] {
             assert_eq!(is_e2e(name), e2e, "{name}");
         }
+    }
+
+    #[test]
+    fn pool_gate_floor_scales_with_core_count() {
+        assert_eq!(pool_speedup_floor(1), None, "one core cannot speed up");
+        assert_eq!(pool_speedup_floor(2), Some(1.2));
+        assert_eq!(pool_speedup_floor(3), Some(1.2));
+        assert_eq!(pool_speedup_floor(4), Some(2.0));
+        assert_eq!(pool_speedup_floor(64), Some(2.0));
     }
 
     #[test]

@@ -261,17 +261,23 @@ plain scenario file is accepted as a one-point suite. Expansion is
 deduplicated and order-stable; each point is auto-named
 `prefix/axis=value/...` (slashes in values become underscores).
 
-Points are sharded across worker threads (work-stealing); the merged
-output is ordered by expansion, so it is bit-identical at any
-`--threads` value. With `--cache <dir>`, each point's report is stored
-under a content-addressed key (canonical scenario JSON + code-version
-salt): rerunning the suite skips computed points and the resumed output
-is bit-identical to a cold run. Progress streams to stderr as points
+Execution uses a two-level work-sharing pool: `--threads` is the *total*
+simulation thread count (honored exactly — `--threads 1` runs one
+thread). Workers shard points, and each point's Monte-Carlo samples are
+enqueued as seed-range chunks that idle workers steal across points, so
+a single huge point still saturates every thread. Samples reduce in
+seed order and the merged output is ordered by expansion, so it is
+bit-identical at any `--threads` value.
+
+With `--cache <dir>`, each point's report is stored under a
+content-addressed key (canonical scenario JSON + code-version salt):
+rerunning the suite skips computed points and the resumed output is
+bit-identical to a cold run. Progress streams to stderr as points
 finish.
 
 FLAGS:
   --suite <file>       the suite file (or pass it as the positional)
-  --threads <n>        worker threads; 0 = one per core        [0]
+  --threads <n>        total simulation threads; 0 = one per core  [0]
   --cache <dir>        content-addressed on-disk result cache (resumable)
   --list               print the expansion (key + name per point) and exit
   --gc                 sweep the --cache directory first: evict entries

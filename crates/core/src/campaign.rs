@@ -818,7 +818,6 @@ impl Campaign {
 
 fn run_point(
     sc: &Scenario,
-    inner_threads: usize,
     cache: Option<&ResultCache>,
     op_cache: &OpPointCache,
 ) -> Result<CampaignEntry, CampaignError> {
@@ -838,13 +837,10 @@ fn run_point(
         }
         coopckpt_obs::count(coopckpt_obs::Counter::ResultCacheMisses, 1);
     }
-    let mut run_sc = sc.clone();
-    run_sc.threads = inner_threads;
-    let mut report = run_scenario_with_cache(&run_sc, op_cache)?;
-    // The report echoes its scenario — restore the canonical (threads-
-    // normalized) spec so the runner's parallelism choice never reaches
-    // the merged output.
-    report.scenario = Some(sc.clone());
+    // Points arrive threads-normalized from [`Suite::expand`]; the
+    // runner's parallelism lives in the ambient pool the calling worker
+    // installed, so the scenario (and its report echo) never carries it.
+    let report = run_scenario_with_cache(sc, op_cache)?;
     let entry = CampaignEntry {
         name: sc.name.clone(),
         key: key.clone(),
@@ -865,21 +861,31 @@ pub fn run_suite(suite: &Suite, opts: &CampaignOptions) -> Result<Campaign, Camp
     run_suite_with(suite, opts, |_, _, _| {})
 }
 
-/// Executes every expanded point of `suite` across a work-stealing thread
-/// pool and merges the results in expansion order.
+/// Executes every expanded point of `suite` across the shared two-level
+/// work-sharing pool and merges the results in expansion order.
 ///
-/// Workers claim points through an atomic cursor (the same deterministic
-/// pattern as the Monte-Carlo pool); whenever more than one worker runs,
-/// each point's *inner* Monte-Carlo pool is pinned to a single thread so
-/// the campaign level owns the machine. `on_done(index, entry, wall_ms)`
-/// fires from worker threads as points finish — completion order, for
-/// streaming progress — while the merged [`Campaign`] stays in expansion
-/// order, so thread count can never change the output.
+/// `opts.threads` (0 = one per core) is the **total** simulation thread
+/// count, honored end to end. Each worker claims points through an atomic
+/// cursor and installs the shared [`crate::montecarlo::sim_pool`] as its ambient
+/// pool, so a point's Monte-Carlo batch is enqueued as seed-range chunks
+/// that *every* worker can steal: a one-point suite with 1000 samples
+/// saturates all workers instead of pinning one. Workers that run out of
+/// points keep helping with other points' chunks until the last point
+/// completes. Each point's samples are reduced in seed order, so reports,
+/// the result cache, and the merged output are bit-identical at any
+/// thread count — `--threads 1` really runs one thread (no inner pool
+/// ever fans out further), and chunk boundaries only affect scheduling.
+///
+/// `on_done(index, entry, wall_ms)` fires from worker threads as points
+/// finish — completion order, for streaming progress — while the merged
+/// [`Campaign`] stays in expansion order.
 ///
 /// With telemetry enabled, each point runs under its own attribution
-/// scope and contributes one run-journal record. Records are buffered and
-/// written sorted by point label after the pool joins, so the journal —
-/// like the merged campaign — is identical at any thread count.
+/// scope; the scope travels with the point's chunks, so samples executed
+/// by stealing workers still bill to the right point. Records are
+/// buffered and written sorted by point label after the pool joins, so
+/// the journal — like the merged campaign — lists points in a
+/// thread-count-independent order.
 pub fn run_suite_with<F>(
     suite: &Suite,
     opts: &CampaignOptions,
@@ -893,15 +899,18 @@ where
     let hw = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
-    let workers = (if opts.threads == 0 { hw } else { opts.threads }).clamp(1, n);
-    // A lone worker hands the whole machine to each point's Monte-Carlo
-    // pool instead (threads = 0).
-    let inner_threads = if workers > 1 { 1 } else { 0 };
+    // Not clamped to the point count: with more workers than points the
+    // surplus threads still shard samples inside the points.
+    let workers = (if opts.threads == 0 { hw } else { opts.threads }).max(1);
     let op_cache: &OpPointCache = match &opts.op_cache {
         Some(c) => c,
         None => OpPointCache::global(),
     };
+    let pool = crate::montecarlo::sim_pool(workers);
     let next = AtomicUsize::new(0);
+    // Points claimed but not yet finished; point-less workers keep
+    // helping until the cursor is exhausted *and* this reaches zero.
+    let active = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<CampaignEntry>>> = Mutex::new((0..n).map(|_| None).collect());
     let failure: Mutex<Option<CampaignError>> = Mutex::new(None);
     // (label, expansion index, record): sorted after the join so journal
@@ -912,44 +921,66 @@ where
         for worker in 0..workers {
             // `move` is only for the worker index; everything else is
             // captured as a shared borrow.
-            let (journal, points, next, slots, failure, on_done) =
-                (&journal, &points, &next, &slots, &failure, &on_done);
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let obs_scope = coopckpt_obs::enabled().then(coopckpt_obs::new_scope);
-                let start = std::time::Instant::now();
-                let result = {
-                    let _guard = obs_scope.as_ref().map(coopckpt_obs::enter);
-                    run_point(&points[i], inner_threads, opts.cache.as_ref(), op_cache)
-                };
-                match result {
-                    Ok(entry) => {
-                        let wall_ms = start.elapsed().as_millis() as u64;
-                        if let Some(scope) = &obs_scope {
-                            let record = crate::telemetry::journal_record(
-                                entry.label(),
-                                start.elapsed().as_secs_f64() * 1e3,
-                                points[i].samples,
-                                entry.from_cache,
-                                worker,
-                                &scope.snapshot(),
-                            );
-                            journal.lock().push((entry.label().to_string(), i, record));
-                        }
-                        on_done(i, &entry, wall_ms);
-                        slots.lock()[i] = Some(entry);
+            let (journal, points, next, active, slots, failure, on_done, pool) = (
+                &journal, &points, &next, &active, &slots, &failure, &on_done, &pool,
+            );
+            scope.spawn(move || {
+                let _ambient = crate::montecarlo::set_ambient_pool(Arc::clone(pool));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
                     }
-                    Err(e) => {
-                        failure.lock().get_or_insert(e);
-                        // Park the cursor so idle workers stop claiming
-                        // points (in-flight ones finish harmlessly).
-                        next.store(n, Ordering::Relaxed);
+                    active.fetch_add(1, Ordering::SeqCst);
+                    let obs_scope = coopckpt_obs::enabled().then(coopckpt_obs::new_scope);
+                    let start = std::time::Instant::now();
+                    let result = {
+                        let _guard = obs_scope.as_ref().map(coopckpt_obs::enter);
+                        run_point(&points[i], opts.cache.as_ref(), op_cache)
+                    };
+                    let finished = match result {
+                        Ok(entry) => {
+                            let wall_ms = start.elapsed().as_millis() as u64;
+                            if let Some(scope) = &obs_scope {
+                                let record = crate::telemetry::journal_record(
+                                    entry.label(),
+                                    start.elapsed().as_secs_f64() * 1e3,
+                                    points[i].samples,
+                                    entry.from_cache,
+                                    worker,
+                                    &scope.snapshot(),
+                                );
+                                journal.lock().push((entry.label().to_string(), i, record));
+                            }
+                            on_done(i, &entry, wall_ms);
+                            slots.lock()[i] = Some(entry);
+                            true
+                        }
+                        Err(e) => {
+                            failure.lock().get_or_insert(e);
+                            // Park the cursor so idle workers stop
+                            // claiming points (in-flight ones finish
+                            // harmlessly).
+                            next.store(n, Ordering::Relaxed);
+                            false
+                        }
+                    };
+                    active.fetch_sub(1, Ordering::SeqCst);
+                    // A help_until condition below may have just become
+                    // true; wake the waiters so they re-check.
+                    pool.notify();
+                    if !finished {
                         break;
                     }
                 }
+                // Out of points: keep executing other points' sample
+                // chunks until every claimed point has finished. (A
+                // point claimed between our cursor read and this check
+                // may slip by and complete owner-only — harmless, its
+                // owner drains its own job.)
+                pool.help_until(|| {
+                    next.load(Ordering::Relaxed) >= n && active.load(Ordering::SeqCst) == 0
+                });
             });
         }
     });

@@ -5,23 +5,36 @@
 //! [`run_many`] executes instances across threads; results are ordered by
 //! seed, so the returned sample set is identical regardless of thread count
 //! or scheduling.
+//!
+//! Execution rides the shared two-level executor in
+//! [`coopckpt_sched::exec`]. When a campaign runner has installed an
+//! *ambient pool* on this thread (see [`set_ambient_pool`]), a batch is
+//! submitted there as seed-range chunks and the calling thread joins it —
+//! executing chunks itself while idle campaign workers steal the rest, so
+//! one big point saturates every worker without spawning extra threads.
+//! Without an ambient pool (plain `run`/`sweep`), a transient standalone
+//! pool of `mc.threads` threads runs the batch.
 
 use crate::scenario::Scenario;
 use crate::sim::{run_simulation, SimConfig, SimResult};
 use coopckpt_stats::Samples;
 use parking_lot::Mutex;
+use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// How many instances to run and how.
 #[derive(Debug, Clone)]
 pub struct MonteCarloConfig {
-    /// Number of instances (seeds `base_seed..base_seed + samples`).
+    /// Number of instances (seeds `base_seed.wrapping_add(0..samples)`).
     pub samples: usize,
-    /// First seed.
+    /// First seed. Instance seeds advance with **wrapping** arithmetic,
+    /// so a base near `u64::MAX` walks around zero instead of panicking
+    /// ([`Scenario`] parsing rejects such combinations up front; direct
+    /// library users get the wrap).
     pub base_seed: u64,
-    /// Worker threads; 0 = one per available core.
+    /// Worker threads; 0 = one per available core. Ignored when an
+    /// ambient campaign pool owns the machine (see [`set_ambient_pool`]).
     pub threads: usize,
 }
 
@@ -56,9 +69,55 @@ impl MonteCarloConfig {
     }
 }
 
+/// The simulation-batch pool type: context = the operating point's
+/// config, unit = one seeded instance.
+pub type SimPool = coopckpt_sched::exec::Pool<SimConfig, SimResult>;
+
+thread_local! {
+    /// The campaign pool this thread's Monte-Carlo batches should be
+    /// submitted to, if a campaign runner owns the machine.
+    static AMBIENT_POOL: RefCell<Option<Arc<SimPool>>> = const { RefCell::new(None) };
+}
+
+/// Restores the previous ambient pool when dropped.
+pub struct AmbientPoolGuard {
+    prev: Option<Arc<SimPool>>,
+}
+
+impl Drop for AmbientPoolGuard {
+    fn drop(&mut self) {
+        AMBIENT_POOL.with(|slot| *slot.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Installs `pool` as this thread's ambient simulation pool until the
+/// returned guard drops. While installed, every [`run_many`]/[`run_all`]
+/// batch from this thread is submitted to `pool` as seed-range chunks
+/// (the caller joins, executing chunks itself) instead of spawning its
+/// own threads — the campaign's worker count stays the *total* thread
+/// count, and idle workers steal sample chunks across points.
+pub fn set_ambient_pool(pool: Arc<SimPool>) -> AmbientPoolGuard {
+    AmbientPoolGuard {
+        prev: AMBIENT_POOL.with(|slot| slot.borrow_mut().replace(pool)),
+    }
+}
+
+/// Builds a simulation pool sized for `workers` threads (chunk
+/// granularity only — threads donate themselves via join/help).
+pub fn sim_pool(workers: usize) -> Arc<SimPool> {
+    Arc::new(coopckpt_sched::exec::Pool::new(workers, sim_unit))
+}
+
+/// One executor unit: a single seeded instance, timed as a sample span
+/// in whatever telemetry scope the executing chunk entered.
+fn sim_unit(config: &SimConfig, seed: u64) -> SimResult {
+    let _span = coopckpt_obs::span(coopckpt_obs::Phase::Sample);
+    run_simulation(config, seed)
+}
+
 /// The shared thread-pool core: runs `mc.samples` instances and returns
 /// `map` applied to each result, ordered by seed (deterministic across
-/// thread counts and scheduling).
+/// thread counts, chunk sizes and scheduling).
 fn run_map<T, F>(config: &SimConfig, mc: &MonteCarloConfig, map: F) -> Vec<T>
 where
     T: Send,
@@ -66,39 +125,24 @@ where
 {
     assert!(mc.samples > 0, "at least one sample required");
     let n = mc.samples;
-    let threads = mc.effective_threads(n);
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
-    // Worker threads adopt the caller's telemetry scope (if any) so
-    // per-point attribution survives the fan-out. `None` when telemetry
-    // is off — the guard below is then a no-op.
-    let obs_scope = coopckpt_obs::current_scope();
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                let _obs_guard = obs_scope.as_ref().map(coopckpt_obs::enter);
-                let mut local: Vec<(usize, T)> = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let seed = mc.base_seed + i as u64;
-                    let result = {
-                        let _span = coopckpt_obs::span(coopckpt_obs::Phase::Sample);
-                        run_simulation(config, seed)
-                    };
-                    local.push((i, map(result)));
-                }
-                results.lock().extend(local);
-            });
+    let results = match AMBIENT_POOL.with(|slot| slot.borrow().clone()) {
+        // A campaign owns the machine: enqueue there and help drain it.
+        // The pool captures the caller's telemetry scope, so samples
+        // stolen by other workers still bill to this point.
+        Some(pool) => {
+            let job = pool.submit(Arc::new(config.clone()), mc.base_seed, n);
+            pool.join(&job)
         }
-    });
-
-    let mut collected = results.into_inner();
-    collected.sort_unstable_by_key(|(i, _)| *i);
-    collected.into_iter().map(|(_, v)| v).collect()
+        // Standalone run: a transient pool of our own threads.
+        None => coopckpt_sched::exec::run_standalone(
+            mc.effective_threads(n),
+            Arc::new(config.clone()),
+            mc.base_seed,
+            n,
+            sim_unit,
+        ),
+    };
+    results.into_iter().map(map).collect()
 }
 
 /// Runs `mc.samples` instances of `config` and returns `metric` evaluated

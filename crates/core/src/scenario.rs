@@ -512,6 +512,24 @@ impl Scenario {
         if !(self.span.is_finite() && self.span.is_positive()) {
             return Err(ScenarioError::invalid("span_secs", "span must be positive"));
         }
+        // Same guard as JSON parsing, re-checked here so grid-built
+        // points (a suite's `seed`/`samples` axes are applied after the
+        // base parses) and flag-built scenarios can't smuggle in a
+        // wrapping seed range.
+        if self
+            .seed
+            .checked_add((self.samples as u64).saturating_sub(1))
+            .is_none()
+        {
+            return Err(ScenarioError::invalid(
+                "seed",
+                format!(
+                    "seed {} + samples {} overflows the u64 seed range; \
+                     lower the seed or the sample count",
+                    self.seed, self.samples
+                ),
+            ));
+        }
         let platform = self.resolve_platform()?;
         let (classes, trace_source) = match &self.workload {
             WorkloadSource::Trace(spec) => {
@@ -833,6 +851,25 @@ impl Scenario {
                     ScenarioError::invalid("seed", "expected a non-negative integer")
                 })?,
             };
+        }
+        // Instance seeds are `seed.wrapping_add(0 .. samples)`. Library
+        // callers get the documented wrap; a *scenario* whose seed range
+        // would wrap past `u64::MAX` is almost certainly a typo, and the
+        // wrapped instances would silently collide with low-seed points —
+        // reject it while the field names are still in hand.
+        if sc
+            .seed
+            .checked_add((sc.samples as u64).saturating_sub(1))
+            .is_none()
+        {
+            return Err(ScenarioError::invalid(
+                "seed",
+                format!(
+                    "seed {} + samples {} overflows the u64 seed range; \
+                     lower the seed or the sample count",
+                    sc.seed, sc.samples
+                ),
+            ));
         }
         if let Some(threads) = opt_u64(pairs, "threads")? {
             sc.threads = threads as usize;
@@ -1978,6 +2015,30 @@ mod tests {
         assert!(sc.to_json_string().contains("\"seed\": 42"));
         // Garbage seed strings are rejected.
         assert!(Scenario::parse(r#"{"seed": "not-a-number"}"#).is_err());
+    }
+
+    #[test]
+    fn wrapping_seed_ranges_are_rejected_at_parse_and_config_time() {
+        // The very last representable seed with one sample is fine...
+        let max = u64::MAX.to_string();
+        let sc = Scenario::parse(&format!(r#"{{"seed": "{max}", "samples": 1}}"#)).unwrap();
+        assert_eq!(sc.seed, u64::MAX);
+        // ...but a range that would wrap past u64::MAX is a parse error
+        // naming the field.
+        let e = Scenario::parse(&format!(r#"{{"seed": "{max}", "samples": 2}}"#)).unwrap_err();
+        assert!(e.to_string().contains("seed"), "{e}");
+        assert!(e.to_string().contains("overflow"), "{e}");
+        // Builder-made scenarios hit the same guard at config time (the
+        // path grid axes and CLI flags go through).
+        let e = Scenario::default()
+            .with_sampling(9, u64::MAX - 7)
+            .into_config()
+            .unwrap_err();
+        assert!(e.to_string().contains("overflow"), "{e}");
+        assert!(Scenario::default()
+            .with_sampling(8, u64::MAX - 7)
+            .into_config()
+            .is_ok());
     }
 
     #[test]

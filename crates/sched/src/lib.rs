@@ -9,6 +9,11 @@
 //! Nodes are interchangeable; the pool tracks which allocation occupies
 //! each node so that a random node failure can be mapped to its victim job.
 //!
+//! The crate also hosts [`exec`], the *host-side* two-level work-sharing
+//! executor that shards Monte-Carlo sample batches across the campaign
+//! runner's threads — scheduling of simulation work, as opposed to the
+//! simulated scheduling above.
+//!
 //! ```
 //! use coopckpt_sched::Scheduler;
 //!
@@ -23,6 +28,7 @@
 //! assert_eq!(names, vec!["big", "fits-in-hole"]);
 //! ```
 
+pub mod exec;
 mod pool;
 mod scheduler;
 

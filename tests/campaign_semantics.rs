@@ -319,6 +319,42 @@ fn merged_output_is_bit_identical_across_thread_counts() {
     assert!(!single.2.contains("from_cache"));
 }
 
+#[test]
+fn single_big_point_suite_is_bit_identical_across_thread_counts() {
+    // The two-level pool's hardest case: one point, many samples. Every
+    // worker steals seed-range chunks from the same point, so the sample
+    // reduction order — not just the point merge order — is what this
+    // pins across thread counts (including more workers than points).
+    let suite = Suite::parse(
+        r#"{
+            "name": "bigpoint",
+            "base": {
+                "platform": {"preset": "cielo", "bandwidth_gbps": 40},
+                "span_days": 0.25,
+                "samples": 24,
+                "seed": 7
+            },
+            "grid": {"strategy": ["least-waste"]}
+        }"#,
+    )
+    .expect("big-point suite parses");
+    let run_at = |threads: usize| {
+        let opts = CampaignOptions {
+            threads,
+            cache: None,
+            op_cache: Some(Arc::new(OpPointCache::new())),
+        };
+        renders(&run_suite(&suite, &opts).expect("big-point suite runs"))
+    };
+    let single = run_at(1);
+    for threads in [2, 8] {
+        let multi = run_at(threads);
+        assert_eq!(single.0, multi.0, "text differs at --threads {threads}");
+        assert_eq!(single.1, multi.1, "CSV differs at --threads {threads}");
+        assert_eq!(single.2, multi.2, "JSON differs at --threads {threads}");
+    }
+}
+
 // ----- resume identity ---------------------------------------------------
 
 #[test]

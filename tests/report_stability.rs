@@ -61,6 +61,33 @@ fn thread_count_never_changes_the_report() {
     }
 }
 
+/// The campaign x Monte-Carlo matrix on the same preset: the report must
+/// also be stable when the *campaign* pool owns the threads and workers
+/// steal the point's sample chunks, at thread counts below, at, and above
+/// the sample count's natural parallelism.
+#[test]
+fn campaign_pool_never_changes_the_report_either() {
+    use coopckpt::campaign::{run_suite, CampaignOptions, Suite};
+    use std::sync::Arc;
+
+    let suite = Suite::load(preset_path("multilevel_recovery")).expect("preset loads");
+    let render = |threads: usize| {
+        let opts = CampaignOptions {
+            threads,
+            cache: None,
+            op_cache: Some(Arc::new(OpPointCache::new())),
+        };
+        let campaign = run_suite(&suite, &opts).expect("preset runs as a one-point suite");
+        (campaign.to_text(), campaign.to_csv())
+    };
+    let single = render(1);
+    for threads in [2, 8] {
+        let multi = render(threads);
+        assert_eq!(single.0, multi.0, "text differs at --threads {threads}");
+        assert_eq!(single.1, multi.1, "CSV differs at --threads {threads}");
+    }
+}
+
 /// Compares (or, under `COOPCKPT_BLESS=1`, rewrites) one preset's
 /// rendered report against its golden files.
 fn check_golden(preset: &str) {
